@@ -1,0 +1,96 @@
+#include "BenchCommon.h"
+
+#include "apps/Kernel.h"
+#include "support/StringUtils.h"
+
+#include <cstdio>
+
+using namespace atmem;
+using namespace atmem::bench;
+
+void bench::addCommonOptions(OptionParser &Parser) {
+  Parser.addString("datasets", "all",
+                   "comma-separated dataset names or 'all' "
+                   "(pokec,rmat24,twitter,rmat27,friendster)");
+  Parser.addString("kernels", "all",
+                   "comma-separated kernel names or 'all' "
+                   "(bfs,sssp,pr,bc,cc)");
+  Parser.addDouble("scale", graph::DefaultScaleDivisor,
+                   "dataset scale divisor (paper size / divisor)");
+  Parser.addFlag("quick", "restrict to two datasets and two kernels");
+}
+
+bool bench::readCommonOptions(const OptionParser &Parser, BenchOptions &Out) {
+  Out.ScaleDivisor = Parser.getDouble("scale");
+  Out.Quick = Parser.getFlag("quick");
+
+  std::string DatasetArg = Parser.getString("datasets");
+  if (DatasetArg == "all") {
+    Out.Datasets = graph::datasetNames();
+  } else {
+    for (const std::string &Name : splitString(DatasetArg, ',')) {
+      if (!graph::isKnownDataset(Name)) {
+        std::fprintf(stderr, "error: unknown dataset '%s'\n", Name.c_str());
+        return false;
+      }
+      Out.Datasets.push_back(Name);
+    }
+  }
+
+  std::string KernelArg = Parser.getString("kernels");
+  if (KernelArg == "all") {
+    Out.Kernels = apps::kernelNames();
+  } else {
+    for (const std::string &Name : splitString(KernelArg, ',')) {
+      if (!apps::isKnownKernel(Name)) {
+        std::fprintf(stderr, "error: unknown kernel '%s'\n", Name.c_str());
+        return false;
+      }
+      Out.Kernels.push_back(Name);
+    }
+  }
+
+  if (Out.Quick) {
+    Out.Datasets = {"pokec", "rmat24"};
+    Out.Kernels.resize(std::min<size_t>(Out.Kernels.size(), 2));
+  }
+  return true;
+}
+
+const graph::Dataset &DatasetCache::get(const std::string &Name) {
+  auto It = Cache.find(Name);
+  if (It != Cache.end())
+    return It->second;
+  auto [NewIt, Inserted] =
+      Cache.emplace(Name, graph::makeDataset(Name, ScaleDivisor));
+  (void)Inserted;
+  return NewIt->second;
+}
+
+void bench::printBanner(const std::string &Title,
+                        const BenchOptions &Options) {
+  std::printf("==============================================================="
+              "=================\n");
+  std::printf("%s\n", Title.c_str());
+  std::printf("scale divisor: %.0f (paper-size graphs / %.0f; machine "
+              "capacities scaled to match)\n",
+              Options.ScaleDivisor, Options.ScaleDivisor);
+  std::printf("==============================================================="
+              "=================\n");
+  std::fflush(stdout);
+}
+
+baseline::RunResult bench::runOne(const std::string &Kernel,
+                                  const graph::Dataset &Data,
+                                  const sim::MachineConfig &Machine,
+                                  baseline::Policy Policy,
+                                  double EpsilonOffset, bool MeasureTlb) {
+  baseline::RunConfig Config;
+  Config.KernelName = Kernel;
+  Config.Graph = &Data.Graph;
+  Config.Machine = Machine;
+  Config.PolicyKind = Policy;
+  Config.EpsilonOffset = EpsilonOffset;
+  Config.MeasureTlb = MeasureTlb;
+  return baseline::runExperiment(Config);
+}

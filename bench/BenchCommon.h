@@ -1,0 +1,74 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ATMem reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared scaffolding for the figure/table reproduction benchmarks: common
+/// command-line options (dataset/kernel selection, scale divisor), dataset
+/// caching, and uniform headers so every benchmark's output is directly
+/// comparable with the paper's evaluation section.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ATMEM_BENCH_BENCHCOMMON_H
+#define ATMEM_BENCH_BENCHCOMMON_H
+
+#include "baseline/Experiment.h"
+#include "graph/Datasets.h"
+#include "support/Options.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace atmem {
+namespace bench {
+
+/// Parsed common benchmark options.
+struct BenchOptions {
+  std::vector<std::string> Datasets;
+  std::vector<std::string> Kernels;
+  double ScaleDivisor = graph::DefaultScaleDivisor;
+  bool Quick = false;
+};
+
+/// Registers the shared options on \p Parser.
+void addCommonOptions(OptionParser &Parser);
+
+/// Reads the shared options back; returns false on malformed selections.
+bool readCommonOptions(const OptionParser &Parser, BenchOptions &Out);
+
+/// Lazily generated, cached datasets so multi-section benchmarks build
+/// each graph once.
+class DatasetCache {
+public:
+  explicit DatasetCache(double ScaleDivisor) : ScaleDivisor(ScaleDivisor) {}
+
+  /// The dataset named \p Name (generated on first use).
+  const graph::Dataset &get(const std::string &Name);
+
+  double scaleDivisor() const { return ScaleDivisor; }
+
+private:
+  double ScaleDivisor;
+  std::map<std::string, graph::Dataset> Cache;
+};
+
+/// Prints a benchmark banner naming the reproduced figure/table.
+void printBanner(const std::string &Title, const BenchOptions &Options);
+
+/// Runs one experiment with the common configuration applied.
+baseline::RunResult runOne(const std::string &Kernel,
+                           const graph::Dataset &Data,
+                           const sim::MachineConfig &Machine,
+                           baseline::Policy Policy,
+                           double EpsilonOffset = 0.0,
+                           bool MeasureTlb = false);
+
+} // namespace bench
+} // namespace atmem
+
+#endif // ATMEM_BENCH_BENCHCOMMON_H

@@ -1,0 +1,215 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ATMem reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Benchmarks the Section 9 extension features beyond the paper's
+/// evaluation:
+///
+///  1. adaptive re-optimization across query changes (demotion +
+///     AutoTuner) — placement follows the workload;
+///  2. bandwidth-balanced placement on the independent-channel KNL
+///     machine vs the default critical-chunk placement;
+///  3. overlapped migration accounting: the visible cost of migration
+///     when it overlaps the next iteration (Section 9's "overlap the
+///     data movement" future work).
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "apps/Kernels.h"
+#include "core/AutoTuner.h"
+#include "support/StringUtils.h"
+#include "support/TablePrinter.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace atmem;
+using namespace atmem::bench;
+
+int main(int Argc, const char **Argv) {
+  OptionParser Parser("ext_features: Section 9 extensions (adaptive "
+                      "re-optimization, bandwidth balancing, overlapped "
+                      "migration)");
+  addCommonOptions(Parser);
+  if (!Parser.parse(Argc, Argv))
+    return 1;
+  BenchOptions Options;
+  if (!readCommonOptions(Parser, Options))
+    return 1;
+
+  DatasetCache Cache(Options.ScaleDivisor);
+
+  printBanner("Extension 1: adaptive re-optimization across query changes "
+              "(PageRank -> SSSP, NVM-DRAM)",
+              Options);
+  {
+    TablePrinter Table({"dataset", "PR iter (tuned)", "SSSP iter (stale "
+                                                      "placement)",
+                        "SSSP iter (re-tuned)", "re-tune gain"});
+    for (const std::string &Name : Options.Datasets) {
+      const graph::Dataset &Data = Cache.get(Name);
+      core::RuntimeConfig Config;
+      Config.Machine = sim::nvmDramTestbed(1.0 / Options.ScaleDivisor);
+      core::Runtime Rt(Config);
+      apps::PageRankKernel Pr;
+      Pr.setup(Rt, Data.Graph);
+      apps::SsspKernel Sssp;
+      Sssp.setup(Rt, Data.Graph);
+
+      // Tune for PageRank.
+      Rt.profilingStart();
+      Rt.beginIteration();
+      Pr.runIteration();
+      Rt.endIteration();
+      Rt.profilingStop();
+      Rt.optimize();
+      Rt.beginIteration();
+      Pr.runIteration();
+      double PrTuned = Rt.endIteration();
+
+      // Switch query without re-tuning: stale placement.
+      Rt.beginIteration();
+      Sssp.runIteration();
+      double SsspStale = Rt.endIteration();
+
+      // Re-profile and re-optimize (demotes PR data, promotes SSSP data).
+      Rt.profilingStart();
+      Rt.beginIteration();
+      Sssp.runIteration();
+      Rt.endIteration();
+      Rt.profilingStop();
+      Rt.optimize();
+      Rt.beginIteration();
+      Sssp.runIteration();
+      double SsspTuned = Rt.endIteration();
+
+      Table.addRow({Name, formatSeconds(PrTuned),
+                    formatSeconds(SsspStale), formatSeconds(SsspTuned),
+                    formatSpeedup(SsspStale / SsspTuned)});
+    }
+    Table.print();
+  }
+
+  printBanner("Extension 2: bandwidth-balanced placement on the "
+              "independent-channel KNL machine (PR)",
+              Options);
+  {
+    TablePrinter Table({"dataset", "critical-chunks", "ratio",
+                        "bandwidth-balanced", "ratio ", "balanced vs "
+                                                        "critical"});
+    for (const std::string &Name : Options.Datasets) {
+      const graph::Dataset &Data = Cache.get(Name);
+      auto RunWith = [&](core::PlacementStrategy Strategy, double &Ratio) {
+        core::RuntimeConfig Config;
+        Config.Machine = sim::mcdramDramTestbed(1.0 / Options.ScaleDivisor);
+        Config.Strategy = Strategy;
+        core::Runtime Rt(Config);
+        apps::PageRankKernel Kernel;
+        Kernel.setup(Rt, Data.Graph);
+        Rt.profilingStart();
+        Rt.beginIteration();
+        Kernel.runIteration();
+        Rt.endIteration();
+        Rt.profilingStop();
+        Rt.optimize();
+        Rt.beginIteration();
+        Kernel.runIteration();
+        double T = Rt.endIteration();
+        Ratio = Rt.fastDataRatio();
+        return T;
+      };
+      double CriticalRatio = 0.0, BalancedRatio = 0.0;
+      double Critical =
+          RunWith(core::PlacementStrategy::CriticalChunks, CriticalRatio);
+      double Balanced = RunWith(core::PlacementStrategy::BandwidthBalanced,
+                                BalancedRatio);
+      Table.addRow({Name, formatSeconds(Critical),
+                    formatPercent(CriticalRatio), formatSeconds(Balanced),
+                    formatPercent(BalancedRatio),
+                    formatSpeedup(Critical / Balanced)});
+    }
+    Table.print();
+  }
+
+  printBanner("Extension 3: overlapped migration accounting (BFS, "
+              "NVM-DRAM)",
+              Options);
+  {
+    TablePrinter Table({"dataset", "migration time", "iteration time",
+                        "blocking cost", "overlapped cost"});
+    for (const std::string &Name : Options.Datasets) {
+      const graph::Dataset &Data = Cache.get(Name);
+      auto Result = runOne("bfs", Data,
+                           sim::nvmDramTestbed(1.0 / Options.ScaleDivisor),
+                           baseline::Policy::Atmem);
+      // Overlapping migration with the next (still unoptimized-speed)
+      // iteration hides it up to that iteration's duration.
+      double Blocking = Result.Migration.SimSeconds;
+      double Overlapped =
+          std::max(0.0, Blocking - Result.FirstIterSec);
+      Table.addRow({Name, formatSeconds(Blocking),
+                    formatSeconds(Result.FirstIterSec),
+                    formatSeconds(Blocking),
+                    formatSeconds(Overlapped)});
+    }
+    Table.print();
+  }
+  printBanner("Extension 4: shared-server fast-memory pressure (BFS, "
+              "NVM-DRAM): a co-tenant occupies part of DRAM, ATMem's "
+              "budget shrinks accordingly",
+              Options);
+  {
+    TablePrinter Table({"dataset", "budget (of free demand)", "data ratio",
+                        "time"});
+    for (const std::string &Name : Options.Datasets) {
+      const graph::Dataset &Data = Cache.get(Name);
+      // Reference: what ATMem selects with DRAM to itself.
+      auto RunWithCap = [&](uint64_t CapBytes) {
+        core::RuntimeConfig Config;
+        Config.Machine = sim::nvmDramTestbed(1.0 / Options.ScaleDivisor);
+        Config.FastBudgetBytesCap = CapBytes;
+        core::Runtime Rt(Config);
+        auto Kernel = apps::makeKernel("bfs");
+        Kernel->setup(Rt, Data.Graph);
+        Rt.profilingStart();
+        Rt.beginIteration();
+        Kernel->runIteration();
+        Rt.endIteration();
+        Rt.profilingStop();
+        mem::MigrationResult Migration = Rt.optimize();
+        Rt.beginIteration();
+        Kernel->runIteration();
+        double Time = Rt.endIteration();
+        return std::make_tuple(Time, Rt.fastDataRatio(),
+                               Migration.BytesMoved);
+      };
+      auto [FullTime, FullRatio, FullBytes] = RunWithCap(0);
+      Table.addRow({Name, "unconstrained", formatPercent(FullRatio),
+                    formatSeconds(FullTime)});
+      // Co-tenants squeeze ATMem to a fraction of its free-run demand.
+      for (double Share : {0.5, 0.25, 0.1}) {
+        auto Cap = static_cast<uint64_t>(Share *
+                                         static_cast<double>(FullBytes));
+        auto [Time, Ratio, Bytes] = RunWithCap(std::max<uint64_t>(Cap, 1));
+        (void)Bytes;
+        Table.addRow({Name, formatPercent(Share), formatPercent(Ratio),
+                      formatSeconds(Time)});
+      }
+    }
+    Table.print();
+  }
+
+  std::printf("\nExpected shape: re-tuning recovers the stale-placement "
+              "loss; bandwidth balancing matches or beats critical-chunk "
+              "placement on the aggregated-bandwidth machine; overlap "
+              "hides most or all of the migration cost; under tenant "
+              "pressure the budget trim keeps the hottest chunks so time "
+              "degrades gracefully, not cliff-like.\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ATMem reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces Figure 9 (Section 7.2 sensitivity): BFS execution time as a
+/// function of the data ratio on DRAM, per dataset, on the NVM-DRAM
+/// testbed. The sweep manually varies the epsilon term of Eq. 5 so the
+/// analyzer selects different ratios, exactly as in the paper. The
+/// expected shape is a knee: steep improvement up to an optimal region,
+/// then a flat tail where more data buys nothing. The default (eps offset
+/// 0) point that ATMem picks autonomously is marked with '*'.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "support/StringUtils.h"
+#include "support/TablePrinter.h"
+
+#include <cstdio>
+#include <vector>
+
+using namespace atmem;
+using namespace atmem::bench;
+using baseline::Policy;
+
+int main(int Argc, const char **Argv) {
+  OptionParser Parser("fig09_sweep_nvm: reproduce Figure 9 (data-ratio "
+                      "sweep for BFS on NVM-DRAM)");
+  addCommonOptions(Parser);
+  Parser.addString("kernel", "bfs", "kernel to sweep (paper uses BFS)");
+  if (!Parser.parse(Argc, Argv))
+    return 1;
+  BenchOptions Options;
+  if (!readCommonOptions(Parser, Options))
+    return 1;
+  std::string Kernel = Parser.getString("kernel");
+
+  DatasetCache Cache(Options.ScaleDivisor);
+  sim::MachineConfig Machine =
+      sim::nvmDramTestbed(1.0 / Options.ScaleDivisor);
+
+  printBanner("Figure 9: " + Kernel +
+                  " time vs data ratio on DRAM (eps sweep, NVM-DRAM)",
+              Options);
+
+  const std::vector<double> EpsOffsets = {0.50, 0.30, 0.15, 0.05, 0.0,
+                                          -0.10, -0.25, -0.45, -0.70};
+  for (const std::string &Name : Options.Datasets) {
+    const graph::Dataset &Data = Cache.get(Name);
+    std::printf("\n[%s]\n", Name.c_str());
+    TablePrinter Table({"eps offset", "data ratio", "time", "note"});
+    for (double Eps : EpsOffsets) {
+      auto Result = runOne(Kernel, Data, Machine, Policy::Atmem, Eps);
+      Table.addRow({formatDouble(Eps, 3),
+                    formatPercent(Result.FastDataRatio),
+                    formatSeconds(Result.MeasuredIterSec),
+                    Eps == 0.0 ? "* ATMem default" : ""});
+    }
+    auto Ideal = runOne(Kernel, Data, Machine, Policy::AllFast);
+    Table.addRow({"(all-DRAM)", "100.0%",
+                  formatSeconds(Ideal.MeasuredIterSec), "ideal"});
+    Table.print();
+  }
+  std::printf("\nExpected shape: time falls steeply while the ratio grows "
+              "from 0, then flattens past the knee; the ATMem default "
+              "point sits at or just past the knee on every dataset.\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ATMem reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Domain scenario: BFS over a graph larger than the fast memory, on the
+/// MCDRAM-DRAM (Knights Landing) testbed — the capacity-pressure story of
+/// the paper's Figure 6 and Section 7.2. Compares three placements:
+///
+///  - baseline: everything in DDR4;
+///  - 'numactl -p MCDRAM': the system's preferred policy, which fills
+///    MCDRAM front-to-back with whatever allocates first and overflows
+///    the rest — often leaving the truly hot data in DDR4;
+///  - ATMem: profiles one iteration, then places only the critical chunks
+///    in MCDRAM, fitting comfortably under the capacity.
+///
+//===----------------------------------------------------------------------===//
+
+#include "baseline/Experiment.h"
+#include "graph/Datasets.h"
+#include "support/Options.h"
+#include "support/StringUtils.h"
+#include "support/TablePrinter.h"
+
+#include <cstdio>
+
+using namespace atmem;
+using baseline::Policy;
+
+int main(int Argc, const char **Argv) {
+  OptionParser Parser("capacity_pressure: ATMem vs numactl-preferred under "
+                      "MCDRAM capacity pressure");
+  Parser.addString("dataset", "friendster", "graph (friendster and rmat27 "
+                                            "exceed scaled MCDRAM)");
+  Parser.addDouble("scale", graph::DefaultScaleDivisor,
+                   "dataset scale divisor");
+  if (!Parser.parse(Argc, Argv))
+    return 1;
+  std::string Name = Parser.getString("dataset");
+  if (!graph::isKnownDataset(Name)) {
+    std::fprintf(stderr, "unknown dataset '%s'\n", Name.c_str());
+    return 1;
+  }
+  double Scale = Parser.getDouble("scale");
+
+  graph::Dataset Data = graph::makeDataset(Name, Scale);
+  sim::MachineConfig Machine = sim::mcdramDramTestbed(1.0 / Scale);
+  std::printf("BFS on %s (%u vertices, %llu edges); scaled MCDRAM holds "
+              "%s\n",
+              Name.c_str(), Data.Graph.numVertices(),
+              static_cast<unsigned long long>(Data.Graph.numEdges()),
+              formatBytes(Machine.Fast.CapacityBytes).c_str());
+
+  TablePrinter Table({"placement", "iteration time", "MCDRAM data ratio",
+                      "vs baseline"});
+  double Baseline = 0.0;
+  for (Policy P :
+       {Policy::AllSlow, Policy::PreferredFast, Policy::Atmem}) {
+    baseline::RunConfig Config;
+    Config.KernelName = "bfs";
+    Config.Graph = &Data.Graph;
+    Config.Machine = Machine;
+    Config.PolicyKind = P;
+    baseline::RunResult Result = baseline::runExperiment(Config);
+    if (P == Policy::AllSlow)
+      Baseline = Result.MeasuredIterSec;
+    Table.addRow({baseline::policyName(P),
+                  formatSeconds(Result.MeasuredIterSec),
+                  formatPercent(Result.FastDataRatio),
+                  formatSpeedup(Baseline / Result.MeasuredIterSec)});
+  }
+  Table.print();
+  std::printf("\nNote how the preferred policy fills MCDRAM with the first "
+              "allocations (row offsets, then most of the edge array) and "
+              "strands hot vertex state in DDR4, while ATMem selects the "
+              "dense regions regardless of allocation order.\n");
+  return 0;
+}

@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Extract machine-readable CSV from the benchmark harness output.
+
+The figure/table benchmarks print aligned text tables (via
+support/TablePrinter). This script slices a saved run log — e.g. the
+repository's bench_output.txt — back into CSV files, one per table, so the
+paper's figures can be re-plotted with any tool.
+
+Usage:
+    scripts/extract_results.py bench_output.txt -o results/
+    scripts/extract_results.py bench_output.txt --list
+"""
+
+import argparse
+import os
+import re
+import sys
+
+
+def split_columns(header):
+    """Return [(name, start, end)] column spans from an aligned header row.
+
+    Columns are separated by runs of two or more spaces; each column's text
+    may itself contain single spaces ("data ratio").
+    """
+    spans = []
+    for match in re.finditer(r"\S+(?: \S+)*", header):
+        spans.append((match.group(0), match.start(), match.end()))
+    return spans
+
+
+def slice_row(line, spans):
+    """Split a table row using the header's column start offsets."""
+    cells = []
+    for idx, (_, start, _) in enumerate(spans):
+        end = spans[idx + 1][1] if idx + 1 < len(spans) else len(line)
+        cells.append(line[start:end].strip())
+    return cells
+
+
+def find_tables(lines):
+    """Yield (title, header_cells, rows) for every table in the log.
+
+    A table is a header line followed by a dashed rule; the nearest
+    preceding banner or section line provides the title.
+    """
+    title = "untitled"
+    i = 0
+    while i < len(lines):
+        line = lines[i].rstrip("\n")
+        if line.startswith("Figure") or line.startswith("Table") or \
+           line.startswith("Ablation") or line.startswith("Extension") or \
+           line.startswith("Section") or line.startswith("["):
+            title = line.strip("[]")
+        if i + 1 < len(lines) and re.fullmatch(r"-{4,}", lines[i + 1].strip()) \
+           and len(line.split()) >= 2:
+            spans = split_columns(line)
+            rows = []
+            j = i + 2
+            while j < len(lines):
+                row = lines[j].rstrip("\n")
+                if not row.strip() or row.startswith("=") or \
+                   re.fullmatch(r"-{4,}", row.strip()):
+                    break
+                rows.append(slice_row(row, spans))
+                j += 1
+            yield title, [name for name, _, _ in spans], rows
+            i = j
+            continue
+        i += 1
+
+
+def sanitize(title):
+    slug = re.sub(r"[^A-Za-z0-9]+", "_", title.lower()).strip("_")
+    return slug[:60] or "table"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("log", help="saved benchmark output")
+    parser.add_argument("-o", "--outdir", default="results",
+                        help="directory for the CSV files")
+    parser.add_argument("--list", action="store_true",
+                        help="only list the tables found")
+    args = parser.parse_args()
+
+    with open(args.log, encoding="utf-8", errors="replace") as fh:
+        lines = fh.readlines()
+
+    tables = list(find_tables(lines))
+    if not tables:
+        print("no tables found", file=sys.stderr)
+        return 1
+
+    if args.list:
+        for title, header, rows in tables:
+            print(f"{len(rows):4d} rows  {title}  [{', '.join(header)}]")
+        return 0
+
+    os.makedirs(args.outdir, exist_ok=True)
+    used = {}
+    for title, header, rows in tables:
+        slug = sanitize(title)
+        used[slug] = used.get(slug, 0) + 1
+        if used[slug] > 1:
+            slug = f"{slug}_{used[slug]}"
+        path = os.path.join(args.outdir, slug + ".csv")
+        with open(path, "w", encoding="utf-8") as out:
+            out.write(",".join(header) + "\n")
+            for row in rows:
+                out.write(",".join(cell.replace(",", ";") for cell in row)
+                          + "\n")
+        print(f"wrote {path} ({len(rows)} rows)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

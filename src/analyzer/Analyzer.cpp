@@ -1,0 +1,93 @@
+#include "analyzer/Analyzer.h"
+
+#include "support/Statistics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+using namespace atmem;
+using namespace atmem::analyzer;
+
+std::vector<ObjectClassification>
+Analyzer::classify(mem::DataObjectRegistry &Registry,
+                   const prof::ProfileSource &Profiler) const {
+  // Apply the selectivity bias to all three selection stages (the
+  // Section 7.2 sensitivity sweep): the local percentile, the global
+  // ranking threshold (below), and the promotion epsilon.
+  LocalSelectorConfig LocalConfig = Config.Local;
+  LocalConfig.PercentileN = std::clamp(
+      LocalConfig.PercentileN + 40.0 * Config.SelectivityBias, 50.0, 99.5);
+  LocalSelector Selector(LocalConfig);
+  std::vector<ObjectClassification> Classes;
+
+  std::vector<LocalSelection> Selections;
+  std::vector<const mem::DataObject *> Objects =
+      std::as_const(Registry).liveObjects();
+  for (const mem::DataObject *Obj : Objects) {
+    prof::ObjectProfile Profile = Profiler.profileFor(Obj->id());
+    Selections.push_back(Selector.select(Profile.EstimatedMisses,
+                                         Obj->chunkBytes(),
+                                         Profiler.period()));
+  }
+
+  if (Config.UseGlobalRanking) {
+    // Pool every sampled chunk's log density; a 2-means split separates
+    // the globally hot cluster. Log scale keeps the power-law head of the
+    // hottest object from hiding moderately hot whole objects.
+    std::vector<double> PooledLog;
+    for (const LocalSelection &Sel : Selections)
+      for (double PR : Sel.Priority)
+        if (PR > 0.0)
+          PooledLog.push_back(std::log(PR));
+    if (PooledLog.size() >= 2) {
+      // Compare in log space: round-tripping through exp() would move
+      // the threshold by an ulp and miss exactly-equal densities.
+      double GlobalLogTheta = twoMeansThreshold(PooledLog);
+      if (Config.SelectivityBias != 0.0) {
+        auto [MinIt, MaxIt] =
+            std::minmax_element(PooledLog.begin(), PooledLog.end());
+        GlobalLogTheta += Config.SelectivityBias * (*MaxIt - *MinIt);
+      }
+      for (LocalSelection &Sel : Selections)
+        for (size_t C = 0; C < Sel.Priority.size(); ++C)
+          if (!Sel.Critical[C] && Sel.Priority[C] > 0.0 &&
+              std::log(Sel.Priority[C]) >= GlobalLogTheta) {
+            Sel.Critical[C] = 1;
+            ++Sel.CriticalCount;
+          }
+    }
+  }
+
+  PromoterConfig PromoterCfg = Config.Promoter;
+  PromoterCfg.EpsilonOffset += Config.SelectivityBias;
+  GlobalPromoter Promoter(PromoterCfg);
+  std::vector<PromotionResult> Promotions;
+  if (Config.EnablePromotion) {
+    Promotions = Promoter.promoteAll(Selections);
+  } else {
+    Promotions.resize(Selections.size());
+    for (size_t I = 0; I < Selections.size(); ++I) {
+      Promotions[I].Promoted.assign(Selections[I].Critical.size(), 0);
+      Promotions[I].Weight = GlobalPromoter::objectWeight(Selections[I]);
+    }
+  }
+
+  Classes.reserve(Objects.size());
+  for (size_t I = 0; I < Objects.size(); ++I) {
+    ObjectClassification Class;
+    Class.Object = Objects[I]->id();
+    Class.ChunkBytes = Objects[I]->chunkBytes();
+    Class.MappedBytes = Objects[I]->mappedBytes();
+    Class.Local = std::move(Selections[I]);
+    Class.Promotion = std::move(Promotions[I]);
+    Classes.push_back(std::move(Class));
+  }
+  return Classes;
+}
+
+PlacementPlan Analyzer::plan(mem::DataObjectRegistry &Registry,
+                             const prof::ProfileSource &Profiler,
+                             uint64_t BudgetBytes) const {
+  return PlanBuilder::build(classify(Registry, Profiler), BudgetBytes);
+}

@@ -1,0 +1,109 @@
+#include "analyzer/GlobalPromoter.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+using namespace atmem;
+using namespace atmem::analyzer;
+
+double GlobalPromoter::objectWeight(const LocalSelection &Selection) {
+  double Sum = 0.0;
+  uint64_t Count = 0;
+  for (size_t I = 0; I < Selection.Critical.size(); ++I) {
+    if (!Selection.Critical[I])
+      continue;
+    Sum += Selection.Priority[I];
+    ++Count;
+  }
+  return Count == 0 ? 0.0 : Sum / static_cast<double>(Count);
+}
+
+std::vector<double>
+GlobalPromoter::adaptiveThresholds(const std::vector<double> &Weights) const {
+  std::vector<double> Thresholds(Weights.size(), 2.0);
+  double Eps = 1.0 / static_cast<double>(Config.Arity) + Config.EpsilonOffset;
+
+  double MinW = 0.0, MaxW = 0.0;
+  bool Any = false;
+  for (double W : Weights) {
+    if (W <= 0.0)
+      continue;
+    if (!Any) {
+      MinW = MaxW = W;
+      Any = true;
+    } else {
+      MinW = std::min(MinW, W);
+      MaxW = std::max(MaxW, W);
+    }
+  }
+  if (!Any)
+    return Thresholds;
+
+  for (size_t I = 0; I < Weights.size(); ++I) {
+    double W = Weights[I];
+    if (W <= 0.0)
+      continue; // No critical chunks: never promotes.
+    // Eq. 5. The weight space ||minW - maxW|| degenerates when a single
+    // object dominates the profile; the midpoint keeps the threshold
+    // well-defined in that case.
+    double Norm = MaxW > MinW ? (MaxW - W) / (MaxW - MinW) : 0.5;
+    Thresholds[I] = Eps + Config.ThetaTR * Norm;
+  }
+  return Thresholds;
+}
+
+PromotionResult GlobalPromoter::promote(const LocalSelection &Selection,
+                                        double Threshold) const {
+  PromotionResult Result;
+  size_t N = Selection.Critical.size();
+  Result.Promoted.assign(N, 0);
+  Result.Threshold = Threshold;
+  Result.Weight = objectWeight(Selection);
+  if (N == 0 || Selection.CriticalCount == 0 || Threshold > 1.0)
+    return Result;
+
+  MaryTree Tree(Selection.Critical, Config.Arity);
+
+  // Breadth-first search from the root: the first node on each path whose
+  // tree ratio clears the threshold has its whole leaf range promoted —
+  // "patching up" its gaps into one continuous region (Figure 3c). Nodes
+  // below the threshold descend so deeper dense pockets still qualify.
+  std::deque<uint32_t> Queue;
+  Queue.push_back(Tree.root());
+  while (!Queue.empty()) {
+    uint32_t Id = Queue.front();
+    Queue.pop_front();
+    const MaryTree::Node &Node = Tree.node(Id);
+    if (Node.Value == 0)
+      continue; // Nothing critical beneath: never promote.
+    if (Tree.treeRatio(Id) >= Threshold) {
+      for (uint32_t Leaf = Node.LeafBegin; Leaf < Node.LeafEnd; ++Leaf) {
+        if (!Selection.Critical[Leaf] && !Result.Promoted[Leaf]) {
+          Result.Promoted[Leaf] = 1;
+          ++Result.PromotedCount;
+        }
+      }
+      continue;
+    }
+    if (!Node.isLeaf())
+      for (uint32_t C = 0; C < Node.NumChildren; ++C)
+        Queue.push_back(Node.FirstChild + C);
+  }
+  return Result;
+}
+
+std::vector<PromotionResult> GlobalPromoter::promoteAll(
+    const std::vector<LocalSelection> &Selections) const {
+  std::vector<double> Weights;
+  Weights.reserve(Selections.size());
+  for (const LocalSelection &Sel : Selections)
+    Weights.push_back(objectWeight(Sel));
+  std::vector<double> Thresholds = adaptiveThresholds(Weights);
+
+  std::vector<PromotionResult> Results;
+  Results.reserve(Selections.size());
+  for (size_t I = 0; I < Selections.size(); ++I)
+    Results.push_back(promote(Selections[I], Thresholds[I]));
+  return Results;
+}

@@ -1,0 +1,100 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ATMem reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tree-based global promotion — the analyzer's second stage (paper
+/// Section 4.3, Eq. 4-5). Each object is weighted by the averaged priority
+/// of its sampled-critical chunks,
+///
+///   W(DO_i) = sum(PR * CAT) / sum(CAT)                          (Eq. 4)
+///
+/// and receives a tree-ratio threshold adapted by its global rank:
+///
+///   TR'_i = eps + thetaTR * (maxW - W_i) / ||minW - maxW||      (Eq. 5)
+///
+/// so objects holding few, very hot chunks (large W) get a *lower*
+/// threshold and promote more aggressively. A top-down breadth-first walk
+/// then finds internal nodes whose tree ratio clears the threshold and
+/// promotes every non-critical chunk beneath them to *estimated critical*,
+/// patching sampling gaps and merging discrete segments into contiguous
+/// migration ranges.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ATMEM_ANALYZER_GLOBALPROMOTER_H
+#define ATMEM_ANALYZER_GLOBALPROMOTER_H
+
+#include "analyzer/LocalSelector.h"
+#include "analyzer/MaryTree.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace atmem {
+namespace analyzer {
+
+/// Tuning of the promotion stage.
+struct PromoterConfig {
+  /// Arity m of the promotion trees. Larger arity gives internal nodes a
+  /// finer-grained tree-ratio scale and a lower theoretical threshold
+  /// floor eps = 1/m (Section 4.3.1; the paper's octree example).
+  uint32_t Arity = 8;
+  /// The thetaTR scale of Eq. 5: how far above eps the threshold of the
+  /// globally least important object sits.
+  double ThetaTR = 0.5;
+  /// Additive offset of Eq. 5's eps term on top of the theoretical
+  /// minimum 1/m. Sweeping this value moves the selected data ratio
+  /// (the paper's Section 7.2 sensitivity experiment sweeps eps).
+  double EpsilonOffset = 0.0;
+};
+
+/// Classification of one object after promotion.
+struct PromotionResult {
+  /// 1 for chunks promoted by the tree walk (estimated critical). Sampled
+  /// critical chunks keep their flag in LocalSelection::Critical.
+  std::vector<uint8_t> Promoted;
+  /// The adapted threshold TR' this object used.
+  double Threshold = 1.0;
+  /// Object weight W (Eq. 4); 0 when the object has no critical chunk.
+  double Weight = 0.0;
+  uint32_t PromotedCount = 0;
+};
+
+/// Runs Eq. 4-5 across all objects and the top-down walk per object.
+class GlobalPromoter {
+public:
+  explicit GlobalPromoter(PromoterConfig Config = {}) : Config(Config) {}
+
+  /// Computes Eq. 4 for one object's local selection.
+  static double objectWeight(const LocalSelection &Selection);
+
+  /// Computes the per-object thresholds TR' (Eq. 5) given all weights.
+  /// Objects with zero weight (no critical chunks) receive threshold > 1
+  /// so they never promote.
+  std::vector<double>
+  adaptiveThresholds(const std::vector<double> &Weights) const;
+
+  /// Top-down BFS promotion (Section 4.3.3) of one object. \p Selection is
+  /// the object's local selection; the returned Promoted vector marks
+  /// chunks added by the walk.
+  PromotionResult promote(const LocalSelection &Selection,
+                          double Threshold) const;
+
+  /// Convenience: full pipeline over all objects.
+  std::vector<PromotionResult>
+  promoteAll(const std::vector<LocalSelection> &Selections) const;
+
+  const PromoterConfig &config() const { return Config; }
+
+private:
+  PromoterConfig Config;
+};
+
+} // namespace analyzer
+} // namespace atmem
+
+#endif // ATMEM_ANALYZER_GLOBALPROMOTER_H

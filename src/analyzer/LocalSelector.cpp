@@ -1,0 +1,72 @@
+#include "analyzer/LocalSelector.h"
+
+#include "support/Statistics.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace atmem;
+using namespace atmem::analyzer;
+
+LocalSelection LocalSelector::select(
+    const std::vector<double> &EstimatedMisses, uint64_t ChunkBytes,
+    uint64_t SamplePeriod) const {
+  assert(ChunkBytes > 0 && "chunk size must be positive");
+  LocalSelection Result;
+  size_t N = EstimatedMisses.size();
+  Result.Priority.resize(N);
+  Result.Critical.assign(N, 0);
+  if (N == 0)
+    return Result;
+
+  auto Bytes = static_cast<double>(ChunkBytes);
+  for (size_t I = 0; I < N; ++I)
+    Result.Priority[I] = EstimatedMisses[I] / Bytes;
+
+  // Only chunks that received any sample participate in threshold
+  // selection; the sea of untouched chunks would otherwise drag the
+  // percentile to zero and select everything.
+  std::vector<double> NonZero;
+  NonZero.reserve(N);
+  for (double PR : Result.Priority)
+    if (PR > 0.0)
+      NonZero.push_back(PR);
+  if (NonZero.empty())
+    return Result;
+
+  // Local selection stays deliberately conservative: the percentile P_n
+  // over the whole chunk population (zeros included — a lone sampled
+  // chunk in an otherwise untouched object is real intra-object
+  // contrast), tightened by the 2-means cut when the non-zero
+  // distribution is genuinely bimodal (Section 4.2's "highly skewed"
+  // case, where the second N% of chunks buys nothing). The opposite case
+  // — a relatively even distribution where more than N% deserves fast
+  // memory — is handled by the *global* stages: pooled cross-object
+  // ranking and tree promotion, which can lift a uniformly hot object
+  // wholesale.
+  double Theta = percentile(Result.Priority, Config.PercentileN);
+  if (Config.UseDerivativeCut && NonZero.size() >= 2) {
+    TwoMeansResult Clusters = twoMeansClusters(NonZero);
+    if (Clusters.separation() >= Config.StrongSeparation)
+      Theta = std::max(Theta, Clusters.Threshold);
+  }
+  // Noise floor: a chunk estimate below MinSamples * period is
+  // indistinguishable from sampling noise (Eq. 2's minPR / F_sample term).
+  double Floor =
+      Config.MinSamples * static_cast<double>(SamplePeriod) / Bytes;
+  Theta = std::max(Theta, Floor);
+
+  Result.Theta = Theta;
+  // Eq. 3 uses a strict comparison: a chunk must exceed the threshold.
+  // An exactly uniform object therefore selects nothing *locally* — by
+  // itself it carries no intra-object contrast — and whole-object
+  // placement decisions fall to the global ranking stage, which sees its
+  // density in cross-object context.
+  for (size_t I = 0; I < N; ++I) {
+    if (Result.Priority[I] > Theta) {
+      Result.Critical[I] = 1;
+      ++Result.CriticalCount;
+    }
+  }
+  return Result;
+}

@@ -1,0 +1,85 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ATMem reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hybrid local selection — the first analyzer stage (paper Section 4.2,
+/// Eq. 1-3). For each data object, chunks are ranked by local priority
+///
+///   PR_local(DC_ij) = LLCmiss(DC_ij) / Size(DC_ij)            (Eq. 1)
+///
+/// and classified critical when PR reaches the threshold
+///
+///   theta(DO_i) = max(P_n, derivativeCut(PR), minPR/F_sample) (Eq. 2)
+///   CAT(DC_ij)  = PR_local > theta ? 1 : 0                    (Eq. 3)
+///
+/// The three terms combine a fixed top-N percentile with a k-means-style
+/// derivative cut (handles both highly skewed and near-even distributions)
+/// and a theoretical floor below which a chunk's estimate is sampling
+/// noise (fewer than MinSamples hits at the current period).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ATMEM_ANALYZER_LOCALSELECTOR_H
+#define ATMEM_ANALYZER_LOCALSELECTOR_H
+
+#include <cstdint>
+#include <vector>
+
+namespace atmem {
+namespace analyzer {
+
+/// Tuning of the local selection stage.
+struct LocalSelectorConfig {
+  /// The percentile P_n of Eq. 2; 90 selects roughly the top 10% of
+  /// chunks before the other terms tighten or relax the cut.
+  double PercentileN = 90.0;
+  /// Minimum samples a chunk must have received for its estimate to beat
+  /// the noise floor (the minPR/F_sample term of Eq. 2).
+  double MinSamples = 1.0;
+  /// Disables the derivative (2-means) term when false; used by the
+  /// ablation benchmarks (selection then degenerates to plain top-N).
+  bool UseDerivativeCut = true;
+  /// Cluster-mean ratio above which the priority distribution counts as
+  /// highly skewed (bimodal): the 2-means cut then governs alone,
+  /// selecting only the hot cluster — possibly fewer than the top N%
+  /// (Section 4.2's "highly skewed" scenario).
+  double StrongSeparation = 4.0;
+};
+
+/// Per-chunk classification of one data object.
+struct LocalSelection {
+  /// PR_local per chunk (estimated misses per byte), Eq. 1.
+  std::vector<double> Priority;
+  /// CAT per chunk, Eq. 3 (1 = sampled critical).
+  std::vector<uint8_t> Critical;
+  /// The threshold theta this object used.
+  double Theta = 0.0;
+  /// Number of critical chunks.
+  uint32_t CriticalCount = 0;
+};
+
+/// Computes Eq. 1-3 for one object.
+class LocalSelector {
+public:
+  explicit LocalSelector(LocalSelectorConfig Config = {}) : Config(Config) {}
+
+  /// \p EstimatedMisses is the profiler's per-chunk miss estimate,
+  /// \p ChunkBytes the object's chunk size, and \p SamplePeriod the final
+  /// sampling period (for the noise floor).
+  LocalSelection select(const std::vector<double> &EstimatedMisses,
+                        uint64_t ChunkBytes, uint64_t SamplePeriod) const;
+
+  const LocalSelectorConfig &config() const { return Config; }
+
+private:
+  LocalSelectorConfig Config;
+};
+
+} // namespace analyzer
+} // namespace atmem
+
+#endif // ATMEM_ANALYZER_LOCALSELECTOR_H

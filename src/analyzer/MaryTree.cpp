@@ -1,0 +1,50 @@
+#include "analyzer/MaryTree.h"
+
+#include "support/Error.h"
+
+#include <cassert>
+
+using namespace atmem;
+using namespace atmem::analyzer;
+
+MaryTree::MaryTree(const std::vector<uint8_t> &LeafValues, uint32_t Arity)
+    : Arity(Arity), NumLeaves(static_cast<uint32_t>(LeafValues.size())) {
+  if (Arity < 2)
+    reportFatalError("m-ary tree requires arity >= 2");
+  if (NumLeaves == 0)
+    return;
+
+  Nodes.reserve(NumLeaves * 2);
+  for (uint32_t I = 0; I < NumLeaves; ++I) {
+    Node Leaf;
+    Leaf.LeafBegin = I;
+    Leaf.LeafEnd = I + 1;
+    Leaf.Value = LeafValues[I] ? 1 : 0;
+    Nodes.push_back(Leaf);
+  }
+
+  // Build levels bottom-up: group each level's nodes Arity at a time.
+  uint32_t LevelBegin = 0;
+  uint32_t LevelCount = NumLeaves;
+  while (LevelCount > 1) {
+    uint32_t NextBegin = static_cast<uint32_t>(Nodes.size());
+    for (uint32_t I = 0; I < LevelCount; I += Arity) {
+      Node Parent;
+      Parent.FirstChild = LevelBegin + I;
+      Parent.NumChildren = std::min(Arity, LevelCount - I);
+      Parent.LeafBegin = Nodes[Parent.FirstChild].LeafBegin;
+      uint32_t LastChild = Parent.FirstChild + Parent.NumChildren - 1;
+      Parent.LeafEnd = Nodes[LastChild].LeafEnd;
+      for (uint32_t C = 0; C < Parent.NumChildren; ++C) {
+        Parent.Value += Nodes[Parent.FirstChild + C].Value;
+        Nodes[Parent.FirstChild + C].Parent =
+            static_cast<uint32_t>(Nodes.size());
+      }
+      Nodes.push_back(Parent);
+    }
+    LevelBegin = NextBegin;
+    LevelCount = static_cast<uint32_t>(Nodes.size()) - NextBegin;
+  }
+  assert(Nodes.back().LeafBegin == 0 && Nodes.back().LeafEnd == NumLeaves &&
+         "root must cover every leaf");
+}

@@ -1,0 +1,74 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ATMem reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The m-ary tree of the analyzer's second stage (paper Section 4.3.1,
+/// Figure 3). Leaves correspond to data chunks and carry the CAT value
+/// from local selection; each internal node carries the sum of its
+/// descendant leaves. The *tree ratio* TR of an internal node — its value
+/// divided by its descendant leaf count — quantifies the likelihood that a
+/// gap under that node is critical data the sampler missed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ATMEM_ANALYZER_MARYTREE_H
+#define ATMEM_ANALYZER_MARYTREE_H
+
+#include <cstdint>
+#include <vector>
+
+namespace atmem {
+namespace analyzer {
+
+/// An m-ary reduction tree over a chunk classification vector.
+class MaryTree {
+public:
+  /// One node; leaves are the first NumLeaves() node ids in chunk order.
+  struct Node {
+    uint32_t Parent = InvalidNode;
+    uint32_t FirstChild = InvalidNode; ///< InvalidNode for leaves.
+    uint32_t NumChildren = 0;
+    uint32_t LeafBegin = 0; ///< Chunk range covered: [LeafBegin, LeafEnd).
+    uint32_t LeafEnd = 0;
+    uint32_t Value = 0; ///< Sum of covered leaves' CAT values.
+
+    bool isLeaf() const { return FirstChild == InvalidNode; }
+    uint32_t leafCount() const { return LeafEnd - LeafBegin; }
+  };
+
+  static constexpr uint32_t InvalidNode = ~0u;
+
+  /// Builds the tree over \p LeafValues with arity \p Arity (>= 2). The
+  /// last node on each level may have fewer than Arity children when the
+  /// leaf count is not a power of Arity.
+  MaryTree(const std::vector<uint8_t> &LeafValues, uint32_t Arity);
+
+  uint32_t arity() const { return Arity; }
+  uint32_t numLeaves() const { return NumLeaves; }
+  uint32_t numNodes() const { return static_cast<uint32_t>(Nodes.size()); }
+  /// Id of the root node (the last node built). Invalid for empty trees.
+  uint32_t root() const { return numNodes() - 1; }
+
+  const Node &node(uint32_t Id) const { return Nodes[Id]; }
+
+  /// Tree ratio of \p Id: Value / leafCount (Section 4.3.1). Leaves report
+  /// their own CAT value (0.0 or 1.0).
+  double treeRatio(uint32_t Id) const {
+    const Node &N = Nodes[Id];
+    return static_cast<double>(N.Value) / static_cast<double>(N.leafCount());
+  }
+
+private:
+  uint32_t Arity;
+  uint32_t NumLeaves;
+  std::vector<Node> Nodes;
+};
+
+} // namespace analyzer
+} // namespace atmem
+
+#endif // ATMEM_ANALYZER_MARYTREE_H

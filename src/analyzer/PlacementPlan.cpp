@@ -1,0 +1,144 @@
+#include "analyzer/PlacementPlan.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace atmem;
+using namespace atmem::analyzer;
+
+uint64_t ObjectClassification::chunkPayloadBytes(uint32_t Chunk) const {
+  uint64_t Begin = static_cast<uint64_t>(Chunk) * ChunkBytes;
+  assert(Begin < MappedBytes && "chunk out of range");
+  return std::min(ChunkBytes, MappedBytes - Begin);
+}
+
+static PlacementPlan
+buildFromFlags(const std::vector<ObjectClassification> &Classes,
+               const std::vector<std::vector<uint8_t>> &Selected) {
+  PlacementPlan Plan;
+  for (size_t ObjIdx = 0; ObjIdx < Classes.size(); ++ObjIdx) {
+    const ObjectClassification &Class = Classes[ObjIdx];
+    const std::vector<uint8_t> &Flags = Selected[ObjIdx];
+    ObjectPlan ObjPlan;
+    ObjPlan.Object = Class.Object;
+    uint32_t N = Class.numChunks();
+    uint32_t C = 0;
+    while (C < N) {
+      if (!Flags[C]) {
+        ++C;
+        continue;
+      }
+      uint32_t Begin = C;
+      while (C < N && Flags[C]) {
+        ObjPlan.Bytes += Class.chunkPayloadBytes(C);
+        ++C;
+      }
+      ObjPlan.Ranges.push_back({Begin, C - Begin});
+    }
+    if (!ObjPlan.Ranges.empty()) {
+      Plan.TotalBytes += ObjPlan.Bytes;
+      Plan.Objects.push_back(std::move(ObjPlan));
+    }
+  }
+  return Plan;
+}
+
+PlacementPlan PlanBuilder::build(std::vector<ObjectClassification> Classes) {
+  std::vector<std::vector<uint8_t>> Selected(Classes.size());
+  for (size_t I = 0; I < Classes.size(); ++I) {
+    const ObjectClassification &Class = Classes[I];
+    Selected[I].assign(Class.numChunks(), 0);
+    for (uint32_t C = 0; C < Class.numChunks(); ++C)
+      Selected[I][C] = Class.isSelected(C) ? 1 : 0;
+  }
+  return buildFromFlags(Classes, Selected);
+}
+
+PlacementPlan PlanBuilder::buildBandwidthBalanced(
+    std::vector<ObjectClassification> Classes, uint64_t BudgetBytes,
+    double FastTrafficShare) {
+  assert(FastTrafficShare >= 0.0 && FastTrafficShare <= 1.0 &&
+         "traffic share is a fraction");
+  // Every chunk is a candidate (not only the classified-critical ones):
+  // balancing may need to stop short of, or go beyond, the critical set.
+  struct Candidate {
+    double Priority;
+    double Misses;
+    uint32_t ClassIdx;
+    uint32_t Chunk;
+    uint64_t Bytes;
+  };
+  std::vector<Candidate> Candidates;
+  double TotalMisses = 0.0;
+  for (uint32_t I = 0; I < Classes.size(); ++I) {
+    const ObjectClassification &Class = Classes[I];
+    for (uint32_t C = 0; C < Class.numChunks(); ++C) {
+      double PR = Class.Local.Priority[C];
+      uint64_t Bytes = Class.chunkPayloadBytes(C);
+      double Misses = PR * static_cast<double>(Class.ChunkBytes);
+      TotalMisses += Misses;
+      if (PR > 0.0)
+        Candidates.push_back({PR, Misses, I, C, Bytes});
+    }
+  }
+  std::stable_sort(Candidates.begin(), Candidates.end(),
+                   [](const Candidate &A, const Candidate &B) {
+                     return A.Priority > B.Priority;
+                   });
+
+  std::vector<std::vector<uint8_t>> Selected(Classes.size());
+  for (size_t I = 0; I < Classes.size(); ++I)
+    Selected[I].assign(Classes[I].numChunks(), 0);
+  double MissesTaken = 0.0;
+  uint64_t BytesTaken = 0;
+  double TargetMisses = TotalMisses * FastTrafficShare;
+  for (const Candidate &Cand : Candidates) {
+    if (MissesTaken >= TargetMisses)
+      break;
+    if (BytesTaken + Cand.Bytes > BudgetBytes)
+      continue;
+    Selected[Cand.ClassIdx][Cand.Chunk] = 1;
+    MissesTaken += Cand.Misses;
+    BytesTaken += Cand.Bytes;
+  }
+  return buildFromFlags(Classes, Selected);
+}
+
+PlacementPlan PlanBuilder::build(std::vector<ObjectClassification> Classes,
+                                 uint64_t BudgetBytes) {
+  PlacementPlan Unbounded = build(Classes);
+  if (Unbounded.TotalBytes <= BudgetBytes)
+    return Unbounded;
+
+  // Over budget: keep the highest-priority selected chunks that fit.
+  struct Candidate {
+    double Priority;
+    uint32_t ClassIdx;
+    uint32_t Chunk;
+    uint64_t Bytes;
+  };
+  std::vector<Candidate> Candidates;
+  for (uint32_t I = 0; I < Classes.size(); ++I) {
+    const ObjectClassification &Class = Classes[I];
+    for (uint32_t C = 0; C < Class.numChunks(); ++C)
+      if (Class.isSelected(C))
+        Candidates.push_back({Class.Local.Priority[C], I, C,
+                              Class.chunkPayloadBytes(C)});
+  }
+  std::stable_sort(Candidates.begin(), Candidates.end(),
+                   [](const Candidate &A, const Candidate &B) {
+                     return A.Priority > B.Priority;
+                   });
+
+  std::vector<std::vector<uint8_t>> Selected(Classes.size());
+  for (size_t I = 0; I < Classes.size(); ++I)
+    Selected[I].assign(Classes[I].numChunks(), 0);
+  uint64_t Used = 0;
+  for (const Candidate &Cand : Candidates) {
+    if (Used + Cand.Bytes > BudgetBytes)
+      continue;
+    Selected[Cand.ClassIdx][Cand.Chunk] = 1;
+    Used += Cand.Bytes;
+  }
+  return buildFromFlags(Classes, Selected);
+}

@@ -1,0 +1,105 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ATMem reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The analyzer's output: a placement plan listing, per object, the merged
+/// contiguous chunk ranges to migrate onto the fast tier. Contiguity
+/// matters — every discrete range pays a migration launch cost, which is
+/// why the tree promotion's gap patching improves migration efficiency
+/// (paper Section 4.3). The builder also enforces a byte budget so plans
+/// never exceed the fast tier's capacity (the MCDRAM case, Section 7.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ATMEM_ANALYZER_PLACEMENTPLAN_H
+#define ATMEM_ANALYZER_PLACEMENTPLAN_H
+
+#include "analyzer/GlobalPromoter.h"
+#include "analyzer/LocalSelector.h"
+#include "mem/DataObject.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace atmem {
+namespace analyzer {
+
+/// Classification inputs of one object, as produced by the two analyzer
+/// stages.
+struct ObjectClassification {
+  mem::ObjectId Object = 0;
+  uint64_t ChunkBytes = 0;
+  uint64_t MappedBytes = 0;
+  LocalSelection Local;
+  PromotionResult Promotion;
+
+  uint32_t numChunks() const {
+    return static_cast<uint32_t>(Local.Critical.size());
+  }
+
+  /// True when \p Chunk is selected for fast-tier placement (sampled or
+  /// estimated critical).
+  bool isSelected(uint32_t Chunk) const {
+    return Local.Critical[Chunk] || Promotion.Promoted[Chunk];
+  }
+
+  /// Bytes chunk \p Chunk actually occupies (the last chunk may be
+  /// partial).
+  uint64_t chunkPayloadBytes(uint32_t Chunk) const;
+};
+
+/// Migration directive for one object.
+struct ObjectPlan {
+  mem::ObjectId Object = 0;
+  std::vector<mem::ChunkRange> Ranges;
+  uint64_t Bytes = 0;
+};
+
+/// The full plan across objects.
+struct PlacementPlan {
+  std::vector<ObjectPlan> Objects;
+  uint64_t TotalBytes = 0;
+
+  /// Fraction of \p TotalMappedBytes this plan places on the fast tier —
+  /// the "data ratio" of the paper's Figures 7-10.
+  double dataRatio(uint64_t TotalMappedBytes) const {
+    return TotalMappedBytes == 0
+               ? 0.0
+               : static_cast<double>(TotalBytes) /
+                     static_cast<double>(TotalMappedBytes);
+  }
+};
+
+/// Builds placement plans from classifications.
+class PlanBuilder {
+public:
+  /// Merges each object's selected chunks into contiguous ranges.
+  static PlacementPlan build(std::vector<ObjectClassification> Classes);
+
+  /// Builds a plan that fits within \p BudgetBytes: when the selection
+  /// exceeds the budget, the lowest-priority selected chunks are dropped
+  /// first (estimated-critical gap chunks usually go before sampled ones,
+  /// since their PR is what sampling observed — often zero).
+  static PlacementPlan build(std::vector<ObjectClassification> Classes,
+                             uint64_t BudgetBytes);
+
+  /// Section 9 extension for machines whose tiers have independent
+  /// memory channels (KNL): instead of maximizing the fast tier's share,
+  /// the selection targets a *traffic split* so both tiers stream
+  /// concurrently. Chunks are taken in density order until the selected
+  /// chunks carry \p FastTrafficShare of the total estimated misses (or
+  /// the byte budget runs out). The optimal share equalizes per-tier
+  /// service time: BW_fast / (BW_fast + BW_slow).
+  static PlacementPlan
+  buildBandwidthBalanced(std::vector<ObjectClassification> Classes,
+                         uint64_t BudgetBytes, double FastTrafficShare);
+};
+
+} // namespace analyzer
+} // namespace atmem
+
+#endif // ATMEM_ANALYZER_PLACEMENTPLAN_H

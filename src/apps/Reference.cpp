@@ -1,0 +1,241 @@
+#include "apps/Reference.h"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+
+using namespace atmem;
+using namespace atmem::apps;
+using graph::CsrGraph;
+using graph::VertexId;
+
+std::vector<int32_t> apps::referenceBfs(const CsrGraph &G, VertexId Source) {
+  std::vector<int32_t> Levels(G.numVertices(), -1);
+  if (G.numVertices() == 0)
+    return Levels;
+  std::deque<VertexId> Queue;
+  Queue.push_back(Source);
+  Levels[Source] = 0;
+  while (!Queue.empty()) {
+    VertexId U = Queue.front();
+    Queue.pop_front();
+    for (VertexId V : G.neighbors(U)) {
+      if (Levels[V] == -1) {
+        Levels[V] = Levels[U] + 1;
+        Queue.push_back(V);
+      }
+    }
+  }
+  return Levels;
+}
+
+std::vector<uint32_t> apps::referenceSssp(const CsrGraph &G,
+                                          VertexId Source) {
+  constexpr uint32_t Inf = ~0u;
+  std::vector<uint32_t> Dist(G.numVertices(), Inf);
+  if (G.numVertices() == 0)
+    return Dist;
+  Dist[Source] = 0;
+  // Bellman-Ford to fixpoint: simple and obviously correct.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (VertexId U = 0; U < G.numVertices(); ++U) {
+      if (Dist[U] == Inf)
+        continue;
+      auto Neighbors = G.neighbors(U);
+      for (size_t I = 0; I < Neighbors.size(); ++I) {
+        uint32_t W = G.hasWeights()
+                         ? G.weights()[G.rowOffsets()[U] + I]
+                         : 1;
+        uint32_t Candidate = Dist[U] + W;
+        if (Candidate < Dist[Neighbors[I]]) {
+          Dist[Neighbors[I]] = Candidate;
+          Changed = true;
+        }
+      }
+    }
+  }
+  return Dist;
+}
+
+std::vector<float> apps::referencePageRank(const CsrGraph &G,
+                                           uint32_t Iterations) {
+  uint32_t N = G.numVertices();
+  std::vector<float> Rank(N, N == 0 ? 0.0f : 1.0f / static_cast<float>(N));
+  std::vector<float> Next(N, 0.0f);
+  constexpr float Damping = 0.85f;
+  for (uint32_t Iter = 0; Iter < Iterations; ++Iter) {
+    for (VertexId U = 0; U < N; ++U) {
+      uint64_t Degree = G.outDegree(U);
+      if (Degree == 0)
+        continue;
+      float Contribution = Rank[U] / static_cast<float>(Degree);
+      for (VertexId V : G.neighbors(U))
+        Next[V] += Contribution;
+    }
+    float Base = (1.0f - Damping) / static_cast<float>(N);
+    for (VertexId V = 0; V < N; ++V) {
+      Rank[V] = Base + Damping * Next[V];
+      Next[V] = 0.0f;
+    }
+  }
+  return Rank;
+}
+
+std::vector<float> apps::referenceBc(const CsrGraph &G, VertexId Source) {
+  uint32_t N = G.numVertices();
+  std::vector<float> Sigma(N, 0.0f);
+  std::vector<float> Delta(N, 0.0f);
+  std::vector<int32_t> Depth(N, -1);
+  if (N == 0)
+    return Delta;
+
+  std::vector<VertexId> Order;
+  Order.push_back(Source);
+  Sigma[Source] = 1.0f;
+  Depth[Source] = 0;
+  for (size_t Head = 0; Head < Order.size(); ++Head) {
+    VertexId U = Order[Head];
+    for (VertexId V : G.neighbors(U)) {
+      if (Depth[V] == -1) {
+        Depth[V] = Depth[U] + 1;
+        Order.push_back(V);
+      }
+      if (Depth[V] == Depth[U] + 1)
+        Sigma[V] += Sigma[U];
+    }
+  }
+  for (size_t I = Order.size(); I-- > 0;) {
+    VertexId U = Order[I];
+    for (VertexId V : G.neighbors(U))
+      if (Depth[V] == Depth[U] + 1)
+        Delta[U] += Sigma[U] / Sigma[V] * (1.0f + Delta[V]);
+  }
+  return Delta;
+}
+
+std::vector<uint32_t> apps::referenceCc(const CsrGraph &G) {
+  // Union-find over the undirected closure.
+  uint32_t N = G.numVertices();
+  std::vector<uint32_t> Parent(N);
+  std::iota(Parent.begin(), Parent.end(), 0);
+  auto Find = [&](uint32_t X) {
+    while (Parent[X] != X) {
+      Parent[X] = Parent[Parent[X]];
+      X = Parent[X];
+    }
+    return X;
+  };
+  for (VertexId U = 0; U < N; ++U)
+    for (VertexId V : G.neighbors(U)) {
+      uint32_t RootU = Find(U);
+      uint32_t RootV = Find(V);
+      if (RootU == RootV)
+        continue;
+      // Union by minimum label so results match label propagation.
+      if (RootU < RootV)
+        Parent[RootV] = RootU;
+      else
+        Parent[RootU] = RootV;
+    }
+  std::vector<uint32_t> Labels(N);
+  for (VertexId V = 0; V < N; ++V)
+    Labels[V] = Find(V);
+  return Labels;
+}
+
+uint64_t apps::referenceTriangles(const CsrGraph &G) {
+  // Build the undirected closure as adjacency sets and count each
+  // triangle at its smallest vertex — slow but obviously correct.
+  uint32_t N = G.numVertices();
+  std::vector<std::vector<VertexId>> Adj(N);
+  for (VertexId U = 0; U < N; ++U)
+    for (VertexId V : G.neighbors(U)) {
+      if (U == V)
+        continue;
+      Adj[U].push_back(V);
+      Adj[V].push_back(U);
+    }
+  for (auto &List : Adj) {
+    std::sort(List.begin(), List.end());
+    List.erase(std::unique(List.begin(), List.end()), List.end());
+  }
+  auto Connected = [&](VertexId A, VertexId B) {
+    return std::binary_search(Adj[A].begin(), Adj[A].end(), B);
+  };
+  uint64_t Triangles = 0;
+  for (VertexId U = 0; U < N; ++U)
+    for (VertexId V : Adj[U]) {
+      if (V <= U)
+        continue;
+      for (VertexId W : Adj[U]) {
+        if (W <= V)
+          continue;
+        if (Connected(V, W))
+          ++Triangles;
+      }
+    }
+  return Triangles;
+}
+
+std::vector<uint32_t> apps::referenceKCore(const CsrGraph &G) {
+  uint32_t N = G.numVertices();
+  std::vector<std::vector<VertexId>> Adj(N);
+  for (VertexId U = 0; U < N; ++U)
+    for (VertexId V : G.neighbors(U)) {
+      if (U == V)
+        continue;
+      Adj[U].push_back(V);
+      Adj[V].push_back(U);
+    }
+  for (auto &List : Adj) {
+    std::sort(List.begin(), List.end());
+    List.erase(std::unique(List.begin(), List.end()), List.end());
+  }
+  std::vector<uint32_t> Degree(N);
+  for (VertexId V = 0; V < N; ++V)
+    Degree[V] = static_cast<uint32_t>(Adj[V].size());
+
+  std::vector<uint32_t> Core(N, 0);
+  std::vector<bool> Removed(N, false);
+  uint32_t Left = N;
+  uint32_t K = 1;
+  while (Left > 0) {
+    bool Peeled = false;
+    for (VertexId V = 0; V < N; ++V) {
+      if (Removed[V] || Degree[V] >= K)
+        continue;
+      Removed[V] = true;
+      Core[V] = K - 1;
+      --Left;
+      Peeled = true;
+      for (VertexId W : Adj[V])
+        if (!Removed[W] && Degree[W] > 0)
+          --Degree[W];
+    }
+    if (!Peeled)
+      ++K;
+  }
+  return Core;
+}
+
+std::vector<float> apps::referenceSpmv(const CsrGraph &G) {
+  uint32_t N = G.numVertices();
+  std::vector<float> X(N);
+  for (VertexId V = 0; V < N; ++V)
+    X[V] = 1.0f + static_cast<float>(V % 7);
+  std::vector<float> Y(N, 0.0f);
+  for (VertexId U = 0; U < N; ++U) {
+    float Acc = 0.0f;
+    auto Neighbors = G.neighbors(U);
+    for (size_t I = 0; I < Neighbors.size(); ++I) {
+      float W = G.hasWeights()
+                    ? static_cast<float>(G.weights()[G.rowOffsets()[U] + I])
+                    : 1.0f;
+      Acc += W * X[Neighbors[I]];
+    }
+    Y[U] = Acc;
+  }
+  return Y;
+}

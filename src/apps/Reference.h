@@ -1,0 +1,61 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ATMem reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Plain (untracked) reference implementations of the six kernels, used by
+/// the test suite to validate that the instrumented kernels compute the
+/// same results regardless of data placement and migration.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ATMEM_APPS_REFERENCE_H
+#define ATMEM_APPS_REFERENCE_H
+
+#include "graph/CsrGraph.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace atmem {
+namespace apps {
+
+/// BFS levels from \p Source (-1 unreached).
+std::vector<int32_t> referenceBfs(const graph::CsrGraph &G,
+                                  graph::VertexId Source);
+
+/// Shortest-path distances from \p Source (UINT32_MAX unreached);
+/// unweighted graphs use unit weights.
+std::vector<uint32_t> referenceSssp(const graph::CsrGraph &G,
+                                    graph::VertexId Source);
+
+/// Rank vector after \p Iterations push-style power iterations with
+/// damping 0.85, starting from the uniform distribution.
+std::vector<float> referencePageRank(const graph::CsrGraph &G,
+                                     uint32_t Iterations);
+
+/// Brandes dependency (delta) values for a single source.
+std::vector<float> referenceBc(const graph::CsrGraph &G,
+                               graph::VertexId Source);
+
+/// Weakly connected component labels (minimum vertex id per component).
+std::vector<uint32_t> referenceCc(const graph::CsrGraph &G);
+
+/// y = A x over the weighted adjacency (unit weights when unweighted),
+/// where x[v] = 1 + (v % 7) matches SpmvKernel's initialization.
+std::vector<float> referenceSpmv(const graph::CsrGraph &G);
+
+/// Number of triangles in the undirected closure of \p G (each triangle
+/// counted once).
+uint64_t referenceTriangles(const graph::CsrGraph &G);
+
+/// Coreness of every vertex over the undirected closure of \p G.
+std::vector<uint32_t> referenceKCore(const graph::CsrGraph &G);
+
+} // namespace apps
+} // namespace atmem
+
+#endif // ATMEM_APPS_REFERENCE_H

@@ -1,0 +1,76 @@
+#include "core/AtmemApi.h"
+
+#include <unordered_map>
+
+using namespace atmem;
+
+namespace {
+
+/// Per-process state behind the C entry points.
+struct ApiState {
+  core::Runtime *Rt = nullptr;
+  std::unordered_map<void *, mem::ObjectId> PtrToObject;
+  uint64_t NextName = 0;
+};
+
+ApiState &state() {
+  static ApiState State;
+  return State;
+}
+
+} // namespace
+
+void atmem::atmem_set_runtime(core::Runtime *Rt) {
+  state().Rt = Rt;
+  state().PtrToObject.clear();
+}
+
+core::Runtime *atmem::atmem_current_runtime() { return state().Rt; }
+
+void *atmem::atmem_malloc(size_t Size) {
+  ApiState &S = state();
+  if (!S.Rt || Size == 0)
+    return nullptr;
+  std::string Name = "atmem_malloc#" + std::to_string(S.NextName++);
+  mem::DataObject &Obj = S.Rt->registry().create(
+      Name, Size, S.Rt->config().Placement,
+      S.Rt->config().ChunkBytesOverride);
+  void *Ptr = Obj.data();
+  S.PtrToObject[Ptr] = Obj.id();
+  return Ptr;
+}
+
+void atmem::atmem_free(void *Ptr) {
+  ApiState &S = state();
+  if (!S.Rt || !Ptr)
+    return;
+  auto It = S.PtrToObject.find(Ptr);
+  if (It == S.PtrToObject.end())
+    return;
+  S.Rt->release(It->second);
+  S.PtrToObject.erase(It);
+}
+
+void atmem::atmem_profiling_start() {
+  if (core::Runtime *Rt = state().Rt)
+    Rt->profilingStart();
+}
+
+void atmem::atmem_profiling_stop() {
+  if (core::Runtime *Rt = state().Rt)
+    Rt->profilingStop();
+}
+
+void atmem::atmem_optimize() {
+  if (core::Runtime *Rt = state().Rt)
+    Rt->optimize();
+}
+
+bool atmem::atmem_lookup_object(void *Ptr, mem::ObjectId &Out) {
+  ApiState &S = state();
+  auto It = S.PtrToObject.find(Ptr);
+  if (It == S.PtrToObject.end())
+    return false;
+  Out = It->second;
+  return true;
+}

@@ -1,0 +1,90 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ATMem reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's minimal C-style API (Listing 1):
+///
+///   void *atmem_malloc(size_t);
+///   void  atmem_free(void *);
+///   void  atmem_profiling_start();
+///   void  atmem_profiling_stop();
+///   void  atmem_optimize();
+///
+/// Calls operate on a process-wide current runtime installed with
+/// atmem_set_runtime(). atmem_malloc() registers a data object and returns
+/// its host memory; because the simulation observes accesses through
+/// TrackedArray views, code wanting its accesses profiled should wrap the
+/// returned buffer via atmem_tracked_view() (or allocate directly through
+/// Runtime::allocate). The C entry points exist for interface fidelity:
+/// registration, lifetime, and the profile/optimize control flow match the
+/// paper exactly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ATMEM_CORE_ATMEMAPI_H
+#define ATMEM_CORE_ATMEMAPI_H
+
+#include "core/Runtime.h"
+
+#include <cstddef>
+
+namespace atmem {
+
+/// Installs \p Rt as the runtime behind the C-style entry points
+/// (nullptr uninstalls). Not thread-safe with concurrent API calls.
+void atmem_set_runtime(core::Runtime *Rt);
+
+/// Currently installed runtime; nullptr when none.
+core::Runtime *atmem_current_runtime();
+
+/// Registers a data object of \p Size bytes with the current runtime and
+/// returns its host memory. Returns nullptr when no runtime is installed
+/// or \p Size is zero.
+void *atmem_malloc(size_t Size);
+
+/// Unregisters the object previously returned by atmem_malloc().
+/// Ignores pointers the runtime does not know.
+void atmem_free(void *Ptr);
+
+/// Arms profiling on the current runtime (paper Listing 1).
+void atmem_profiling_start();
+
+/// Disarms profiling.
+void atmem_profiling_stop();
+
+/// Runs the analyzer and migrates the selected chunks.
+void atmem_optimize();
+
+/// Builds a tracked view over a buffer obtained from atmem_malloc(), so
+/// element accesses feed the simulated profiler. \p Ptr must be a live
+/// atmem_malloc() result.
+template <typename T>
+core::TrackedArray<T> atmem_tracked_view(void *Ptr, size_t Count);
+
+/// Internal: resolves an atmem_malloc() pointer to its object id.
+/// Returns false for unknown pointers.
+bool atmem_lookup_object(void *Ptr, mem::ObjectId &Out);
+
+template <typename T>
+core::TrackedArray<T> atmem_tracked_view(void *Ptr, size_t Count) {
+  mem::ObjectId Id = 0;
+  core::Runtime *Rt = atmem_current_runtime();
+  if (!Rt || !atmem_lookup_object(Ptr, Id))
+    return core::TrackedArray<T>();
+  mem::DataObject &Obj = Rt->registry().object(Id);
+  core::TrackHandle Handle;
+  Handle.VaBase = Obj.va();
+  Handle.ChunkTiers = Obj.chunkTierData();
+  Handle.ChunkShift = Obj.chunkShift();
+  Handle.Object = Obj.id();
+  return core::TrackedArray<T>(Rt, reinterpret_cast<T *>(Obj.data()), Count,
+                               Handle);
+}
+
+} // namespace atmem
+
+#endif // ATMEM_CORE_ATMEMAPI_H

@@ -1,0 +1,77 @@
+#include "core/AutoTuner.h"
+
+#include "support/Logging.h"
+
+#include <cmath>
+
+using namespace atmem;
+using namespace atmem::core;
+
+AutoTuner::AutoTuner(Runtime &Rt, AutoTunerConfig ConfigIn)
+    : Rt(Rt), Config(ConfigIn) {
+  if (Config.ProfileIterations == 0)
+    Config.ProfileIterations = 1;
+}
+
+void AutoTuner::beginIteration() {
+  if (Current == State::Profiling && !Rt.profiler().isActive())
+    Rt.profilingStart();
+  Rt.beginIteration();
+}
+
+/// Relative deviation of \p Now from \p Reference, treating a zero
+/// reference with non-zero observation as a full-scale shift.
+static double relativeDeviation(uint64_t Now, uint64_t Reference) {
+  if (Reference == 0)
+    return Now == 0 ? 0.0 : 1.0;
+  return std::abs(static_cast<double>(Now) -
+                  static_cast<double>(Reference)) /
+         static_cast<double>(Reference);
+}
+
+double AutoTuner::endIteration() {
+  double Seconds = Rt.endIteration();
+  const sim::AccessStats &Stats = Rt.iterationStats();
+  uint64_t SlowMisses =
+      Stats.TierMisses[sim::tierIndex(sim::TierId::Slow)];
+
+  if (Current == State::Profiling) {
+    if (++IterationsProfiled >= Config.ProfileIterations) {
+      Rt.profilingStop();
+      Seconds += Rt.profilingOverheadSeconds() /
+                 static_cast<double>(IterationsProfiled);
+      Migration += Rt.optimize();
+      Optimized = true;
+      ++Optimizes;
+      // Reference is recorded on the next (optimized) iteration; the
+      // profiled one ran against the old placement.
+      HaveReference = false;
+      Current = State::Optimized;
+      logInfo("auto-tuner: optimized after %u profiled iteration(s)",
+              IterationsProfiled);
+    }
+    return Seconds;
+  }
+
+  // Optimized steady state: the first iteration establishes the
+  // reference; afterwards, watch both the workload size and where the
+  // misses land for a phase change.
+  if (!HaveReference) {
+    ReferenceAccesses = Stats.Accesses;
+    ReferenceSlowMisses = SlowMisses;
+    HaveReference = true;
+    return Seconds;
+  }
+  if (Config.ReprofileDeviation > 0.0) {
+    double Deviation =
+        std::max(relativeDeviation(Stats.Accesses, ReferenceAccesses),
+                 relativeDeviation(SlowMisses, ReferenceSlowMisses));
+    if (Deviation > Config.ReprofileDeviation) {
+      logInfo("auto-tuner: behaviour shifted %.0f%%, re-profiling",
+              Deviation * 100.0);
+      Current = State::Profiling;
+      IterationsProfiled = 0;
+    }
+  }
+  return Seconds;
+}

@@ -1,0 +1,81 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ATMem reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Automates the paper's manual instrumentation points. Section 5.2 notes
+/// that "future works on compiler optimization could automatically insert
+/// [atmem_optimize()] based on static analysis"; AutoTuner provides the
+/// runtime half of that idea: the application only brackets its
+/// iterations, and the tuner arms profiling for the first
+/// ProfileIterations of them, then triggers optimize() once — and can
+/// re-arm itself when the observed access volume shifts, re-optimizing
+/// placement for a changed query (Section 2.2's data-driven dynamics,
+/// together with RuntimeConfig::DemoteUnselected).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ATMEM_CORE_AUTOTUNER_H
+#define ATMEM_CORE_AUTOTUNER_H
+
+#include "core/Runtime.h"
+
+namespace atmem {
+namespace core {
+
+/// Tuning of the automatic optimizer.
+struct AutoTunerConfig {
+  /// Iterations profiled before the (first) optimize().
+  uint32_t ProfileIterations = 1;
+  /// Re-arm profiling when an iteration's behaviour deviates from the
+  /// optimized reference by more than this factor (e.g. 0.5 = +-50%),
+  /// signalling a phase/query change. Two signals are watched: the access
+  /// count (workload size changed) and the slow-tier miss count (the
+  /// working set moved away from the placed chunks — a different query
+  /// touching different data). 0 disables re-optimization.
+  double ReprofileDeviation = 0.5;
+};
+
+/// Drives profilingStart/stop and optimize() from iteration boundaries.
+class AutoTuner {
+public:
+  AutoTuner(Runtime &Rt, AutoTunerConfig Config = {});
+
+  /// Starts one application iteration (arms profiling when scheduled).
+  void beginIteration();
+
+  /// Ends the iteration; runs optimize() when the profiling window just
+  /// closed. Returns the iteration's simulated seconds.
+  double endIteration();
+
+  /// True once the first optimize() has run.
+  bool optimized() const { return Optimized; }
+
+  /// Number of optimize() calls triggered so far.
+  uint32_t optimizeCount() const { return Optimizes; }
+
+  /// Aggregate migration counters across all optimize() calls.
+  const mem::MigrationResult &migration() const { return Migration; }
+
+private:
+  enum class State { Profiling, Optimized };
+
+  Runtime &Rt;
+  AutoTunerConfig Config;
+  State Current = State::Profiling;
+  uint32_t IterationsProfiled = 0;
+  uint64_t ReferenceAccesses = 0;
+  uint64_t ReferenceSlowMisses = 0;
+  bool HaveReference = false;
+  bool Optimized = false;
+  uint32_t Optimizes = 0;
+  mem::MigrationResult Migration;
+};
+
+} // namespace core
+} // namespace atmem
+
+#endif // ATMEM_CORE_AUTOTUNER_H

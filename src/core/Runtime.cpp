@@ -1,0 +1,141 @@
+#include "core/Runtime.h"
+
+#include "support/Logging.h"
+
+#include <algorithm>
+
+using namespace atmem;
+using namespace atmem::core;
+
+Runtime::Runtime(RuntimeConfig ConfigIn)
+    : Config(std::move(ConfigIn)), M(Config.Machine), Registry(M),
+      Pool(Config.Machine.Migration.CopyThreads),
+      Profiler(Registry, Config.Profiler), AtmemMig(Registry, Pool),
+      MbindMig(Registry) {}
+
+Runtime::~Runtime() = default;
+
+void Runtime::profilingStart() {
+  Profiler.start(Config.Machine.Exec.Threads);
+}
+
+void Runtime::profilingStop() { Profiler.stop(); }
+
+mem::MigrationResult Runtime::optimize() {
+  if (Profiler.isActive())
+    Profiler.stop();
+
+  mem::Migrator &Mig =
+      Config.Mechanism == MigrationMechanism::Atmem
+          ? static_cast<mem::Migrator &>(AtmemMig)
+          : static_cast<mem::Migrator &>(MbindMig);
+  mem::MigrationResult Result;
+
+  // Budget accounting must anticipate demotions: chunks the fresh profile
+  // dropped vacate the fast tier before promotions land.
+  uint64_t FastFree = M.allocator(sim::TierId::Fast).freeBytes();
+  if (Config.DemoteUnselected)
+    FastFree += Registry.totalBytesOn(sim::TierId::Fast);
+  auto Budget = static_cast<uint64_t>(static_cast<double>(FastFree) *
+                                      Config.FastBudgetFraction);
+  if (Config.FastBudgetBytesCap != 0)
+    Budget = std::min(Budget, Config.FastBudgetBytesCap);
+  analyzer::Analyzer Anal(Config.Analyzer);
+  if (Config.Strategy == PlacementStrategy::BandwidthBalanced) {
+    // Equalize per-tier streaming time: place the share of miss traffic
+    // matching the fast tier's share of aggregate bandwidth.
+    const sim::TierSpec &Fast = Config.Machine.Fast;
+    const sim::TierSpec &Slow = Config.Machine.Slow;
+    double Share = Fast.BandwidthBytesPerSec /
+                   (Fast.BandwidthBytesPerSec + Slow.BandwidthBytesPerSec);
+    LastPlan = analyzer::PlanBuilder::buildBandwidthBalanced(
+        Anal.classify(Registry, Profiler), Budget, Share);
+  } else {
+    LastPlan = Anal.plan(Registry, Profiler, Budget);
+  }
+
+  if (Config.DemoteUnselected)
+    demoteUnselected(Mig, Result);
+  for (const analyzer::ObjectPlan &ObjPlan : LastPlan.Objects) {
+    mem::DataObject &Obj = Registry.object(ObjPlan.Object);
+    // Only move ranges whose chunks are not already on the fast tier.
+    std::vector<mem::ChunkRange> Pending;
+    for (const mem::ChunkRange &Range : ObjPlan.Ranges)
+      for (uint32_t C = Range.FirstChunk;
+           C < Range.FirstChunk + Range.NumChunks;) {
+        // Split the range at tier transitions.
+        if (Obj.chunkTier(C) == sim::TierId::Fast) {
+          ++C;
+          continue;
+        }
+        uint32_t Begin = C;
+        while (C < Range.FirstChunk + Range.NumChunks &&
+               Obj.chunkTier(C) == sim::TierId::Slow)
+          ++C;
+        Pending.push_back({Begin, C - Begin});
+      }
+    if (Pending.empty())
+      continue;
+    if (!Mig.migrate(Obj, Pending, sim::TierId::Fast, Result))
+      logWarning("migration of object '%s' hit fast-tier capacity",
+                 Obj.name().c_str());
+  }
+  logInfo("optimize: moved %llu bytes in %llu ranges, %.3f ms simulated",
+          static_cast<unsigned long long>(Result.BytesMoved),
+          static_cast<unsigned long long>(Result.Ranges),
+          Result.SimSeconds * 1e3);
+  return Result;
+}
+
+void Runtime::demoteUnselected(mem::Migrator &Mig,
+                               mem::MigrationResult &Result) {
+  // Per-object selection flags from the current plan.
+  for (mem::DataObject *Obj : Registry.liveObjects()) {
+    std::vector<uint8_t> Selected(Obj->numChunks(), 0);
+    for (const analyzer::ObjectPlan &ObjPlan : LastPlan.Objects) {
+      if (ObjPlan.Object != Obj->id())
+        continue;
+      for (const mem::ChunkRange &Range : ObjPlan.Ranges)
+        for (uint32_t C = Range.FirstChunk;
+             C < Range.FirstChunk + Range.NumChunks; ++C)
+          Selected[C] = 1;
+    }
+    std::vector<mem::ChunkRange> Demotions;
+    for (uint32_t C = 0; C < Obj->numChunks();) {
+      if (Selected[C] || Obj->chunkTier(C) != sim::TierId::Fast) {
+        ++C;
+        continue;
+      }
+      uint32_t Begin = C;
+      while (C < Obj->numChunks() && !Selected[C] &&
+             Obj->chunkTier(C) == sim::TierId::Fast)
+        ++C;
+      Demotions.push_back({Begin, C - Begin});
+    }
+    if (Demotions.empty())
+      continue;
+    if (!Mig.migrate(*Obj, Demotions, sim::TierId::Slow, Result))
+      logWarning("demotion of object '%s' hit slow-tier capacity",
+                 Obj->name().c_str());
+  }
+}
+
+void Runtime::beginIteration() { Stats = sim::AccessStats(); }
+
+double Runtime::endIteration() {
+  return M.kernelModel().estimate(Stats).seconds();
+}
+
+double Runtime::fastDataRatio() const {
+  uint64_t Total = Registry.totalMappedBytes();
+  if (Total == 0)
+    return 0.0;
+  return static_cast<double>(Registry.totalBytesOn(sim::TierId::Fast)) /
+         static_cast<double>(Total);
+}
+
+void Runtime::replayTlbAccess(uint64_t Va) {
+  sim::Translation T;
+  if (M.pageTable().translate(Va, T))
+    ReplayTlb->access(Va, T.PageBytes);
+}

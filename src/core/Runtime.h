@@ -1,0 +1,267 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ATMem reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The ATMem runtime: the paper's three components glued behind one
+/// object. Applications allocate their data through the runtime (receiving
+/// TrackedArray views whose accesses feed the simulated LLC and the
+/// profiler), run a profiled iteration between profilingStart()/stop(),
+/// call optimize() to analyze and migrate, and read simulated iteration
+/// times from the iteration scope API.
+///
+/// The C-style API of the paper's Listing 1 (atmem_malloc & friends) is
+/// provided in AtmemApi.h on top of this class.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ATMEM_CORE_RUNTIME_H
+#define ATMEM_CORE_RUNTIME_H
+
+#include "analyzer/Analyzer.h"
+#include "mem/AtmemMigrator.h"
+#include "mem/DataObjectRegistry.h"
+#include "mem/MbindMigrator.h"
+#include "mem/ThreadPool.h"
+#include "profiler/SamplingProfiler.h"
+#include "profiler/TraceFile.h"
+#include "sim/Machine.h"
+
+#include <memory>
+#include <string>
+
+namespace atmem {
+namespace core {
+
+/// Which migration mechanism optimize() uses.
+enum class MigrationMechanism {
+  Atmem, ///< Multi-stage multi-threaded (the paper's contribution).
+  Mbind, ///< System-service model (the paper's comparison point).
+};
+
+/// How optimize() turns classifications into a plan.
+enum class PlacementStrategy {
+  /// The paper's default: all critical (sampled + estimated) chunks go to
+  /// the fast tier, up to the byte budget.
+  CriticalChunks,
+  /// Section 9 extension for independent-channel machines (KNL): target
+  /// a traffic split proportional to the tiers' bandwidths so both
+  /// memories stream concurrently.
+  BandwidthBalanced,
+};
+
+/// Complete runtime configuration.
+struct RuntimeConfig {
+  sim::MachineConfig Machine;
+  prof::ProfilerConfig Profiler;
+  analyzer::AnalyzerConfig Analyzer;
+  /// Initial placement of new registrations (the experiment baselines
+  /// flip this between Slow / Fast / PreferredFast).
+  mem::InitialPlacement Placement = mem::InitialPlacement::Slow;
+  /// Chunk-size override for registrations; 0 = adaptive (Section 4.1).
+  uint64_t ChunkBytesOverride = 0;
+  /// Registers every object as a single chunk, reducing ATMem to the
+  /// coarse-grained whole-structure placement of prior work (Tahoe-style
+  /// baseline; see paper Sections 1-2 and 9).
+  bool WholeObjectChunks = false;
+  MigrationMechanism Mechanism = MigrationMechanism::Atmem;
+  PlacementStrategy Strategy = PlacementStrategy::CriticalChunks;
+  /// Fraction of the fast tier's free bytes a plan may consume; the rest
+  /// is headroom for the migration staging buffer and other tenants.
+  double FastBudgetFraction = 0.85;
+  /// Absolute cap on the plan budget in bytes (0 = uncapped). Models a
+  /// shared server where co-tenants leave ATMem only a fixed slice of
+  /// the fast memory (the paper's Section 1 motivation).
+  uint64_t FastBudgetBytesCap = 0;
+  /// When optimize() runs again after the access pattern changed (a new
+  /// query, a new phase), fast-tier chunks that the fresh profile no
+  /// longer selects are migrated back to the large-capacity tier before
+  /// the newly critical chunks move in. Placement thus *adapts* across
+  /// queries (the data-driven behaviour of paper Section 2.2).
+  bool DemoteUnselected = true;
+};
+
+/// Internal per-object handle embedded in TrackedArray (hot-path data
+/// only).
+struct TrackHandle {
+  uint64_t VaBase = 0;
+  const uint8_t *ChunkTiers = nullptr;
+  uint32_t ChunkShift = 0;
+  mem::ObjectId Object = 0;
+};
+
+template <typename T> class TrackedArray;
+
+/// The ATMem runtime for one simulated testbed.
+class Runtime {
+public:
+  explicit Runtime(RuntimeConfig Config);
+  ~Runtime();
+
+  Runtime(const Runtime &) = delete;
+  Runtime &operator=(const Runtime &) = delete;
+
+  /// Registers an array of \p Count elements of T and returns a tracked
+  /// view. Equivalent to the paper's atmem_malloc().
+  template <typename T>
+  TrackedArray<T> allocate(const std::string &Name, size_t Count);
+
+  /// Unregisters an object; equivalent to atmem_free().
+  void release(mem::ObjectId Id) { Registry.destroy(Id); }
+
+  /// Arms hardware sampling (paper atmem_profiling_start()).
+  void profilingStart();
+
+  /// Disarms sampling (paper atmem_profiling_stop()).
+  void profilingStop();
+
+  /// Analyzes the collected profile and migrates the selected chunks to
+  /// the fast tier with the configured mechanism (paper atmem_optimize()).
+  /// Returns the migration counters; the applied plan is retrievable via
+  /// lastPlan().
+  mem::MigrationResult optimize();
+
+  /// \name Iteration timing scope
+  /// The application brackets each kernel iteration; the runtime counts
+  /// accesses and converts them into simulated seconds at the end.
+  /// @{
+  void beginIteration();
+  /// Ends the iteration and returns its simulated duration in seconds.
+  double endIteration();
+  const sim::AccessStats &iterationStats() const { return Stats; }
+  /// @}
+
+  /// Hot path: one tracked access at byte offset \p Offset of the object
+  /// behind \p Handle. Inline: flag test, LLC probe, per-tier accounting,
+  /// and a profiler feed on misses.
+  void onAccess(const TrackHandle &Handle, uint64_t Offset) {
+    if (!TrackingEnabled)
+      return;
+    ++Stats.Accesses;
+    uint64_t Va = Handle.VaBase + Offset;
+    if (M.llc().access(Va)) {
+      ++Stats.LlcHits;
+      return;
+    }
+    ++Stats.TierMisses[Handle.ChunkTiers[Offset >> Handle.ChunkShift]];
+    Profiler.notifyMiss(Va);
+    if (MissTrace)
+      MissTrace->record(Va);
+    if (ReplayTlb)
+      replayTlbAccess(Va);
+  }
+
+  /// Enables/disables all tracking (e.g. during graph construction).
+  void setTrackingEnabled(bool Enabled) { TrackingEnabled = Enabled; }
+  bool trackingEnabled() const { return TrackingEnabled; }
+
+  /// Attaches a TLB that every tracked access replays against the current
+  /// page table (Table 4 measurement mode); nullptr detaches.
+  void setReplayTlb(sim::Tlb *Tlb) { ReplayTlb = Tlb; }
+
+  /// Attaches a trace writer that records every LLC-miss address (for
+  /// offline analysis through prof::OfflineProfiler); nullptr detaches.
+  void setMissTrace(prof::TraceWriter *Writer) { MissTrace = Writer; }
+
+  /// Fraction of registered bytes currently on the fast tier.
+  double fastDataRatio() const;
+
+  /// Modelled profiler overhead accumulated since profilingStart().
+  double profilingOverheadSeconds() const {
+    return Profiler.overheadSeconds();
+  }
+
+  /// The most recent plan applied by optimize().
+  const analyzer::PlacementPlan &lastPlan() const { return LastPlan; }
+
+  sim::Machine &machine() { return M; }
+  mem::DataObjectRegistry &registry() { return Registry; }
+  prof::SamplingProfiler &profiler() { return Profiler; }
+  mem::ThreadPool &pool() { return Pool; }
+  const RuntimeConfig &config() const { return Config; }
+  analyzer::AnalyzerConfig &analyzerConfig() { return Config.Analyzer; }
+
+private:
+  void replayTlbAccess(uint64_t Va);
+
+  /// Migrates fast-resident chunks that LastPlan no longer selects back
+  /// to the slow tier (the adaptive re-optimization path).
+  void demoteUnselected(mem::Migrator &Mig, mem::MigrationResult &Result);
+
+  RuntimeConfig Config;
+  sim::Machine M;
+  mem::DataObjectRegistry Registry;
+  mem::ThreadPool Pool;
+  prof::SamplingProfiler Profiler;
+  mem::AtmemMigrator AtmemMig;
+  mem::MbindMigrator MbindMig;
+  analyzer::PlacementPlan LastPlan;
+  sim::AccessStats Stats;
+  sim::Tlb *ReplayTlb = nullptr;
+  prof::TraceWriter *MissTrace = nullptr;
+  bool TrackingEnabled = true;
+};
+
+/// A typed view over a registered data object. Every element access is
+/// reported to the runtime, which models its cache/tier cost. Obtain raw()
+/// for untracked bulk initialization.
+template <typename T> class TrackedArray {
+public:
+  TrackedArray() = default;
+  TrackedArray(Runtime *Rt, T *Data, size_t Count, TrackHandle Handle)
+      : Rt(Rt), Data(Data), Count(Count), Handle(Handle) {}
+
+  /// Tracked element access.
+  T &operator[](size_t I) {
+    Rt->onAccess(Handle, I * sizeof(T));
+    return Data[I];
+  }
+  const T &operator[](size_t I) const {
+    Rt->onAccess(Handle, I * sizeof(T));
+    return Data[I];
+  }
+
+  size_t size() const { return Count; }
+  bool empty() const { return Count == 0; }
+
+  /// Untracked raw pointer (initialization/verification only).
+  T *raw() { return Data; }
+  const T *raw() const { return Data; }
+
+  mem::ObjectId objectId() const { return Handle.Object; }
+  uint64_t va() const { return Handle.VaBase; }
+
+private:
+  Runtime *Rt = nullptr;
+  T *Data = nullptr;
+  size_t Count = 0;
+  TrackHandle Handle;
+};
+
+template <typename T>
+TrackedArray<T> Runtime::allocate(const std::string &Name, size_t Count) {
+  uint64_t SizeBytes = Count * sizeof(T);
+  uint64_t ChunkOverride = Config.ChunkBytesOverride;
+  if (Config.WholeObjectChunks) {
+    ChunkOverride = sim::SmallPageBytes;
+    while (ChunkOverride < SizeBytes)
+      ChunkOverride *= 2;
+  }
+  mem::DataObject &Obj =
+      Registry.create(Name, SizeBytes, Config.Placement, ChunkOverride);
+  TrackHandle Handle;
+  Handle.VaBase = Obj.va();
+  Handle.ChunkTiers = Obj.chunkTierData();
+  Handle.ChunkShift = Obj.chunkShift();
+  Handle.Object = Obj.id();
+  return TrackedArray<T>(this, reinterpret_cast<T *>(Obj.data()), Count,
+                         Handle);
+}
+
+} // namespace core
+} // namespace atmem
+
+#endif // ATMEM_CORE_RUNTIME_H

@@ -1,0 +1,119 @@
+#include "graph/CsrBinaryIO.h"
+
+#include <cstdio>
+#include <memory>
+
+using namespace atmem;
+using namespace atmem::graph;
+
+uint64_t graph::fnv1aDigest(const void *Data, size_t Bytes, uint64_t Seed) {
+  const auto *Bytes8 = static_cast<const uint8_t *>(Data);
+  uint64_t Hash = Seed;
+  for (size_t I = 0; I < Bytes; ++I) {
+    Hash ^= Bytes8[I];
+    Hash *= 0x100000001b3ull;
+  }
+  return Hash;
+}
+
+namespace {
+
+/// RAII FILE handle.
+struct FileCloser {
+  void operator()(std::FILE *File) const {
+    if (File)
+      std::fclose(File);
+  }
+};
+using FileHandle = std::unique_ptr<std::FILE, FileCloser>;
+
+uint64_t digestGraph(const CsrGraph &G) {
+  uint64_t Digest = fnv1aDigest(G.rowOffsets().data(),
+                                G.rowOffsets().size() * sizeof(uint64_t));
+  Digest = fnv1aDigest(G.cols().data(),
+                       G.cols().size() * sizeof(VertexId), Digest);
+  if (G.hasWeights())
+    Digest = fnv1aDigest(G.weights().data(),
+                         G.weights().size() * sizeof(uint32_t), Digest);
+  return Digest;
+}
+
+bool writeBlock(std::FILE *File, const void *Data, size_t Bytes) {
+  return Bytes == 0 || std::fwrite(Data, 1, Bytes, File) == Bytes;
+}
+
+bool readBlock(std::FILE *File, void *Data, size_t Bytes) {
+  return Bytes == 0 || std::fread(Data, 1, Bytes, File) == Bytes;
+}
+
+} // namespace
+
+bool graph::writeCsrBinary(const CsrGraph &G, const std::string &Path) {
+  FileHandle File(std::fopen(Path.c_str(), "wb"));
+  if (!File)
+    return false;
+
+  CsrBinaryHeader Header;
+  Header.HasWeights = G.hasWeights() ? 1 : 0;
+  Header.NumVertices = G.numVertices();
+  Header.NumEdges = G.numEdges();
+  Header.PayloadDigest = digestGraph(G);
+
+  if (!writeBlock(File.get(), &Header, sizeof(Header)))
+    return false;
+  if (!writeBlock(File.get(), G.rowOffsets().data(),
+                  G.rowOffsets().size() * sizeof(uint64_t)))
+    return false;
+  if (!writeBlock(File.get(), G.cols().data(),
+                  G.cols().size() * sizeof(VertexId)))
+    return false;
+  if (G.hasWeights() &&
+      !writeBlock(File.get(), G.weights().data(),
+                  G.weights().size() * sizeof(uint32_t)))
+    return false;
+  return std::fflush(File.get()) == 0;
+}
+
+std::optional<CsrGraph> graph::readCsrBinary(const std::string &Path) {
+  FileHandle File(std::fopen(Path.c_str(), "rb"));
+  if (!File)
+    return std::nullopt;
+
+  CsrBinaryHeader Header;
+  if (!readBlock(File.get(), &Header, sizeof(Header)))
+    return std::nullopt;
+  if (Header.Magic != CsrBinaryHeader::MagicValue || Header.Version != 1)
+    return std::nullopt;
+  // Basic sanity before allocating: vertex ids are 32-bit.
+  if (Header.NumVertices > (1ull << 32))
+    return std::nullopt;
+
+  std::vector<uint64_t> RowOffsets(Header.NumVertices + 1);
+  std::vector<VertexId> Cols(Header.NumEdges);
+  std::vector<uint32_t> Weights(Header.HasWeights ? Header.NumEdges : 0);
+  if (!readBlock(File.get(), RowOffsets.data(),
+                 RowOffsets.size() * sizeof(uint64_t)))
+    return std::nullopt;
+  if (!readBlock(File.get(), Cols.data(), Cols.size() * sizeof(VertexId)))
+    return std::nullopt;
+  if (!Weights.empty() &&
+      !readBlock(File.get(), Weights.data(),
+                 Weights.size() * sizeof(uint32_t)))
+    return std::nullopt;
+
+  // Structural validation before constructing (CsrGraph aborts on
+  // inconsistent arrays; a corrupt file must fail gracefully instead).
+  if (RowOffsets.front() != 0 || RowOffsets.back() != Cols.size())
+    return std::nullopt;
+  for (size_t I = 0; I + 1 < RowOffsets.size(); ++I)
+    if (RowOffsets[I] > RowOffsets[I + 1])
+      return std::nullopt;
+  for (VertexId V : Cols)
+    if (V >= Header.NumVertices)
+      return std::nullopt;
+
+  CsrGraph G(std::move(RowOffsets), std::move(Cols), std::move(Weights));
+  if (digestGraph(G) != Header.PayloadDigest)
+    return std::nullopt;
+  return G;
+}

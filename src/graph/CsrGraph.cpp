@@ -1,0 +1,123 @@
+#include "graph/CsrGraph.h"
+
+#include "support/Error.h"
+#include "support/Prng.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace atmem;
+using namespace atmem::graph;
+
+CsrGraph::CsrGraph(std::vector<uint64_t> RowOffsetsIn,
+                   std::vector<VertexId> ColsIn,
+                   std::vector<uint32_t> WeightsIn)
+    : RowOffsets(std::move(RowOffsetsIn)), Cols(std::move(ColsIn)),
+      Weights(std::move(WeightsIn)) {
+  if (RowOffsets.empty())
+    reportFatalError("CSR row offsets must contain at least one entry");
+  if (RowOffsets.back() != Cols.size())
+    reportFatalError("CSR row offsets do not cover the column array");
+  if (!Weights.empty() && Weights.size() != Cols.size())
+    reportFatalError("CSR weight array size mismatch");
+}
+
+VertexId CsrGraph::maxDegreeVertex() const {
+  VertexId Best = 0;
+  uint64_t BestDegree = 0;
+  for (VertexId V = 0; V < numVertices(); ++V) {
+    uint64_t Degree = outDegree(V);
+    if (Degree > BestDegree) {
+      BestDegree = Degree;
+      Best = V;
+    }
+  }
+  return Best;
+}
+
+double CsrGraph::topDegreeEdgeShare(double Fraction) const {
+  if (numEdges() == 0 || numVertices() == 0)
+    return 0.0;
+  std::vector<uint64_t> Degrees(numVertices());
+  for (VertexId V = 0; V < numVertices(); ++V)
+    Degrees[V] = outDegree(V);
+  std::sort(Degrees.begin(), Degrees.end(), std::greater<uint64_t>());
+  auto Top = static_cast<size_t>(Fraction * numVertices());
+  if (Top == 0)
+    Top = 1;
+  uint64_t Sum = 0;
+  for (size_t I = 0; I < Top && I < Degrees.size(); ++I)
+    Sum += Degrees[I];
+  return static_cast<double>(Sum) / static_cast<double>(numEdges());
+}
+
+CsrGraph graph::buildCsr(uint32_t NumVertices, std::vector<Edge> Edges,
+                         const BuildOptions &Options) {
+  if (Options.Symmetrize) {
+    size_t Original = Edges.size();
+    Edges.reserve(Original * 2);
+    for (size_t I = 0; I < Original; ++I)
+      Edges.emplace_back(Edges[I].second, Edges[I].first);
+  }
+  if (Options.RemoveSelfLoops) {
+    Edges.erase(std::remove_if(Edges.begin(), Edges.end(),
+                               [](const Edge &E) {
+                                 return E.first == E.second;
+                               }),
+                Edges.end());
+  }
+  for ([[maybe_unused]] const Edge &E : Edges)
+    assert(E.first < NumVertices && E.second < NumVertices &&
+           "edge endpoint out of range");
+
+  // Counting sort by source builds the offsets in O(V + E).
+  std::vector<uint64_t> RowOffsets(NumVertices + 1, 0);
+  for (const Edge &E : Edges)
+    ++RowOffsets[E.first + 1];
+  for (uint32_t V = 0; V < NumVertices; ++V)
+    RowOffsets[V + 1] += RowOffsets[V];
+
+  std::vector<VertexId> Cols(Edges.size());
+  std::vector<uint64_t> Cursor(RowOffsets.begin(), RowOffsets.end() - 1);
+  for (const Edge &E : Edges)
+    Cols[Cursor[E.first]++] = E.second;
+
+  if (Options.SortNeighbors || Options.DeduplicateEdges)
+    for (uint32_t V = 0; V < NumVertices; ++V)
+      std::sort(Cols.begin() + RowOffsets[V], Cols.begin() + RowOffsets[V + 1]);
+
+  if (Options.DeduplicateEdges) {
+    std::vector<uint64_t> NewOffsets(NumVertices + 1, 0);
+    std::vector<VertexId> NewCols;
+    NewCols.reserve(Cols.size());
+    for (uint32_t V = 0; V < NumVertices; ++V) {
+      VertexId Last = ~0u;
+      for (uint64_t I = RowOffsets[V]; I < RowOffsets[V + 1]; ++I) {
+        if (Cols[I] == Last)
+          continue;
+        NewCols.push_back(Cols[I]);
+        Last = Cols[I];
+      }
+      NewOffsets[V + 1] = NewCols.size();
+    }
+    return CsrGraph(std::move(NewOffsets), std::move(NewCols));
+  }
+  return CsrGraph(std::move(RowOffsets), std::move(Cols));
+}
+
+CsrGraph graph::withRandomWeights(CsrGraph G, uint32_t MaxWeight,
+                                  uint64_t Seed) {
+  assert(MaxWeight > 0 && "weights need a positive range");
+  std::vector<uint32_t> Weights(G.numEdges());
+  const std::vector<uint64_t> &Offsets = G.rowOffsets();
+  const std::vector<VertexId> &Cols = G.cols();
+  for (VertexId V = 0; V + 1 < Offsets.size(); ++V) {
+    for (uint64_t I = Offsets[V]; I < Offsets[V + 1]; ++I) {
+      // Stable per-edge weight: hash of (seed, src, dst).
+      SplitMix64 Hash(Seed ^ (static_cast<uint64_t>(V) << 32) ^ Cols[I]);
+      Weights[I] = static_cast<uint32_t>(Hash.next() % MaxWeight) + 1;
+    }
+  }
+  return CsrGraph(std::vector<uint64_t>(G.rowOffsets()),
+                  std::vector<VertexId>(G.cols()), std::move(Weights));
+}

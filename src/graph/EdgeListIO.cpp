@@ -1,0 +1,46 @@
+#include "graph/EdgeListIO.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+using namespace atmem;
+using namespace atmem::graph;
+
+bool graph::writeEdgeList(const CsrGraph &G, const std::string &Path) {
+  std::FILE *File = std::fopen(Path.c_str(), "w");
+  if (!File)
+    return false;
+  std::fprintf(File, "# vertices=%u edges=%" PRIu64 "\n", G.numVertices(),
+               G.numEdges());
+  for (VertexId V = 0; V < G.numVertices(); ++V)
+    for (VertexId Dst : G.neighbors(V))
+      std::fprintf(File, "%u %u\n", V, Dst);
+  bool Ok = std::fclose(File) == 0;
+  return Ok;
+}
+
+std::optional<CsrGraph> graph::readEdgeList(const std::string &Path,
+                                            const BuildOptions &Options) {
+  std::FILE *File = std::fopen(Path.c_str(), "r");
+  if (!File)
+    return std::nullopt;
+
+  std::vector<Edge> Edges;
+  VertexId MaxVertex = 0;
+  char Line[256];
+  while (std::fgets(Line, sizeof(Line), File)) {
+    if (Line[0] == '#' || Line[0] == '\n')
+      continue;
+    unsigned Src = 0, Dst = 0;
+    if (std::sscanf(Line, "%u %u", &Src, &Dst) != 2) {
+      std::fclose(File);
+      return std::nullopt;
+    }
+    Edges.emplace_back(Src, Dst);
+    MaxVertex = std::max({MaxVertex, Src, Dst});
+  }
+  std::fclose(File);
+  uint32_t NumVertices = Edges.empty() ? 0 : MaxVertex + 1;
+  return buildCsr(NumVertices, std::move(Edges), Options);
+}

@@ -1,0 +1,83 @@
+#include "graph/Generators.h"
+
+#include "support/Error.h"
+#include "support/Prng.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+using namespace atmem;
+using namespace atmem::graph;
+
+CsrGraph graph::generateRmat(const RmatParams &Params) {
+  if (Params.A + Params.B + Params.C >= 1.0)
+    reportFatalError("R-MAT quadrant probabilities must sum below 1");
+  uint32_t NumVertices = 1u << Params.Scale;
+  auto NumEdges = static_cast<uint64_t>(Params.EdgeFactor * NumVertices);
+
+  Xoshiro256 Rng(Params.Seed);
+  std::vector<Edge> Edges;
+  Edges.reserve(NumEdges);
+  double AB = Params.A + Params.B;
+  double ABC = AB + Params.C;
+  for (uint64_t E = 0; E < NumEdges; ++E) {
+    uint32_t Src = 0, Dst = 0;
+    for (uint32_t Bit = 0; Bit < Params.Scale; ++Bit) {
+      double R = Rng.nextDouble();
+      Src <<= 1;
+      Dst <<= 1;
+      if (R < Params.A) {
+        // Top-left quadrant: both bits zero.
+      } else if (R < AB) {
+        Dst |= 1;
+      } else if (R < ABC) {
+        Src |= 1;
+      } else {
+        Src |= 1;
+        Dst |= 1;
+      }
+    }
+    Edges.emplace_back(Src, Dst);
+  }
+  return buildCsr(NumVertices, std::move(Edges));
+}
+
+CsrGraph graph::generatePowerLaw(const PowerLawParams &Params) {
+  assert(Params.Gamma > 1.0 && "power-law exponent must exceed 1");
+  uint32_t NumVertices = Params.NumVertices;
+  auto NumEdges =
+      static_cast<uint64_t>(Params.AverageDegree * NumVertices);
+
+  // Chung-Lu expected-degree weights: w_v proportional to
+  // (v + v0)^(-1/(gamma-1)); v0 softens the head so the top hub does not
+  // absorb a constant fraction of all edges regardless of size.
+  double Exponent = -1.0 / (Params.Gamma - 1.0);
+  double V0 = static_cast<double>(NumVertices) * 0.001 + 1.0;
+  std::vector<double> Cumulative(NumVertices);
+  double Sum = 0.0;
+  for (uint32_t V = 0; V < NumVertices; ++V) {
+    Sum += std::pow(static_cast<double>(V) + V0, Exponent);
+    Cumulative[V] = Sum;
+  }
+
+  // Inverse-CDF sampling via binary search on the cumulative weights.
+  Xoshiro256 Rng(Params.Seed);
+  auto SampleVertex = [&]() -> uint32_t {
+    double R = Rng.nextDouble() * Sum;
+    auto It = std::lower_bound(Cumulative.begin(), Cumulative.end(), R);
+    if (It == Cumulative.end())
+      return NumVertices - 1;
+    return static_cast<uint32_t>(It - Cumulative.begin());
+  };
+
+  std::vector<Edge> Edges;
+  Edges.reserve(NumEdges);
+  for (uint64_t E = 0; E < NumEdges; ++E) {
+    uint32_t Src = SampleVertex();
+    uint32_t Dst = SampleVertex();
+    Edges.emplace_back(Src, Dst);
+  }
+  return buildCsr(NumVertices, std::move(Edges));
+}

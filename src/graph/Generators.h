@@ -1,0 +1,63 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ATMem reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic synthetic graph generators standing in for the paper's
+/// datasets (Table 2). Two families:
+///
+///  - R-MAT (recursive matrix) for the rmat24/rmat27 inputs, with the
+///    standard Graph500 parameters;
+///  - Chung-Lu style power-law generation for the social graphs (pokec,
+///    twitter, friendster), where vertex weights follow a power law with a
+///    per-dataset exponent so cross-dataset skew differences survive the
+///    scale-down. Hubs receive the lowest vertex ids, giving the spatial
+///    hot-region clustering real social-graph orderings exhibit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ATMEM_GRAPH_GENERATORS_H
+#define ATMEM_GRAPH_GENERATORS_H
+
+#include "graph/CsrGraph.h"
+
+#include <cstdint>
+
+namespace atmem {
+namespace graph {
+
+/// R-MAT parameters (defaults are the Graph500 quadrant probabilities).
+struct RmatParams {
+  uint32_t Scale = 16;     ///< 2^Scale vertices.
+  double EdgeFactor = 16;  ///< Edges per vertex.
+  double A = 0.57;
+  double B = 0.19;
+  double C = 0.19;
+  uint64_t Seed = 1;
+};
+
+/// Generates an R-MAT graph as CSR (self-loops removed, neighbors sorted).
+CsrGraph generateRmat(const RmatParams &Params);
+
+/// Chung-Lu power-law parameters.
+struct PowerLawParams {
+  uint32_t NumVertices = 1 << 16;
+  double AverageDegree = 16.0;
+  /// Degree distribution exponent gamma (smaller = heavier tail):
+  /// twitter-like ~1.9, friendster-like ~2.3, pokec-like ~2.6.
+  double Gamma = 2.2;
+  uint64_t Seed = 1;
+};
+
+/// Generates a power-law graph: expected vertex degrees follow
+/// w_v ~ (v+1)^(-1/(Gamma-1)), endpoints sampled proportionally to weight.
+/// Vertex 0 is the heaviest hub.
+CsrGraph generatePowerLaw(const PowerLawParams &Params);
+
+} // namespace graph
+} // namespace atmem
+
+#endif // ATMEM_GRAPH_GENERATORS_H

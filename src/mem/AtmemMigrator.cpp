@@ -1,0 +1,83 @@
+#include "mem/AtmemMigrator.h"
+
+#include "sim/Machine.h"
+#include "support/Error.h"
+
+#include <cstring>
+#include <memory>
+
+using namespace atmem;
+using namespace atmem::mem;
+
+Migrator::~Migrator() = default;
+
+bool AtmemMigrator::migrate(DataObject &Obj,
+                            const std::vector<ChunkRange> &Ranges,
+                            sim::TierId Target, MigrationResult &Result) {
+  sim::Machine &M = Registry.machine();
+  sim::PageTable &PT = M.pageTable();
+  const sim::MigrationCostModel &Cost = M.migrationModel();
+
+  // Capacity pre-check: the staging buffer and the remapped frames coexist
+  // at the peak, so each range needs twice its length free on the target.
+  // Ranges are processed one at a time, so the peak is per-range.
+  uint64_t MaxRangeBytes = 0;
+  uint64_t IncomingBytes = 0;
+  for (const ChunkRange &Range : Ranges) {
+    auto [Begin, End] = Obj.rangeBytes(Range);
+    uint64_t Len = End - Begin;
+    MaxRangeBytes = std::max(MaxRangeBytes, Len);
+    IncomingBytes += Len;
+  }
+  if (M.allocator(Target).freeBytes() < IncomingBytes + MaxRangeBytes)
+    return false;
+
+  for (const ChunkRange &Range : Ranges) {
+    auto [Begin, End] = Obj.rangeBytes(Range);
+    uint64_t Len = End - Begin;
+    if (Len == 0)
+      continue;
+    uint64_t RangeVa = Obj.va() + Begin;
+    sim::TierId Source = Obj.chunkTier(Range.FirstChunk);
+
+    // Stage (a): map a staging buffer on the target tier and copy the live
+    // bytes into it with the worker pool.
+    uint64_t StagingVa = Registry.reserveScratchVa(Len);
+    if (!PT.mapRegion(StagingVa, Len, Target, /*PreferHuge=*/true))
+      reportFatalError("staging allocation failed despite capacity check");
+    auto Staging = std::make_unique<std::byte[]>(Len);
+    std::byte *Live = Obj.data() + Begin;
+    std::byte *Stage = Staging.get();
+    Pool.parallelFor(0, Len, [&](uint64_t From, uint64_t To) {
+      std::memcpy(Stage + From, Live + From, To - From);
+    });
+
+    // Stage (b): rebind the virtual range to fresh target frames. Virtual
+    // addresses are untouched; huge pages re-form where aligned.
+    uint64_t Ptes = 0;
+    if (!PT.remapRange(RangeVa, Len, Target, /*PreferHuge=*/true, &Ptes))
+      reportFatalError("remap failed despite capacity check");
+
+    // Stage (c): drain the staging buffer back into the range.
+    Pool.parallelFor(0, Len, [&](uint64_t From, uint64_t To) {
+      std::memcpy(Live + From, Stage + From, To - From);
+    });
+    PT.unmapRegion(StagingVa, Len);
+
+    for (uint32_t C = Range.FirstChunk;
+         C < Range.FirstChunk + Range.NumChunks; ++C)
+      Obj.setChunkTier(C, Target);
+
+    sim::MigrationWork Work;
+    Work.Bytes = Len;
+    Work.PtesTouched = Ptes;
+    Work.Source = Source;
+    Work.Target = Target;
+    Result.SimSeconds +=
+        Cost.atmemSeconds(Work) + M.config().Migration.AtmemPerRangeSec;
+    Result.BytesMoved += Len;
+    Result.PtesTouched += Ptes;
+    Result.Ranges += 1;
+  }
+  return true;
+}

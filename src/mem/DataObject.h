@@ -1,0 +1,118 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ATMem reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The DataObject is ATMem's unit of registration (paper Section 4.1): one
+/// application allocation (a vertex-property array, a CSR edge array, ...)
+/// subdivided into N equal-sized *data chunks*. Chunk granularity adapts to
+/// the object size so large objects do not explode metadata while small
+/// objects still get intra-object resolution.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ATMEM_MEM_DATAOBJECT_H
+#define ATMEM_MEM_DATAOBJECT_H
+
+#include "sim/FrameAllocator.h"
+#include "sim/MemoryTier.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace atmem {
+namespace mem {
+
+/// Identifier of a registered data object.
+using ObjectId = uint32_t;
+
+/// A contiguous run of chunks inside one data object, used to express
+/// migration plans compactly.
+struct ChunkRange {
+  uint32_t FirstChunk = 0;
+  uint32_t NumChunks = 0;
+
+  bool operator==(const ChunkRange &Other) const = default;
+};
+
+/// Picks the adaptive chunk size for an object of \p SizeBytes: the object
+/// is split into roughly \p TargetChunks chunks, with the chunk size
+/// clamped to [4 KiB, 64 MiB] and rounded to a power of two so chunk
+/// resolution is a shift. Small objects therefore become a single chunk
+/// (equivalent to whole-structure placement, see paper Section 9).
+uint64_t adaptiveChunkBytes(uint64_t SizeBytes, uint32_t TargetChunks = 1024);
+
+/// One registered allocation with its chunk metadata and host backing
+/// store. The host buffer holds the live data the application reads and
+/// writes; the simulated machine tracks where each chunk physically lives.
+class DataObject {
+public:
+  DataObject(ObjectId Id, std::string Name, uint64_t Va, uint64_t SizeBytes,
+             uint64_t ChunkBytes);
+
+  ObjectId id() const { return Id; }
+  const std::string &name() const { return Name; }
+  uint64_t va() const { return Va; }
+  uint64_t sizeBytes() const { return SizeBytes; }
+  /// Region length rounded up to whole pages (what the page table maps).
+  uint64_t mappedBytes() const { return MappedBytes; }
+  uint64_t chunkBytes() const { return ChunkBytes; }
+  uint32_t chunkShift() const { return ChunkShift; }
+  uint32_t numChunks() const { return NumChunks; }
+
+  /// Host memory backing the object's live data.
+  std::byte *data() { return Host.get(); }
+  const std::byte *data() const { return Host.get(); }
+
+  /// Chunk index containing byte \p Offset into the object.
+  uint32_t chunkOf(uint64_t Offset) const {
+    return static_cast<uint32_t>(Offset >> ChunkShift);
+  }
+
+  /// Tier currently holding chunk \p Chunk. Maintained by the migrators;
+  /// chunk-granular because plans move whole chunks and chunks never span
+  /// pages of different tiers after an ATMem migration.
+  sim::TierId chunkTier(uint32_t Chunk) const {
+    return static_cast<sim::TierId>(ChunkTiers[Chunk]);
+  }
+  void setChunkTier(uint32_t Chunk, sim::TierId Tier) {
+    ChunkTiers[Chunk] = static_cast<uint8_t>(Tier);
+  }
+  void setAllChunkTiers(sim::TierId Tier) {
+    for (uint8_t &T : ChunkTiers)
+      T = static_cast<uint8_t>(Tier);
+  }
+
+  /// Raw tier array for the access engine's hot path.
+  const uint8_t *chunkTierData() const { return ChunkTiers.data(); }
+
+  /// Bytes of this object resident on \p Tier according to chunk metadata.
+  uint64_t bytesOn(sim::TierId Tier) const;
+
+  /// Virtual byte range [begin, end) covered by \p Range, clamped to the
+  /// mapped region length.
+  std::pair<uint64_t, uint64_t> rangeBytes(const ChunkRange &Range) const;
+
+private:
+  ObjectId Id;
+  std::string Name;
+  uint64_t Va;
+  uint64_t SizeBytes;
+  uint64_t MappedBytes;
+  uint64_t ChunkBytes;
+  uint32_t ChunkShift;
+  uint32_t NumChunks;
+  std::unique_ptr<std::byte[]> Host;
+  std::vector<uint8_t> ChunkTiers;
+};
+
+} // namespace mem
+} // namespace atmem
+
+#endif // ATMEM_MEM_DATAOBJECT_H

@@ -1,0 +1,125 @@
+#include "mem/DataObjectRegistry.h"
+
+#include "support/Error.h"
+
+using namespace atmem;
+using namespace atmem::mem;
+
+DataObject &DataObjectRegistry::create(const std::string &Name,
+                                       uint64_t SizeBytes,
+                                       InitialPlacement Placement,
+                                       uint64_t ChunkBytesOverride) {
+  uint64_t ChunkBytes = ChunkBytesOverride != 0
+                            ? ChunkBytesOverride
+                            : adaptiveChunkBytes(SizeBytes);
+  auto Id = static_cast<ObjectId>(Objects.size());
+  uint64_t Va = Space.reserve(SizeBytes);
+  auto Obj =
+      std::make_unique<DataObject>(Id, Name, Va, SizeBytes, ChunkBytes);
+
+  sim::PageTable &PT = M.pageTable();
+  switch (Placement) {
+  case InitialPlacement::Slow:
+    if (!PT.mapRegion(Va, Obj->mappedBytes(), sim::TierId::Slow,
+                      /*PreferHuge=*/true))
+      reportFatalError("slow tier exhausted while registering " + Name);
+    Obj->setAllChunkTiers(sim::TierId::Slow);
+    break;
+  case InitialPlacement::Fast:
+    if (!PT.mapRegion(Va, Obj->mappedBytes(), sim::TierId::Fast,
+                      /*PreferHuge=*/true))
+      reportFatalError("fast tier exhausted while registering " + Name);
+    Obj->setAllChunkTiers(sim::TierId::Fast);
+    break;
+  case InitialPlacement::PreferredFast:
+  case InitialPlacement::Interleaved: {
+    if (Placement == InitialPlacement::PreferredFast)
+      PT.mapRegionPreferred(Va, Obj->mappedBytes(), sim::TierId::Fast,
+                            /*PreferHuge=*/true);
+    else
+      PT.mapRegionInterleaved(Va, Obj->mappedBytes(), /*PreferHuge=*/true);
+    // Record per-chunk tiers from the resulting mapping. Chunks of mixed
+    // pages are attributed to their first page's tier; the access
+    // engine's chunk-granular attribution is approximate for these
+    // system policies, which do not maintain ATMem's chunk/page
+    // alignment invariant.
+    for (uint32_t C = 0; C < Obj->numChunks(); ++C) {
+      auto [Begin, End] = Obj->rangeBytes({C, 1});
+      (void)End;
+      Obj->setChunkTier(C, PT.tierOf(Va + Begin));
+    }
+    break;
+  }
+  }
+  DataObject &Ref = *Obj;
+  Objects.push_back(std::move(Obj));
+  return Ref;
+}
+
+void DataObjectRegistry::destroy(ObjectId Id) {
+  if (Id >= Objects.size() || !Objects[Id])
+    reportFatalError("destroy of unknown data object");
+  DataObject &Obj = *Objects[Id];
+  M.pageTable().unmapRegion(Obj.va(), Obj.mappedBytes());
+  Objects[Id].reset();
+}
+
+bool DataObjectRegistry::attribute(uint64_t Va, Attribution &Out) const {
+  // Registration counts are small (tens of objects); a linear scan is
+  // simpler than maintaining a sorted index and never shows up in
+  // profiles because attribution runs only on sampled misses.
+  for (const auto &Obj : Objects) {
+    if (!Obj)
+      continue;
+    if (Va >= Obj->va() && Va < Obj->va() + Obj->mappedBytes()) {
+      Out.Object = Obj->id();
+      Out.Chunk = Obj->chunkOf(Va - Obj->va());
+      return true;
+    }
+  }
+  return false;
+}
+
+DataObject &DataObjectRegistry::object(ObjectId Id) {
+  if (Id >= Objects.size() || !Objects[Id])
+    reportFatalError("lookup of unknown data object");
+  return *Objects[Id];
+}
+
+const DataObject &DataObjectRegistry::object(ObjectId Id) const {
+  if (Id >= Objects.size() || !Objects[Id])
+    reportFatalError("lookup of unknown data object");
+  return *Objects[Id];
+}
+
+std::vector<DataObject *> DataObjectRegistry::liveObjects() {
+  std::vector<DataObject *> Live;
+  for (auto &Obj : Objects)
+    if (Obj)
+      Live.push_back(Obj.get());
+  return Live;
+}
+
+std::vector<const DataObject *> DataObjectRegistry::liveObjects() const {
+  std::vector<const DataObject *> Live;
+  for (const auto &Obj : Objects)
+    if (Obj)
+      Live.push_back(Obj.get());
+  return Live;
+}
+
+uint64_t DataObjectRegistry::totalMappedBytes() const {
+  uint64_t Total = 0;
+  for (const auto &Obj : Objects)
+    if (Obj)
+      Total += Obj->mappedBytes();
+  return Total;
+}
+
+uint64_t DataObjectRegistry::totalBytesOn(sim::TierId Tier) const {
+  uint64_t Total = 0;
+  for (const auto &Obj : Objects)
+    if (Obj)
+      Total += Obj->bytesOn(Tier);
+  return Total;
+}

@@ -1,0 +1,61 @@
+#include "mem/MbindMigrator.h"
+
+#include "sim/Machine.h"
+
+using namespace atmem;
+using namespace atmem::mem;
+
+bool MbindMigrator::migrate(DataObject &Obj,
+                            const std::vector<ChunkRange> &Ranges,
+                            sim::TierId Target, MigrationResult &Result) {
+  sim::Machine &M = Registry.machine();
+  sim::PageTable &PT = M.pageTable();
+  const sim::MigrationCostModel &Cost = M.migrationModel();
+
+  for (const ChunkRange &Range : Ranges) {
+    auto [Begin, End] = Obj.rangeBytes(Range);
+    if (Begin >= End)
+      continue;
+    sim::TierId Source = Obj.chunkTier(Range.FirstChunk);
+
+    uint64_t PagesMoved = 0;
+    uint64_t Splits = 0;
+    bool Failed = false;
+    for (uint64_t Off = Begin; Off < End; Off += sim::SmallPageBytes) {
+      bool Split = false;
+      if (!PT.movePage(Obj.va() + Off, Target, &Split)) {
+        Failed = true;
+        break;
+      }
+      if (Split)
+        ++Splits;
+      ++PagesMoved;
+    }
+    // The host bytes never relocate (virtual contents are unchanged by a
+    // physical move); only the mapping and the cost change.
+
+    uint64_t BytesMoved = PagesMoved * sim::SmallPageBytes;
+    sim::MigrationWork Work;
+    Work.Bytes = BytesMoved;
+    Work.PtesTouched = PagesMoved;
+    Work.Source = Source;
+    Work.Target = Target;
+    Result.SimSeconds +=
+        Cost.mbindSeconds(Work) + M.config().Migration.MbindPerCallSec;
+    Result.BytesMoved += BytesMoved;
+    Result.PtesTouched += PagesMoved;
+    Result.HugePagesSplit += Splits;
+    Result.Ranges += 1;
+
+    // Record per-chunk tiers for every fully moved chunk.
+    for (uint32_t C = Range.FirstChunk;
+         C < Range.FirstChunk + Range.NumChunks; ++C) {
+      auto [CBegin, CEnd] = Obj.rangeBytes({C, 1});
+      if (CEnd <= Begin + BytesMoved)
+        Obj.setChunkTier(C, Target);
+    }
+    if (Failed)
+      return false;
+  }
+  return true;
+}

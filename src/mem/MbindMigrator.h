@@ -1,0 +1,44 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ATMem reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Model of the mbind/libnuma system-service migration path the paper
+/// compares against (Section 2.3). The service is single-threaded and
+/// blocking, moves memory page by page with per-page kernel bookkeeping
+/// (rmap walk, locking, TLB shootdown), and splits any transparent huge
+/// page it partially moves — permanently fragmenting the mapping and
+/// inflating post-migration TLB misses (Table 4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ATMEM_MEM_MBINDMIGRATOR_H
+#define ATMEM_MEM_MBINDMIGRATOR_H
+
+#include "mem/DataObjectRegistry.h"
+#include "mem/Migrator.h"
+
+namespace atmem {
+namespace mem {
+
+/// System-service (mbind-style) migrator.
+class MbindMigrator : public Migrator {
+public:
+  explicit MbindMigrator(DataObjectRegistry &Registry) : Registry(Registry) {}
+
+  std::string name() const override { return "mbind"; }
+
+  bool migrate(DataObject &Obj, const std::vector<ChunkRange> &Ranges,
+               sim::TierId Target, MigrationResult &Result) override;
+
+private:
+  DataObjectRegistry &Registry;
+};
+
+} // namespace mem
+} // namespace atmem
+
+#endif // ATMEM_MEM_MBINDMIGRATOR_H

@@ -1,0 +1,74 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ATMem reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Migration mechanism interface. Two implementations reproduce the
+/// comparison of the paper's Section 7.3 / Table 4:
+///
+///  - AtmemMigrator: the paper's multi-stage multi-threaded application
+///    level mechanism (stage to a buffer on the target tier, remap the
+///    virtual range onto fresh target frames, copy back);
+///  - MbindMigrator: the mbind/libnuma system service (single-threaded,
+///    page-by-page, huge-page splitting).
+///
+/// Both move the *real* host bytes (so tests can verify integrity) and
+/// update the simulated page table; reported times come from the machine's
+/// MigrationCostModel.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ATMEM_MEM_MIGRATOR_H
+#define ATMEM_MEM_MIGRATOR_H
+
+#include "mem/DataObject.h"
+#include "sim/MemoryTier.h"
+
+#include <string>
+#include <vector>
+
+namespace atmem {
+namespace mem {
+
+/// Outcome of one migrate() call.
+struct MigrationResult {
+  uint64_t BytesMoved = 0;     ///< Payload bytes relocated across tiers.
+  uint64_t PtesTouched = 0;    ///< Page-table entries written.
+  uint64_t HugePagesSplit = 0; ///< Huge mappings fragmented (mbind only).
+  uint64_t Ranges = 0;         ///< Contiguous ranges processed.
+  double SimSeconds = 0.0;     ///< Modelled wall time of the migration.
+
+  MigrationResult &operator+=(const MigrationResult &Other) {
+    BytesMoved += Other.BytesMoved;
+    PtesTouched += Other.PtesTouched;
+    HugePagesSplit += Other.HugePagesSplit;
+    Ranges += Other.Ranges;
+    SimSeconds += Other.SimSeconds;
+    return *this;
+  }
+};
+
+/// Abstract migration mechanism.
+class Migrator {
+public:
+  virtual ~Migrator();
+
+  /// Human-readable mechanism name for reports.
+  virtual std::string name() const = 0;
+
+  /// Moves the chunks of \p Obj covered by \p Ranges onto \p Target.
+  /// Returns false when target capacity was insufficient; AtmemMigrator
+  /// leaves the object untouched in that case, MbindMigrator may have
+  /// moved a prefix (mirroring the partial semantics of the real service).
+  /// \p Result accumulates (does not reset) counters.
+  virtual bool migrate(DataObject &Obj, const std::vector<ChunkRange> &Ranges,
+                       sim::TierId Target, MigrationResult &Result) = 0;
+};
+
+} // namespace mem
+} // namespace atmem
+
+#endif // ATMEM_MEM_MIGRATOR_H

@@ -1,0 +1,70 @@
+#include "mem/ThreadPool.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace atmem;
+using namespace atmem::mem;
+
+ThreadPool::ThreadPool(uint32_t Threads) {
+  uint32_t Count = std::max<uint32_t>(Threads, 1);
+  Workers.reserve(Count);
+  for (uint32_t I = 0; I < Count; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ShuttingDown = true;
+  }
+  WorkReady.notify_all();
+  for (std::thread &Worker : Workers)
+    Worker.join();
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> Task;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      WorkReady.wait(Lock, [this] { return ShuttingDown || !Tasks.empty(); });
+      if (ShuttingDown && Tasks.empty())
+        return;
+      Task = std::move(Tasks.front());
+      Tasks.pop();
+    }
+    Task();
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      assert(Pending > 0 && "task accounting out of sync");
+      --Pending;
+    }
+    WorkDone.notify_all();
+  }
+}
+
+void ThreadPool::parallelFor(
+    uint64_t Begin, uint64_t End,
+    const std::function<void(uint64_t, uint64_t)> &Body) {
+  if (Begin >= End)
+    return;
+  uint64_t Total = End - Begin;
+  uint64_t Slices = std::min<uint64_t>(Workers.size(), Total);
+  uint64_t PerSlice = (Total + Slices - 1) / Slices;
+
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    for (uint64_t S = 0; S < Slices; ++S) {
+      uint64_t SliceBegin = Begin + S * PerSlice;
+      uint64_t SliceEnd = std::min(SliceBegin + PerSlice, End);
+      if (SliceBegin >= SliceEnd)
+        break;
+      ++Pending;
+      Tasks.push([&Body, SliceBegin, SliceEnd] { Body(SliceBegin, SliceEnd); });
+    }
+  }
+  WorkReady.notify_all();
+  std::unique_lock<std::mutex> Lock(Mutex);
+  WorkDone.wait(Lock, [this] { return Pending == 0; });
+}

@@ -1,0 +1,64 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ATMem reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small blocking thread pool used by the ATMem migrator for its
+/// multi-threaded staging copies (paper Section 4.4). The pool is real —
+/// the staged copies move real bytes through real threads — while the
+/// *reported* migration time comes from the MigrationCostModel so results
+/// do not depend on the host machine.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ATMEM_MEM_THREADPOOL_H
+#define ATMEM_MEM_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace atmem {
+namespace mem {
+
+/// Fixed-size worker pool with a blocking parallel-for primitive.
+class ThreadPool {
+public:
+  /// Spawns \p Threads workers (at least one).
+  explicit ThreadPool(uint32_t Threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  uint32_t threadCount() const { return static_cast<uint32_t>(Workers.size()); }
+
+  /// Splits [Begin, End) into one contiguous slice per worker and runs
+  /// \p Body(SliceBegin, SliceEnd) on each concurrently. Blocks until all
+  /// slices complete.
+  void parallelFor(uint64_t Begin, uint64_t End,
+                   const std::function<void(uint64_t, uint64_t)> &Body);
+
+private:
+  void workerLoop();
+
+  std::vector<std::thread> Workers;
+  std::mutex Mutex;
+  std::condition_variable WorkReady;
+  std::condition_variable WorkDone;
+  std::queue<std::function<void()>> Tasks;
+  uint32_t Pending = 0;
+  bool ShuttingDown = false;
+};
+
+} // namespace mem
+} // namespace atmem
+
+#endif // ATMEM_MEM_THREADPOOL_H

@@ -1,0 +1,40 @@
+#include "profiler/OfflineProfiler.h"
+
+using namespace atmem;
+using namespace atmem::prof;
+
+ProfileSource::~ProfileSource() = default;
+
+void OfflineProfiler::notifyMiss(uint64_t Va) {
+  ++Misses;
+  mem::Attribution Attr;
+  if (!Registry.attribute(Va, Attr))
+    return;
+  if (Profiles.size() <= Attr.Object)
+    Profiles.resize(Attr.Object + 1);
+  ObjectProfile &Profile = Profiles[Attr.Object];
+  if (Profile.Samples.empty()) {
+    uint32_t Chunks = Registry.object(Attr.Object).numChunks();
+    Profile.Samples.assign(Chunks, 0);
+    Profile.EstimatedMisses.assign(Chunks, 0.0);
+  }
+  ++Profile.Samples[Attr.Chunk];
+  Profile.EstimatedMisses[Attr.Chunk] += 1.0;
+}
+
+bool OfflineProfiler::loadTrace(const std::string &Path) {
+  TraceReader Reader;
+  if (!Reader.open(Path))
+    return false;
+  return Reader.forEach([this](uint64_t Va) { notifyMiss(Va); });
+}
+
+ObjectProfile OfflineProfiler::profileFor(mem::ObjectId Id) const {
+  if (Id < Profiles.size() && !Profiles[Id].Samples.empty())
+    return Profiles[Id];
+  ObjectProfile Empty;
+  uint32_t Chunks = Registry.object(Id).numChunks();
+  Empty.Samples.assign(Chunks, 0);
+  Empty.EstimatedMisses.assign(Chunks, 0.0);
+  return Empty;
+}

@@ -1,0 +1,62 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ATMem reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Full-information profiling from a recorded miss trace — the offline
+/// (Pin-style) comparator of the paper's related work [9, 30]. Every miss
+/// counts exactly (period 1, no sampling loss), giving the analyzer a
+/// ground-truth density map. Comparing placements derived from this
+/// source against the SamplingProfiler's quantifies the information the
+/// sampler loses and how much of it the tree promotion patches back
+/// (Objective II).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ATMEM_PROFILER_OFFLINEPROFILER_H
+#define ATMEM_PROFILER_OFFLINEPROFILER_H
+
+#include "mem/DataObjectRegistry.h"
+#include "profiler/ProfileSource.h"
+#include "profiler/TraceFile.h"
+
+#include <string>
+#include <vector>
+
+namespace atmem {
+namespace prof {
+
+/// Exact per-chunk miss profiles accumulated from a miss stream.
+class OfflineProfiler : public ProfileSource {
+public:
+  explicit OfflineProfiler(mem::DataObjectRegistry &Registry)
+      : Registry(Registry) {}
+
+  /// Counts one miss at \p Va (called directly when profiling in-process
+  /// without a trace file).
+  void notifyMiss(uint64_t Va);
+
+  /// Accumulates every event of the trace at \p Path. Returns false when
+  /// the file is missing, malformed, or truncated.
+  bool loadTrace(const std::string &Path);
+
+  /// Total misses accumulated.
+  uint64_t missCount() const { return Misses; }
+
+  ObjectProfile profileFor(mem::ObjectId Id) const override;
+  /// Exact counts: every miss is a sample.
+  uint64_t period() const override { return 1; }
+
+private:
+  mem::DataObjectRegistry &Registry;
+  std::vector<ObjectProfile> Profiles;
+  uint64_t Misses = 0;
+};
+
+} // namespace prof
+} // namespace atmem
+
+#endif // ATMEM_PROFILER_OFFLINEPROFILER_H

@@ -1,0 +1,57 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ATMem reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Abstract source of per-chunk miss profiles for the analyzer. Two
+/// implementations exist: the online PEBS-like SamplingProfiler (the
+/// paper's mechanism) and the trace-driven OfflineProfiler (the
+/// full-information comparator in the style of the Pin-based offline
+/// tools the paper cites as related work [9, 30]). Keeping the analyzer
+/// source-agnostic lets the benchmarks quantify exactly how much quality
+/// sampling loses — and how much the tree-based patching wins back
+/// (the paper's Objective II).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ATMEM_PROFILER_PROFILESOURCE_H
+#define ATMEM_PROFILER_PROFILESOURCE_H
+
+#include "mem/DataObject.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace atmem {
+namespace prof {
+
+/// Per-object sampling result.
+struct ObjectProfile {
+  /// Raw sample hits per chunk.
+  std::vector<uint64_t> Samples;
+  /// Unbiased miss estimate per chunk: each sample contributes the period
+  /// in force when it was taken (exact counts for offline profiles).
+  std::vector<double> EstimatedMisses;
+};
+
+/// Anything that can hand the analyzer per-chunk miss estimates.
+class ProfileSource {
+public:
+  virtual ~ProfileSource();
+
+  /// Profile for one object (zero-filled when the object was never
+  /// observed).
+  virtual ObjectProfile profileFor(mem::ObjectId Id) const = 0;
+
+  /// The sampling period behind the estimates (Eq. 2's noise floor);
+  /// 1 for exact offline profiles.
+  virtual uint64_t period() const = 0;
+};
+
+} // namespace prof
+} // namespace atmem
+
+#endif // ATMEM_PROFILER_PROFILESOURCE_H

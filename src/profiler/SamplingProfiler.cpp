@@ -1,0 +1,100 @@
+#include "profiler/SamplingProfiler.h"
+
+#include "support/Logging.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace atmem;
+using namespace atmem::prof;
+
+SamplingProfiler::SamplingProfiler(mem::DataObjectRegistry &Registry,
+                                   ProfilerConfig Config)
+    : Registry(Registry), Config(Config) {}
+
+uint64_t SamplingProfiler::deriveInitialPeriod(uint64_t TotalChunks,
+                                               uint64_t TotalBytes,
+                                               uint32_t Threads) {
+  // Empirical rule: one pass over the working set misses roughly once per
+  // cache line; a profiling window covers a few passes. Aim the period so
+  // the expected samples from one pass give each chunk a statistically
+  // useful count (~16), keeping per-chunk Poisson noise from masquerading
+  // as skew. Each hardware thread drains its own PEBS buffer, so the
+  // thread count only nudges the period up slightly to bound aggregate
+  // record volume on very wide machines.
+  uint64_t ExpectedMissesPerPass = std::max<uint64_t>(TotalBytes / 64, 1);
+  uint64_t WantedSamples = std::max<uint64_t>(TotalChunks * 16, 1024);
+  uint64_t Period = ExpectedMissesPerPass / WantedSamples;
+  if (Threads > 128)
+    Period *= 2;
+  Period = std::max<uint64_t>(Period, 16);
+  return std::min<uint64_t>(Period, 1u << 20);
+}
+
+void SamplingProfiler::start(uint32_t ThreadsIn) {
+  Profiles.clear();
+  MissesSeen = 0;
+  SamplesTaken = 0;
+  Threads = std::max(1u, ThreadsIn);
+
+  uint64_t TotalChunks = 0;
+  uint64_t TotalBytes = 0;
+  for (const mem::DataObject *Obj : Registry.liveObjects()) {
+    TotalChunks += Obj->numChunks();
+    TotalBytes += Obj->mappedBytes();
+  }
+  double Budget = Config.SamplesPerChunk * static_cast<double>(TotalChunks);
+  SampleBudget = static_cast<uint64_t>(std::clamp<double>(
+      Budget, static_cast<double>(Config.MinSampleBudget),
+      static_cast<double>(Config.MaxSampleBudget)));
+
+  Period = Config.InitialPeriod != 0
+               ? Config.InitialPeriod
+               : deriveInitialPeriod(TotalChunks, TotalBytes, Threads);
+  Countdown = Period;
+  Active = true;
+  logDebug("profiler armed: period=%llu budget=%llu chunks=%llu",
+           static_cast<unsigned long long>(Period),
+           static_cast<unsigned long long>(SampleBudget),
+           static_cast<unsigned long long>(TotalChunks));
+}
+
+void SamplingProfiler::stop() { Active = false; }
+
+void SamplingProfiler::recordSample(uint64_t Va) {
+  ++SamplesTaken;
+  mem::Attribution Attr;
+  if (Registry.attribute(Va, Attr)) {
+    if (Profiles.size() <= Attr.Object)
+      Profiles.resize(Attr.Object + 1);
+    ObjectProfile &Profile = Profiles[Attr.Object];
+    if (Profile.Samples.empty()) {
+      uint32_t Chunks = Registry.object(Attr.Object).numChunks();
+      Profile.Samples.assign(Chunks, 0);
+      Profile.EstimatedMisses.assign(Chunks, 0.0);
+    }
+    ++Profile.Samples[Attr.Chunk];
+    Profile.EstimatedMisses[Attr.Chunk] += static_cast<double>(Period);
+  }
+  // Budget control: once the budget is consumed, halve the sampling rate.
+  // Estimates stay unbiased because each sample is weighted by the period
+  // in force when it was taken.
+  if (SamplesTaken % SampleBudget == 0)
+    Period *= 2;
+}
+
+double SamplingProfiler::overheadSeconds() const {
+  // Every application thread drains its own PEBS buffer concurrently.
+  return static_cast<double>(SamplesTaken) * Config.SampleCostSec /
+         static_cast<double>(Threads);
+}
+
+ObjectProfile SamplingProfiler::profileFor(mem::ObjectId Id) const {
+  if (Id < Profiles.size() && !Profiles[Id].Samples.empty())
+    return Profiles[Id];
+  ObjectProfile Empty;
+  uint32_t Chunks = Registry.object(Id).numChunks();
+  Empty.Samples.assign(Chunks, 0);
+  Empty.EstimatedMisses.assign(Chunks, 0.0);
+  return Empty;
+}

@@ -1,0 +1,118 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ATMem reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The ATMem profiler (paper Sections 3, 5.1). On the real system it
+/// programs the PMU for PEBS precise-address sampling of LLC-miss loads;
+/// here it subscribes to the simulated LLC's miss stream and samples every
+/// Nth miss, which has the same information-loss characteristics the
+/// analyzer's tree promotion exists to patch.
+///
+/// The sampling period adapts at runtime: an initial period is derived
+/// from the registered chunk population and thread count, and the period
+/// doubles whenever the collected sample count reaches the budget — so a
+/// long profiling window does not oversample ("avoids unnecessarily high
+/// sampling frequency while ensuring efficient information collection").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ATMEM_PROFILER_SAMPLINGPROFILER_H
+#define ATMEM_PROFILER_SAMPLINGPROFILER_H
+
+#include "mem/DataObjectRegistry.h"
+#include "profiler/ProfileSource.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace atmem {
+namespace prof {
+
+/// Tuning knobs of the profiler.
+struct ProfilerConfig {
+  /// Target average samples per data chunk used to size the budget.
+  double SamplesPerChunk = 48.0;
+  /// Hard bounds on the total sample budget.
+  uint64_t MinSampleBudget = 1u << 12;
+  uint64_t MaxSampleBudget = 1u << 21;
+  /// Initial sampling period (misses between samples) before adaptation;
+  /// 0 derives it from the chunk population (see deriveInitialPeriod).
+  uint64_t InitialPeriod = 0;
+  /// Modelled cost of delivering one PEBS record (microcode assist plus
+  /// buffer drain, amortized), seconds. Records are produced by all
+  /// application threads concurrently, so the wall-clock overhead is this
+  /// cost times samples divided by the thread count.
+  double SampleCostSec = 250e-9;
+};
+
+/// Sampling profiler over the simulated miss stream.
+class SamplingProfiler : public ProfileSource {
+public:
+  SamplingProfiler(mem::DataObjectRegistry &Registry, ProfilerConfig Config);
+
+  /// Arms the profiler: derives the initial period from the current chunk
+  /// population and \p Threads, clears previous results, and starts
+  /// consuming miss events.
+  void start(uint32_t Threads);
+
+  /// Disarms the profiler; results remain readable.
+  void stop();
+
+  bool isActive() const { return Active; }
+
+  /// Feed of LLC-miss events from the access engine; called for every
+  /// simulated miss while active. Samples every Nth event.
+  void notifyMiss(uint64_t Va) {
+    if (!Active)
+      return;
+    ++MissesSeen;
+    if (--Countdown != 0)
+      return;
+    recordSample(Va);
+    Countdown = Period;
+  }
+
+  /// Sampling period currently in force.
+  uint64_t period() const override { return Period; }
+
+  uint64_t sampleCount() const { return SamplesTaken; }
+  uint64_t missesSeen() const { return MissesSeen; }
+
+  /// Modelled profiling overhead (seconds) for the samples taken so far.
+  double overheadSeconds() const;
+
+  /// Result for one object; valid after stop() (or during profiling).
+  /// Returns an empty profile for objects that received no samples.
+  ObjectProfile profileFor(mem::ObjectId Id) const override;
+
+  /// Derives the initial sampling period from the registered chunk
+  /// population and the thread count (paper Section 5.1): more chunks or
+  /// more threads generate miss events faster, so the period grows to keep
+  /// the sample budget intact across the profiling window.
+  static uint64_t deriveInitialPeriod(uint64_t TotalChunks,
+                                      uint64_t TotalBytes, uint32_t Threads);
+
+private:
+  void recordSample(uint64_t Va);
+
+  mem::DataObjectRegistry &Registry;
+  ProfilerConfig Config;
+  bool Active = false;
+  uint64_t Period = 64;
+  uint64_t Countdown = 64;
+  uint64_t MissesSeen = 0;
+  uint64_t SamplesTaken = 0;
+  uint64_t SampleBudget = 0;
+  uint32_t Threads = 1;
+  /// Indexed by ObjectId; entries sized lazily on first sample.
+  std::vector<ObjectProfile> Profiles;
+};
+
+} // namespace prof
+} // namespace atmem
+
+#endif // ATMEM_PROFILER_SAMPLINGPROFILER_H

@@ -1,0 +1,92 @@
+#include "profiler/TraceFile.h"
+
+using namespace atmem;
+using namespace atmem::prof;
+
+TraceWriter::~TraceWriter() {
+  if (File)
+    finish();
+}
+
+bool TraceWriter::open(const std::string &Path) {
+  if (File)
+    finish();
+  File = std::fopen(Path.c_str(), "wb");
+  if (!File)
+    return false;
+  Events = 0;
+  WriteFailed = false;
+  Buffer.clear();
+  Buffer.reserve(FlushThreshold);
+  // Placeholder header; finish() rewrites it with the final event count.
+  TraceHeader Header;
+  if (std::fwrite(&Header, sizeof(Header), 1, File) != 1) {
+    std::fclose(File);
+    File = nullptr;
+    return false;
+  }
+  return true;
+}
+
+void TraceWriter::flush() {
+  if (!File || Buffer.empty())
+    return;
+  if (std::fwrite(Buffer.data(), sizeof(uint64_t), Buffer.size(), File) !=
+      Buffer.size())
+    WriteFailed = true;
+  Buffer.clear();
+}
+
+bool TraceWriter::finish() {
+  if (!File)
+    return false;
+  flush();
+  TraceHeader Header;
+  Header.EventCount = Events;
+  bool Ok = !WriteFailed;
+  Ok = Ok && std::fseek(File, 0, SEEK_SET) == 0;
+  Ok = Ok && std::fwrite(&Header, sizeof(Header), 1, File) == 1;
+  Ok = std::fclose(File) == 0 && Ok;
+  File = nullptr;
+  return Ok;
+}
+
+TraceReader::~TraceReader() {
+  if (File)
+    std::fclose(File);
+}
+
+bool TraceReader::open(const std::string &Path) {
+  if (File) {
+    std::fclose(File);
+    File = nullptr;
+  }
+  File = std::fopen(Path.c_str(), "rb");
+  if (!File)
+    return false;
+  if (std::fread(&Header, sizeof(Header), 1, File) != 1 ||
+      Header.Magic != TraceHeader::MagicValue || Header.Version != 1) {
+    std::fclose(File);
+    File = nullptr;
+    return false;
+  }
+  return true;
+}
+
+bool TraceReader::forEach(const std::function<void(uint64_t)> &Consume) {
+  if (!File)
+    return false;
+  std::vector<uint64_t> Buffer(1 << 16);
+  uint64_t Remaining = Header.EventCount;
+  while (Remaining > 0) {
+    size_t Want = static_cast<size_t>(
+        std::min<uint64_t>(Remaining, Buffer.size()));
+    size_t Got = std::fread(Buffer.data(), sizeof(uint64_t), Want, File);
+    for (size_t I = 0; I < Got; ++I)
+      Consume(Buffer[I]);
+    if (Got != Want)
+      return false; // Truncated.
+    Remaining -= Got;
+  }
+  return true;
+}

@@ -1,0 +1,105 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ATMem reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Binary miss-trace recording. A trace is the stream of LLC-miss virtual
+/// addresses of one profiled window, with a versioned header and an event
+/// count so truncated files are detected. Traces feed the OfflineProfiler
+/// (full-information placement analysis) and make profiling runs
+/// reproducible and inspectable offline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ATMEM_PROFILER_TRACEFILE_H
+#define ATMEM_PROFILER_TRACEFILE_H
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace atmem {
+namespace prof {
+
+/// On-disk header of a miss trace.
+struct TraceHeader {
+  static constexpr uint64_t MagicValue = 0x3143524d54414d54ull; // "TMATMRC1".
+
+  uint64_t Magic = MagicValue;
+  uint32_t Version = 1;
+  uint32_t Reserved = 0;
+  uint64_t EventCount = 0;
+};
+
+/// Buffered writer for a miss trace. The header's event count is patched
+/// on finish(), so an unfinished file is recognizably incomplete.
+class TraceWriter {
+public:
+  TraceWriter() = default;
+  ~TraceWriter();
+
+  TraceWriter(const TraceWriter &) = delete;
+  TraceWriter &operator=(const TraceWriter &) = delete;
+
+  /// Opens \p Path for writing. Returns false on I/O failure.
+  bool open(const std::string &Path);
+
+  /// Appends one miss address. No-op when not open.
+  void record(uint64_t Va) {
+    if (!File)
+      return;
+    Buffer.push_back(Va);
+    ++Events;
+    if (Buffer.size() >= FlushThreshold)
+      flush();
+  }
+
+  /// Flushes buffers, patches the header, and closes. Returns false when
+  /// any write failed.
+  bool finish();
+
+  bool isOpen() const { return File != nullptr; }
+  uint64_t eventCount() const { return Events; }
+
+private:
+  void flush();
+
+  static constexpr size_t FlushThreshold = 1 << 16;
+
+  std::FILE *File = nullptr;
+  std::vector<uint64_t> Buffer;
+  uint64_t Events = 0;
+  bool WriteFailed = false;
+};
+
+/// Streaming reader over a miss trace.
+class TraceReader {
+public:
+  /// Opens \p Path and validates the header. Returns false on failure.
+  bool open(const std::string &Path);
+  ~TraceReader();
+
+  TraceReader() = default;
+  TraceReader(const TraceReader &) = delete;
+  TraceReader &operator=(const TraceReader &) = delete;
+
+  /// Invokes \p Consume for every event; returns false when the file
+  /// ends early (truncation).
+  bool forEach(const std::function<void(uint64_t)> &Consume);
+
+  uint64_t eventCount() const { return Header.EventCount; }
+
+private:
+  std::FILE *File = nullptr;
+  TraceHeader Header;
+};
+
+} // namespace prof
+} // namespace atmem
+
+#endif // ATMEM_PROFILER_TRACEFILE_H

@@ -1,0 +1,61 @@
+#include "sim/CacheSim.h"
+
+#include <bit>
+#include <cassert>
+
+using namespace atmem;
+using namespace atmem::sim;
+
+static uint32_t floorLog2(uint64_t Value) {
+  assert(Value != 0);
+  return 63 - static_cast<uint32_t>(std::countl_zero(Value));
+}
+
+CacheSim::CacheSim(const CacheConfig &Config)
+    : Ways(Config.Ways), LineBytes(Config.LineBytes),
+      LineShift(floorLog2(Config.LineBytes)) {
+  assert((Config.LineBytes & (Config.LineBytes - 1)) == 0 &&
+         "line size must be a power of two");
+  uint64_t Lines = Config.SizeBytes / Config.LineBytes;
+  uint64_t WantedSets = Lines / Config.Ways;
+  // Round the set count down to a power of two so indexing is a mask.
+  Sets = WantedSets == 0 ? 1 : (1u << floorLog2(WantedSets));
+  SetShift = floorLog2(Sets);
+  Tags.assign(static_cast<size_t>(Sets) * Ways, ~0ull);
+  Stamps.assign(static_cast<size_t>(Sets) * Ways, 0);
+}
+
+bool CacheSim::access(uint64_t Va) {
+  uint64_t Line = Va >> LineShift;
+  uint32_t Set = static_cast<uint32_t>(Line & (Sets - 1));
+  uint64_t Tag = Line >> SetShift;
+  size_t Base = static_cast<size_t>(Set) * Ways;
+  ++Clock;
+  auto Stamp = static_cast<uint32_t>(Clock);
+
+  size_t Victim = Base;
+  uint32_t VictimStamp = ~0u;
+  for (size_t I = Base; I < Base + Ways; ++I) {
+    if (Tags[I] == Tag) {
+      Stamps[I] = Stamp;
+      ++Hits;
+      return true;
+    }
+    if (Tags[I] == ~0ull) {
+      Victim = I;
+      VictimStamp = 0;
+    } else if (Stamps[I] < VictimStamp) {
+      Victim = I;
+      VictimStamp = Stamps[I];
+    }
+  }
+  ++Misses;
+  Tags[Victim] = Tag;
+  Stamps[Victim] = Stamp;
+  return false;
+}
+
+void CacheSim::flushAll() {
+  for (uint64_t &Tag : Tags)
+    Tag = ~0ull;
+}

@@ -1,0 +1,82 @@
+#include "sim/CostModel.h"
+
+#include <algorithm>
+
+using namespace atmem;
+using namespace atmem::sim;
+
+KernelTime KernelCostModel::estimate(const AccessStats &Stats) const {
+  const ExecutionModel &Exec = Config.Exec;
+  KernelTime Time;
+
+  double Threads = static_cast<double>(Exec.Threads);
+  Time.CpuSec =
+      static_cast<double>(Stats.Accesses) * Exec.CpuSecPerAccess / Threads;
+
+  // Latency term: every hit pays the LLC hit latency; every miss pays the
+  // load-to-use latency of the serving tier. Misses from all threads
+  // overlap up to Threads * MissesInFlightPerThread.
+  double LatencyWork =
+      static_cast<double>(Stats.LlcHits) * Exec.LlcHitLatencySec;
+  for (unsigned I = 0; I < NumTiers; ++I) {
+    const TierSpec &Tier =
+        Config.tier(I == 0 ? TierId::Fast : TierId::Slow);
+    LatencyWork += static_cast<double>(Stats.TierMisses[I]) *
+                   Tier.LoadLatencySec;
+  }
+  Time.LatencySec =
+      LatencyWork / (Threads * Exec.MissesInFlightPerThread);
+
+  // Bandwidth term: each miss consumes the device access granularity of
+  // raw bandwidth on its serving tier. With independent channels (KNL)
+  // the tiers serve their shares concurrently, so the most loaded tier
+  // bounds the time; with shared channels (Optane on the DDR bus) the
+  // service times add (paper Section 9).
+  double TierSec[NumTiers];
+  for (unsigned I = 0; I < NumTiers; ++I) {
+    const TierSpec &Tier =
+        Config.tier(I == 0 ? TierId::Fast : TierId::Slow);
+    double Bytes = static_cast<double>(Stats.TierMisses[I]) *
+                   static_cast<double>(std::max<uint32_t>(
+                       Tier.AccessGranularityBytes, 64));
+    TierSec[I] = Bytes / Tier.BandwidthBytesPerSec;
+  }
+  Time.BandwidthSec = Exec.Channels == ChannelSharing::Independent
+                          ? std::max(TierSec[0], TierSec[1])
+                          : TierSec[0] + TierSec[1];
+  return Time;
+}
+
+double MigrationCostModel::copyBandwidth(TierId Source, TierId Target,
+                                         uint32_t Threads) const {
+  const TierSpec &Src = Config.tier(Source);
+  const TierSpec &Dst = Config.tier(Target);
+  double Aggregate = Src.SingleThreadCopyBytesPerSec +
+                     (Threads > 1 ? (Threads - 1) * Src.PerThreadCopyBytesPerSec
+                                  : 0.0);
+  Aggregate = std::min(Aggregate, Src.BandwidthBytesPerSec);
+  Aggregate = std::min(Aggregate, Dst.BandwidthBytesPerSec);
+  return Aggregate;
+}
+
+double MigrationCostModel::mbindSeconds(const MigrationWork &Work) const {
+  double CopySec = static_cast<double>(Work.Bytes) /
+                   copyBandwidth(Work.Source, Work.Target, /*Threads=*/1);
+  double PageSec = static_cast<double>(Work.PtesTouched) *
+                   Config.Migration.MbindPerPageSec;
+  return CopySec + PageSec;
+}
+
+double MigrationCostModel::atmemSeconds(const MigrationWork &Work) const {
+  uint32_t Threads = Config.Migration.CopyThreads;
+  // Stage one: source region -> staging buffer on the target tier.
+  double StageSec = static_cast<double>(Work.Bytes) /
+                    copyBandwidth(Work.Source, Work.Target, Threads);
+  // Stage two: remap bookkeeping, no data movement.
+  double RemapSec = static_cast<double>(Work.PtesTouched) *
+                    Config.Migration.RemapPerPageSec;
+  // Stage three: staging buffer -> final frames, both on the target tier.
+  double DrainSec = static_cast<double>(Work.Bytes) /
+                    copyBandwidth(Work.Target, Work.Target, Threads);
+  return StageSec + RemapSec + DrainSec;
+}

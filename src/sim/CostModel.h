@@ -1,0 +1,115 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ATMem reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Analytical timing models that convert counted events into simulated
+/// seconds. Two models live here:
+///
+///  - KernelCostModel: execution time of a graph-kernel iteration from its
+///    access/miss counters (DESIGN.md Section 4). The kernel is either
+///    CPU-bound, latency-bound (misses overlapped by memory-level
+///    parallelism), or bandwidth-bound on one tier, whichever dominates.
+///  - MigrationCostModel: wall time of data migration under the mbind
+///    system service (single-threaded, per-page kernel bookkeeping) versus
+///    the ATMem multi-stage multi-threaded copy (Section 4.4 / Table 4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ATMEM_SIM_COSTMODEL_H
+#define ATMEM_SIM_COSTMODEL_H
+
+#include "sim/MachineConfig.h"
+
+#include <cstdint>
+
+namespace atmem {
+namespace sim {
+
+/// Counters accumulated over one kernel iteration by the access engine.
+struct AccessStats {
+  uint64_t Accesses = 0;
+  uint64_t LlcHits = 0;
+  /// LLC misses served by each tier (indexed by tierIndex()).
+  uint64_t TierMisses[NumTiers] = {0, 0};
+
+  uint64_t totalMisses() const {
+    return TierMisses[0] + TierMisses[1];
+  }
+
+  AccessStats &operator+=(const AccessStats &Other) {
+    Accesses += Other.Accesses;
+    LlcHits += Other.LlcHits;
+    for (unsigned I = 0; I < NumTiers; ++I)
+      TierMisses[I] += Other.TierMisses[I];
+    return *this;
+  }
+};
+
+/// Breakdown of a kernel-time estimate, useful for tests and reports.
+struct KernelTime {
+  double CpuSec = 0.0;
+  double LatencySec = 0.0;
+  double BandwidthSec = 0.0;
+
+  /// The governing term: kernels run as slow as their tightest bottleneck.
+  double seconds() const {
+    double T = CpuSec;
+    if (LatencySec > T)
+      T = LatencySec;
+    if (BandwidthSec > T)
+      T = BandwidthSec;
+    return T;
+  }
+};
+
+/// Converts AccessStats into simulated seconds for a given machine.
+class KernelCostModel {
+public:
+  explicit KernelCostModel(const MachineConfig &Config) : Config(Config) {}
+
+  /// Estimates the time of one kernel iteration that produced \p Stats.
+  KernelTime estimate(const AccessStats &Stats) const;
+
+private:
+  const MachineConfig &Config;
+};
+
+/// Inputs to a migration-time estimate.
+struct MigrationWork {
+  uint64_t Bytes = 0;       ///< Payload bytes moved between tiers.
+  uint64_t PtesTouched = 0; ///< Page-table entries written.
+  TierId Source = TierId::Slow;
+  TierId Target = TierId::Fast;
+};
+
+/// Estimates migration wall time for the two mechanisms.
+class MigrationCostModel {
+public:
+  explicit MigrationCostModel(const MachineConfig &Config) : Config(Config) {}
+
+  /// System-service migration: one thread reads the source tier and pays
+  /// kernel bookkeeping per page.
+  double mbindSeconds(const MigrationWork &Work) const;
+
+  /// ATMem migration: payload crosses tiers once into the staging buffer
+  /// (multi-threaded, bounded by both tiers' peak bandwidth), the range is
+  /// remapped (cheap per-page bookkeeping), then payload moves once more
+  /// within the target tier.
+  double atmemSeconds(const MigrationWork &Work) const;
+
+  /// Aggregate copy bandwidth \p Threads threads achieve when reading from
+  /// \p Source and writing to \p Target.
+  double copyBandwidth(TierId Source, TierId Target, uint32_t Threads) const;
+
+private:
+  const MachineConfig &Config;
+};
+
+} // namespace sim
+} // namespace atmem
+
+#endif // ATMEM_SIM_COSTMODEL_H

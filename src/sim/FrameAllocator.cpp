@@ -1,0 +1,70 @@
+#include "sim/FrameAllocator.h"
+
+#include <cassert>
+
+using namespace atmem;
+using namespace atmem::sim;
+
+FrameAllocator::FrameAllocator(TierId Tier, uint64_t CapacityBytes)
+    : Tier(Tier), CapacityBytes(CapacityBytes) {}
+
+std::optional<uint64_t> FrameAllocator::allocateSmall() {
+  if (UsedBytes + SmallPageBytes > CapacityBytes)
+    return std::nullopt;
+  uint64_t Frame;
+  if (!FreeSmall.empty()) {
+    Frame = FreeSmall.back();
+    FreeSmall.pop_back();
+  } else if (!FreeHuge.empty()) {
+    // Carve a small frame out of a free huge block; the remainder becomes
+    // individually free small frames.
+    uint64_t Base = FreeHuge.back();
+    FreeHuge.pop_back();
+    for (uint64_t I = 1; I < FramesPerHugeBlock; ++I)
+      FreeSmall.push_back(Base + I);
+    Frame = Base;
+  } else {
+    Frame = NextFrame;
+    NextFrame += FramesPerHugeBlock;
+    for (uint64_t I = 1; I < FramesPerHugeBlock; ++I)
+      FreeSmall.push_back(Frame + I);
+  }
+  UsedBytes += SmallPageBytes;
+  return Frame;
+}
+
+std::optional<uint64_t> FrameAllocator::allocateHuge() {
+  if (UsedBytes + HugePageBytes > CapacityBytes)
+    return std::nullopt;
+  uint64_t Base;
+  if (!FreeHuge.empty()) {
+    Base = FreeHuge.back();
+    FreeHuge.pop_back();
+  } else {
+    Base = NextFrame;
+    NextFrame += FramesPerHugeBlock;
+  }
+  UsedBytes += HugePageBytes;
+  return Base;
+}
+
+void FrameAllocator::freeSmall(uint64_t Frame) {
+  assert(UsedBytes >= SmallPageBytes && "double free on tier");
+  UsedBytes -= SmallPageBytes;
+  FreeSmall.push_back(Frame);
+}
+
+void FrameAllocator::freeHuge(uint64_t BaseFrame) {
+  assert(BaseFrame % FramesPerHugeBlock == 0 && "misaligned huge block");
+  assert(UsedBytes >= HugePageBytes && "double free on tier");
+  UsedBytes -= HugePageBytes;
+  FreeHuge.push_back(BaseFrame);
+}
+
+void FrameAllocator::splitHuge(uint64_t BaseFrame) {
+  assert(BaseFrame % FramesPerHugeBlock == 0 && "misaligned huge block");
+  // Occupancy unchanged: the 512 frames stay allocated, but future frees
+  // arrive one small frame at a time. Nothing to record beyond the
+  // contract, because frames are identified by number alone.
+  (void)BaseFrame;
+}

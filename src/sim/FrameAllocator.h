@@ -1,0 +1,81 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ATMem reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Physical frame allocation for one simulated memory tier. Frames are
+/// 4 KiB; huge allocations hand out 512-frame blocks aligned to 512 frames
+/// so that a 2 MiB page mapping is physically contiguous. Fragmentation
+/// behaviour matters here: when a huge block is split (mbind-style partial
+/// migration), its frames are released individually and are never
+/// re-coalesced, exactly like transparent-huge-page breakup on Linux.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ATMEM_SIM_FRAMEALLOCATOR_H
+#define ATMEM_SIM_FRAMEALLOCATOR_H
+
+#include "sim/MemoryTier.h"
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace atmem {
+namespace sim {
+
+/// Size of a small page/frame in bytes.
+inline constexpr uint64_t SmallPageBytes = 4096;
+/// Size of a huge page in bytes.
+inline constexpr uint64_t HugePageBytes = 2ull << 20;
+/// Number of small frames per huge block.
+inline constexpr uint64_t FramesPerHugeBlock = HugePageBytes / SmallPageBytes;
+
+/// Allocates simulated physical frames on one tier, tracking occupancy
+/// against the tier capacity.
+class FrameAllocator {
+public:
+  FrameAllocator(TierId Tier, uint64_t CapacityBytes);
+
+  /// Allocates one 4 KiB frame. Returns the frame number, or std::nullopt
+  /// when the tier is full.
+  std::optional<uint64_t> allocateSmall();
+
+  /// Allocates a 512-frame block aligned to 512 frames for a 2 MiB page.
+  /// Returns the base frame number, or std::nullopt when no capacity.
+  std::optional<uint64_t> allocateHuge();
+
+  /// Releases one small frame.
+  void freeSmall(uint64_t Frame);
+
+  /// Releases a whole huge block by its base frame.
+  void freeHuge(uint64_t BaseFrame);
+
+  /// Declares a previously huge block as split: the caller now owns its 512
+  /// constituent frames individually and will release them via freeSmall().
+  /// Occupancy is unchanged; this only switches accounting granularity.
+  void splitHuge(uint64_t BaseFrame);
+
+  TierId tier() const { return Tier; }
+  uint64_t capacityBytes() const { return CapacityBytes; }
+  uint64_t usedBytes() const { return UsedBytes; }
+  uint64_t freeBytes() const { return CapacityBytes - UsedBytes; }
+
+private:
+  TierId Tier;
+  uint64_t CapacityBytes;
+  uint64_t UsedBytes = 0;
+  /// Bump pointer for never-touched frames, in small-frame units. Always
+  /// advanced in huge-block multiples to keep alignment available.
+  uint64_t NextFrame = 0;
+  std::vector<uint64_t> FreeSmall;
+  std::vector<uint64_t> FreeHuge;
+};
+
+} // namespace sim
+} // namespace atmem
+
+#endif // ATMEM_SIM_FRAMEALLOCATOR_H

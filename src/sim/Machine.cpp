@@ -1,0 +1,11 @@
+#include "sim/Machine.h"
+
+using namespace atmem;
+using namespace atmem::sim;
+
+Machine::Machine(MachineConfig ConfigIn)
+    : Config(std::move(ConfigIn)),
+      FastAlloc(TierId::Fast, Config.Fast.CapacityBytes),
+      SlowAlloc(TierId::Slow, Config.Slow.CapacityBytes),
+      PT(FastAlloc, SlowAlloc), Llc(Config.Cache), KernelModel(Config),
+      MigrationModel(Config) {}

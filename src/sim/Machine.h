@@ -1,0 +1,68 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ATMem reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Machine class aggregates the simulated hardware of one testbed:
+/// frame allocators for both tiers, the page table, the LLC model, and the
+/// two cost models. Higher layers (mem, core) hold a Machine and never
+/// instantiate the pieces individually.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ATMEM_SIM_MACHINE_H
+#define ATMEM_SIM_MACHINE_H
+
+#include "sim/CacheSim.h"
+#include "sim/CostModel.h"
+#include "sim/FrameAllocator.h"
+#include "sim/MachineConfig.h"
+#include "sim/PageTable.h"
+#include "sim/Tlb.h"
+
+namespace atmem {
+namespace sim {
+
+/// One simulated heterogeneous-memory machine.
+class Machine {
+public:
+  explicit Machine(MachineConfig Config);
+
+  const MachineConfig &config() const { return Config; }
+
+  PageTable &pageTable() { return PT; }
+  const PageTable &pageTable() const { return PT; }
+
+  CacheSim &llc() { return Llc; }
+
+  FrameAllocator &allocator(TierId Tier) {
+    return Tier == TierId::Fast ? FastAlloc : SlowAlloc;
+  }
+  const FrameAllocator &allocator(TierId Tier) const {
+    return Tier == TierId::Fast ? FastAlloc : SlowAlloc;
+  }
+
+  const KernelCostModel &kernelModel() const { return KernelModel; }
+  const MigrationCostModel &migrationModel() const { return MigrationModel; }
+
+  /// Builds a fresh TLB with this machine's geometry (TLB state is
+  /// per-measurement, so callers own their instances).
+  Tlb makeTlb() const { return Tlb(Config.Tlb); }
+
+private:
+  MachineConfig Config;
+  FrameAllocator FastAlloc;
+  FrameAllocator SlowAlloc;
+  PageTable PT;
+  CacheSim Llc;
+  KernelCostModel KernelModel;
+  MigrationCostModel MigrationModel;
+};
+
+} // namespace sim
+} // namespace atmem
+
+#endif // ATMEM_SIM_MACHINE_H

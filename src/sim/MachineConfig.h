@@ -1,0 +1,127 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ATMem reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Whole-machine configuration for the simulated testbeds, with presets
+/// reproducing the two platforms of the paper's Table 1: the 2nd Gen Xeon
+/// Scalable NVM-DRAM system and the Knights Landing MCDRAM-DRAM system.
+/// Capacities accept a scale factor so that the scaled-down graph datasets
+/// (see graph/Datasets.h) experience the same relative capacity pressure as
+/// the full-size graphs did on the real machines.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ATMEM_SIM_MACHINECONFIG_H
+#define ATMEM_SIM_MACHINECONFIG_H
+
+#include "sim/MemoryTier.h"
+
+#include <cstdint>
+#include <string>
+
+namespace atmem {
+namespace sim {
+
+/// Cache geometry of the simulated last-level cache.
+struct CacheConfig {
+  uint64_t SizeBytes = 32ull << 20;
+  uint32_t Ways = 16;
+  uint32_t LineBytes = 64;
+};
+
+/// Geometry of the simulated data TLB (split 4 KiB / 2 MiB arrays, both
+/// set-associative, as on contemporary x86 cores).
+struct TlbConfig {
+  uint32_t SmallEntries = 64;
+  uint32_t SmallWays = 4;
+  uint32_t HugeEntries = 32;
+  uint32_t HugeWays = 4;
+};
+
+/// How the two tiers' memory traffic shares the physical channels
+/// (paper Section 9): Optane DIMMs sit on the same channels as DRAM, so
+/// concurrent traffic to both serializes; KNL's MCDRAM has its own
+/// on-package channels, so traffic to both tiers overlaps and their
+/// bandwidths aggregate.
+enum class ChannelSharing {
+  Shared,      ///< One channel pool: per-tier service times add.
+  Independent, ///< Separate channels: the slower tier bounds the time.
+};
+
+/// Parameters of the execution-time model (see DESIGN.md Section 4).
+struct ExecutionModel {
+  /// Hardware threads the kernels are modelled to run with.
+  uint32_t Threads = 48;
+  /// Memory-level parallelism: outstanding misses one thread overlaps.
+  double MissesInFlightPerThread = 4.0;
+  /// CPU cost charged per tracked access (instruction work), seconds.
+  double CpuSecPerAccess = 1.2e-9;
+  /// LLC hit latency, seconds.
+  double LlcHitLatencySec = 20e-9;
+  /// Channel topology between the tiers.
+  ChannelSharing Channels = ChannelSharing::Shared;
+};
+
+/// Parameters of the migration-time model. The mbind path is
+/// single-threaded and pays a per-page kernel bookkeeping cost; the ATMem
+/// path uses the thread pool and pays a small per-page remap cost
+/// (Section 4.4 / Table 4 of the paper).
+struct MigrationModel {
+  /// Kernel bookkeeping per 4 KiB page moved via the system service
+  /// (page-table locking, rmap walk, TLB shootdown), seconds.
+  double MbindPerPageSec = 0.4e-6;
+  /// Application-level remap bookkeeping per 4 KiB page, seconds.
+  double RemapPerPageSec = 0.05e-6;
+  /// Threads the ATMem migrator uses for the staged copies.
+  uint32_t CopyThreads = 16;
+  /// Fixed cost to launch one migration call for a contiguous range
+  /// (thread wakeup, staging setup — application-level work, no syscall).
+  /// Makes merging discrete segments via tree promotion measurably
+  /// beneficial (paper Section 4.3).
+  double AtmemPerRangeSec = 10e-6;
+  /// Fixed cost of one mbind() system call on a contiguous range.
+  double MbindPerCallSec = 20e-6;
+};
+
+/// Complete description of one simulated testbed.
+struct MachineConfig {
+  std::string Name;
+  TierSpec Fast;
+  TierSpec Slow;
+  CacheConfig Cache;
+  TlbConfig Tlb;
+  ExecutionModel Exec;
+  MigrationModel Migration;
+
+  const TierSpec &tier(TierId Tier) const {
+    return Tier == TierId::Fast ? Fast : Slow;
+  }
+};
+
+/// The NVM-DRAM testbed (Table 1, top): DRAM is the fast tier (104 GB/s,
+/// ~100 ns), Optane NVM the slow tier (39 GB/s, ~300 ns, 256 B media
+/// granularity). \p CapacityScale shrinks capacities to match scaled-down
+/// datasets (1.0 reproduces the full-size machine).
+MachineConfig nvmDramTestbed(double CapacityScale = 1.0);
+
+/// The MCDRAM-DRAM (Knights Landing) testbed (Table 1, bottom): MCDRAM is
+/// the fast tier (400 GB/s) with only 16 GiB capacity, DDR4 the slow tier
+/// (90 GB/s). KNL cores are weak, so the execution model uses 256 threads
+/// with lower per-thread copy bandwidth.
+///
+/// \p FastCapacityDerate models the footprint gap between this repo's
+/// plain CSR arrays and the paper's GraphPhi hierarchical segment format
+/// (roughly 3x heavier): the paper's large graphs exceed 16 GiB MCDRAM
+/// (Section 7.2), so the scaled MCDRAM must exceed-proof the scaled
+/// datasets the same way.
+MachineConfig mcdramDramTestbed(double CapacityScale = 1.0,
+                                double FastCapacityDerate = 3.0);
+
+} // namespace sim
+} // namespace atmem
+
+#endif // ATMEM_SIM_MACHINECONFIG_H

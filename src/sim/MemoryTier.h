@@ -1,0 +1,79 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ATMem reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tier identifiers and per-tier hardware specifications for the simulated
+/// heterogeneous memory system. A system always has exactly two tiers,
+/// mirroring the paper's NVM-DRAM and MCDRAM-DRAM testbeds: a
+/// small-capacity high-performance tier ("fast") and a large-capacity
+/// low-performance tier ("slow").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ATMEM_SIM_MEMORYTIER_H
+#define ATMEM_SIM_MEMORYTIER_H
+
+#include <cstdint>
+#include <string>
+
+namespace atmem {
+namespace sim {
+
+/// Identifies one of the two memory tiers.
+enum class TierId : uint8_t {
+  Fast = 0, ///< Small high-performance memory (DRAM next to NVM; MCDRAM).
+  Slow = 1, ///< Large low-performance memory (Optane NVM; DDR4 on KNL).
+};
+
+/// Number of tiers in every simulated system.
+inline constexpr unsigned NumTiers = 2;
+
+/// Converts a tier id to a dense array index.
+inline constexpr unsigned tierIndex(TierId Tier) {
+  return static_cast<unsigned>(Tier);
+}
+
+/// The opposite tier.
+inline constexpr TierId otherTier(TierId Tier) {
+  return Tier == TierId::Fast ? TierId::Slow : TierId::Fast;
+}
+
+/// Hardware description of one memory tier. Latency and bandwidth values
+/// come from the paper's published platform numbers (Section 2.1 and
+/// Table 1); the access granularity models device-internal read width
+/// (Optane media reads 256-byte blocks, so 64-byte demand misses waste 3/4
+/// of the raw device bandwidth under random access).
+struct TierSpec {
+  std::string Name;
+  uint64_t CapacityBytes = 0;
+  /// Peak sequential bandwidth in bytes per second.
+  double BandwidthBytesPerSec = 0.0;
+  /// Load-to-use latency for an LLC miss served by this tier, seconds.
+  double LoadLatencySec = 0.0;
+  /// Device-internal access granularity in bytes; every random 64-byte miss
+  /// occupies this many bytes of raw device bandwidth.
+  uint32_t AccessGranularityBytes = 64;
+  /// Copy bandwidth one thread can extract when reading from this tier
+  /// (bytes/second). Bounds single-threaded (mbind-style) migration.
+  double SingleThreadCopyBytesPerSec = 0.0;
+  /// Copy bandwidth each additional thread contributes when reading from
+  /// this tier, until the tier's peak bandwidth saturates.
+  double PerThreadCopyBytesPerSec = 0.0;
+
+  /// Effective bandwidth available to random 64-byte misses, accounting for
+  /// the device access granularity.
+  double randomAccessBandwidth() const {
+    double Amplification =
+        static_cast<double>(AccessGranularityBytes) / 64.0;
+    return BandwidthBytesPerSec / (Amplification < 1.0 ? 1.0 : Amplification);
+  }
+};
+
+} // namespace sim
+} // namespace atmem
+
+#endif // ATMEM_SIM_MEMORYTIER_H

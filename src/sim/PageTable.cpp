@@ -1,0 +1,300 @@
+#include "sim/PageTable.h"
+
+#include "support/Error.h"
+
+#include <cassert>
+
+using namespace atmem;
+using namespace atmem::sim;
+
+static constexpr uint64_t SmallShift = 12;
+static constexpr uint64_t HugeShift = 21;
+
+PageTable::PageTable(FrameAllocator &FastAlloc, FrameAllocator &SlowAlloc)
+    : FastAlloc(FastAlloc), SlowAlloc(SlowAlloc) {
+  assert(FastAlloc.tier() == TierId::Fast && "allocator order swapped");
+  assert(SlowAlloc.tier() == TierId::Slow && "allocator order swapped");
+}
+
+bool PageTable::mapRegion(uint64_t Va, uint64_t Size, TierId Tier,
+                          bool PreferHuge) {
+  assert(Va % SmallPageBytes == 0 && "unaligned region base");
+  assert(Size % SmallPageBytes == 0 && "unaligned region size");
+  FrameAllocator &Alloc = allocator(Tier);
+  if (Alloc.freeBytes() < Size)
+    return false;
+
+  uint64_t Pos = Va;
+  uint64_t End = Va + Size;
+  while (Pos < End) {
+    bool CanHuge = PreferHuge && Pos % HugePageBytes == 0 &&
+                   End - Pos >= HugePageBytes;
+    if (CanHuge) {
+      auto Base = Alloc.allocateHuge();
+      assert(Base && "capacity pre-checked");
+      HugePages[Pos >> HugeShift] = {*Base, Tier};
+      MappedBytes[tierIndex(Tier)] += HugePageBytes;
+      Pos += HugePageBytes;
+      continue;
+    }
+    auto Frame = Alloc.allocateSmall();
+    assert(Frame && "capacity pre-checked");
+    SmallPages[Pos >> SmallShift] = {*Frame, Tier};
+    MappedBytes[tierIndex(Tier)] += SmallPageBytes;
+    Pos += SmallPageBytes;
+  }
+  return true;
+}
+
+uint64_t PageTable::mapRegionPreferred(uint64_t Va, uint64_t Size,
+                                       TierId Preferred, bool PreferHuge) {
+  assert(Va % SmallPageBytes == 0 && "unaligned region base");
+  assert(Size % SmallPageBytes == 0 && "unaligned region size");
+  FrameAllocator &Pref = allocator(Preferred);
+  FrameAllocator &Fallback = allocator(otherTier(Preferred));
+  uint64_t OnPreferred = 0;
+
+  uint64_t Pos = Va;
+  uint64_t End = Va + Size;
+  while (Pos < End) {
+    bool CanHuge = PreferHuge && Pos % HugePageBytes == 0 &&
+                   End - Pos >= HugePageBytes;
+    if (CanHuge) {
+      if (auto Base = Pref.allocateHuge()) {
+        HugePages[Pos >> HugeShift] = {*Base, Preferred};
+        MappedBytes[tierIndex(Preferred)] += HugePageBytes;
+        OnPreferred += HugePageBytes;
+        Pos += HugePageBytes;
+        continue;
+      }
+      if (auto Base = Fallback.allocateHuge()) {
+        HugePages[Pos >> HugeShift] = {*Base, otherTier(Preferred)};
+        MappedBytes[tierIndex(otherTier(Preferred))] += HugePageBytes;
+        Pos += HugePageBytes;
+        continue;
+      }
+      // Neither tier can supply a contiguous block: fall through to small
+      // pages for this stretch.
+    }
+    if (auto Frame = Pref.allocateSmall()) {
+      SmallPages[Pos >> SmallShift] = {*Frame, Preferred};
+      MappedBytes[tierIndex(Preferred)] += SmallPageBytes;
+      OnPreferred += SmallPageBytes;
+    } else if (auto Frame2 = Fallback.allocateSmall()) {
+      SmallPages[Pos >> SmallShift] = {*Frame2, otherTier(Preferred)};
+      MappedBytes[tierIndex(otherTier(Preferred))] += SmallPageBytes;
+    } else {
+      reportFatalError("simulated machine out of physical memory");
+    }
+    Pos += SmallPageBytes;
+  }
+  return OnPreferred;
+}
+
+uint64_t PageTable::mapRegionInterleaved(uint64_t Va, uint64_t Size,
+                                         bool PreferHuge) {
+  assert(Va % SmallPageBytes == 0 && "unaligned region base");
+  assert(Size % SmallPageBytes == 0 && "unaligned region size");
+  uint64_t OnFast = 0;
+  uint64_t Pos = Va;
+  uint64_t End = Va + Size;
+  unsigned Turn = 0;
+  while (Pos < End) {
+    TierId Wanted = Turn++ % 2 == 0 ? TierId::Fast : TierId::Slow;
+    bool CanHuge = PreferHuge && Pos % HugePageBytes == 0 &&
+                   End - Pos >= HugePageBytes;
+    uint64_t PageBytes = CanHuge ? HugePageBytes : SmallPageBytes;
+    auto TryMap = [&](TierId Tier) -> bool {
+      FrameAllocator &Alloc = allocator(Tier);
+      if (CanHuge) {
+        auto Base = Alloc.allocateHuge();
+        if (!Base)
+          return false;
+        HugePages[Pos >> HugeShift] = {*Base, Tier};
+      } else {
+        auto Frame = Alloc.allocateSmall();
+        if (!Frame)
+          return false;
+        SmallPages[Pos >> SmallShift] = {*Frame, Tier};
+      }
+      MappedBytes[tierIndex(Tier)] += PageBytes;
+      if (Tier == TierId::Fast)
+        OnFast += PageBytes;
+      return true;
+    };
+    if (!TryMap(Wanted) && !TryMap(otherTier(Wanted)))
+      reportFatalError("simulated machine out of physical memory");
+    Pos += PageBytes;
+  }
+  return OnFast;
+}
+
+void PageTable::unmapRegion(uint64_t Va, uint64_t Size) {
+  uint64_t Pos = Va;
+  uint64_t End = Va + Size;
+  while (Pos < End) {
+    if (Pos % HugePageBytes == 0) {
+      auto It = HugePages.find(Pos >> HugeShift);
+      if (It != HugePages.end()) {
+        allocator(It->second.Tier).freeHuge(It->second.FrameBase);
+        MappedBytes[tierIndex(It->second.Tier)] -= HugePageBytes;
+        HugePages.erase(It);
+        Pos += HugePageBytes;
+        continue;
+      }
+    }
+    auto It = SmallPages.find(Pos >> SmallShift);
+    if (It == SmallPages.end())
+      reportFatalError("unmapRegion over unmapped page");
+    allocator(It->second.Tier).freeSmall(It->second.FrameBase);
+    MappedBytes[tierIndex(It->second.Tier)] -= SmallPageBytes;
+    SmallPages.erase(It);
+    Pos += SmallPageBytes;
+  }
+}
+
+bool PageTable::splitCoveringHugePage(uint64_t Va) {
+  uint64_t HugeVpn = Va >> HugeShift;
+  auto It = HugePages.find(HugeVpn);
+  if (It == HugePages.end())
+    return false;
+  Entry Huge = It->second;
+  HugePages.erase(It);
+  allocator(Huge.Tier).splitHuge(Huge.FrameBase);
+  uint64_t BaseVpn = HugeVpn << (HugeShift - SmallShift);
+  for (uint64_t I = 0; I < FramesPerHugeBlock; ++I)
+    SmallPages[BaseVpn + I] = {Huge.FrameBase + I, Huge.Tier};
+  return true;
+}
+
+bool PageTable::remapRange(uint64_t Va, uint64_t Size, TierId NewTier,
+                           bool PreferHuge, uint64_t *PagesTouched) {
+  assert(Va % SmallPageBytes == 0 && "unaligned range base");
+  assert(Size % SmallPageBytes == 0 && "unaligned range size");
+  uint64_t End = Va + Size;
+  // Huge pages straddling either boundary must split so the remap touches
+  // exactly the requested range.
+  if (Va % HugePageBytes != 0)
+    splitCoveringHugePage(Va);
+  if (End % HugePageBytes != 0)
+    splitCoveringHugePage(End);
+
+  // Capacity check: bytes arriving on NewTier from the other tier.
+  uint64_t Incoming = 0;
+  for (uint64_t Pos = Va; Pos < End;) {
+    Translation T;
+    if (!translate(Pos, T))
+      reportFatalError("remapRange over unmapped page");
+    if (T.Tier != NewTier)
+      Incoming += T.PageBytes;
+    Pos = T.PageVa + T.PageBytes;
+  }
+  if (allocator(NewTier).freeBytes() < Incoming)
+    return false;
+
+  uint64_t Touched = 0;
+  uint64_t Pos = Va;
+  while (Pos < End) {
+    bool WantHuge = PreferHuge && Pos % HugePageBytes == 0 &&
+                    End - Pos >= HugePageBytes;
+    if (WantHuge) {
+      // Release everything currently backing [Pos, Pos + 2 MiB).
+      uint64_t Stop = Pos + HugePageBytes;
+      for (uint64_t P = Pos; P < Stop;) {
+        Translation T;
+        if (!translate(P, T))
+          reportFatalError("remapRange over unmapped page");
+        if (T.PageBytes == HugePageBytes) {
+          allocator(T.Tier).freeHuge(T.FrameBase);
+          MappedBytes[tierIndex(T.Tier)] -= HugePageBytes;
+          HugePages.erase(P >> HugeShift);
+        } else {
+          allocator(T.Tier).freeSmall(T.FrameBase);
+          MappedBytes[tierIndex(T.Tier)] -= SmallPageBytes;
+          SmallPages.erase(P >> SmallShift);
+        }
+        P = T.PageVa + T.PageBytes;
+      }
+      auto Base = allocator(NewTier).allocateHuge();
+      if (!Base) {
+        // Contiguity exhausted even though byte capacity was available;
+        // degrade to small pages for this stretch.
+        for (uint64_t P = Pos; P < Stop; P += SmallPageBytes) {
+          auto Frame = allocator(NewTier).allocateSmall();
+          assert(Frame && "byte capacity verified above");
+          SmallPages[P >> SmallShift] = {*Frame, NewTier};
+          MappedBytes[tierIndex(NewTier)] += SmallPageBytes;
+          ++Touched;
+        }
+      } else {
+        HugePages[Pos >> HugeShift] = {*Base, NewTier};
+        MappedBytes[tierIndex(NewTier)] += HugePageBytes;
+        ++Touched;
+      }
+      Pos = Stop;
+      continue;
+    }
+    // Small-page stretch (unaligned head/tail, or PreferHuge=false over a
+    // huge mapping — split it down first).
+    splitCoveringHugePage(Pos);
+    auto It = SmallPages.find(Pos >> SmallShift);
+    if (It == SmallPages.end())
+      reportFatalError("remapRange over unmapped page");
+    allocator(It->second.Tier).freeSmall(It->second.FrameBase);
+    MappedBytes[tierIndex(It->second.Tier)] -= SmallPageBytes;
+    auto Frame = allocator(NewTier).allocateSmall();
+    assert(Frame && "byte capacity verified above");
+    It->second = {*Frame, NewTier};
+    MappedBytes[tierIndex(NewTier)] += SmallPageBytes;
+    ++Touched;
+    Pos += SmallPageBytes;
+  }
+  if (PagesTouched)
+    *PagesTouched = Touched;
+  return true;
+}
+
+bool PageTable::movePage(uint64_t Va, TierId NewTier, bool *SplitHugePage) {
+  bool Split = splitCoveringHugePage(Va);
+  if (SplitHugePage)
+    *SplitHugePage = Split;
+  auto It = SmallPages.find(Va >> SmallShift);
+  if (It == SmallPages.end())
+    reportFatalError("movePage over unmapped page");
+  if (It->second.Tier == NewTier)
+    return true;
+  auto Frame = allocator(NewTier).allocateSmall();
+  if (!Frame)
+    return false;
+  allocator(It->second.Tier).freeSmall(It->second.FrameBase);
+  MappedBytes[tierIndex(It->second.Tier)] -= SmallPageBytes;
+  It->second = {*Frame, NewTier};
+  MappedBytes[tierIndex(NewTier)] += SmallPageBytes;
+  return true;
+}
+
+bool PageTable::translate(uint64_t Va, Translation &Out) const {
+  auto HugeIt = HugePages.find(Va >> HugeShift);
+  if (HugeIt != HugePages.end()) {
+    Out.PageVa = (Va >> HugeShift) << HugeShift;
+    Out.PageBytes = HugePageBytes;
+    Out.FrameBase = HugeIt->second.FrameBase;
+    Out.Tier = HugeIt->second.Tier;
+    return true;
+  }
+  auto SmallIt = SmallPages.find(Va >> SmallShift);
+  if (SmallIt == SmallPages.end())
+    return false;
+  Out.PageVa = (Va >> SmallShift) << SmallShift;
+  Out.PageBytes = SmallPageBytes;
+  Out.FrameBase = SmallIt->second.FrameBase;
+  Out.Tier = SmallIt->second.Tier;
+  return true;
+}
+
+TierId PageTable::tierOf(uint64_t Va) const {
+  Translation T;
+  if (!translate(Va, T))
+    reportFatalError("tierOf on unmapped address");
+  return T.Tier;
+}

@@ -1,0 +1,122 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ATMem reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Simulated page table mapping virtual pages to physical frames on one of
+/// the two tiers. Supports 4 KiB and 2 MiB mappings. The migration
+/// mechanisms differ exactly where the paper says they do:
+///
+///  - mbind-style movePage() operates on individual 4 KiB pages and splits
+///    any covering huge page, permanently fragmenting the mapping (the
+///    source of post-migration TLB misses in Table 4);
+///  - ATMem-style remapRange() rebuilds a whole virtual range onto fresh
+///    frames of the target tier, re-forming huge pages wherever alignment
+///    allows, so TLB reach is preserved.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ATMEM_SIM_PAGETABLE_H
+#define ATMEM_SIM_PAGETABLE_H
+
+#include "sim/FrameAllocator.h"
+#include "sim/MemoryTier.h"
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace atmem {
+namespace sim {
+
+/// Result of a virtual-to-physical translation.
+struct Translation {
+  uint64_t PageVa = 0;    ///< Base VA of the containing page.
+  uint64_t PageBytes = 0; ///< 4096 or 2 MiB.
+  uint64_t FrameBase = 0; ///< First small-frame number of the backing.
+  TierId Tier = TierId::Slow;
+};
+
+/// Two-level (by page size) hash-mapped page table over the simulated
+/// virtual address space.
+class PageTable {
+public:
+  PageTable(FrameAllocator &FastAlloc, FrameAllocator &SlowAlloc);
+
+  /// Maps [Va, Va+Size) on \p Tier. Uses 2 MiB pages for every fully
+  /// covered, 2 MiB-aligned stretch when \p PreferHuge. Va and Size must be
+  /// 4 KiB aligned and the range unmapped. Returns false (mapping nothing)
+  /// when the tier lacks capacity for the whole range.
+  bool mapRegion(uint64_t Va, uint64_t Size, TierId Tier, bool PreferHuge);
+
+  /// First-touch preferred policy (models `numactl -p`): places each page
+  /// on \p Preferred while it has room, overflowing to the other tier.
+  /// Returns the number of bytes that landed on \p Preferred.
+  uint64_t mapRegionPreferred(uint64_t Va, uint64_t Size, TierId Preferred,
+                              bool PreferHuge);
+
+  /// Interleaved policy (models `numactl -i`): pages alternate between
+  /// the tiers round-robin, falling back to whichever tier has room when
+  /// one fills up. Returns the number of bytes on the fast tier.
+  uint64_t mapRegionInterleaved(uint64_t Va, uint64_t Size, bool PreferHuge);
+
+  /// Unmaps [Va, Va+Size) and releases all backing frames. The range must
+  /// be fully mapped with pages lying entirely inside it.
+  void unmapRegion(uint64_t Va, uint64_t Size);
+
+  /// ATMem stage-two remap: rebinds [Va, Va+Size) to freshly allocated
+  /// frames on \p NewTier without changing virtual addresses, re-forming
+  /// huge pages where alignment allows. Huge pages partially covered by the
+  /// range are split first. Returns false (leaving the range unchanged up
+  /// to splits) when \p NewTier lacks capacity. \p PagesTouched, when
+  /// non-null, receives the number of page-table entries written.
+  bool remapRange(uint64_t Va, uint64_t Size, TierId NewTier, bool PreferHuge,
+                  uint64_t *PagesTouched = nullptr);
+
+  /// mbind-style single-page move. Splits a covering huge page when
+  /// present. Returns false when the target tier is full (the page then
+  /// stays where it was). \p SplitHugePage, when non-null, is set when this
+  /// call had to split a huge mapping.
+  bool movePage(uint64_t Va, TierId NewTier, bool *SplitHugePage = nullptr);
+
+  /// Translates \p Va. Returns false when unmapped.
+  bool translate(uint64_t Va, Translation &Out) const;
+
+  /// Tier currently backing \p Va; aborts when unmapped.
+  TierId tierOf(uint64_t Va) const;
+
+  /// Bytes of this table's mappings resident on \p Tier.
+  uint64_t mappedBytesOn(TierId Tier) const {
+    return MappedBytes[tierIndex(Tier)];
+  }
+
+  uint64_t smallPageCount() const { return SmallPages.size(); }
+  uint64_t hugePageCount() const { return HugePages.size(); }
+
+  FrameAllocator &allocator(TierId Tier) {
+    return Tier == TierId::Fast ? FastAlloc : SlowAlloc;
+  }
+
+private:
+  struct Entry {
+    uint64_t FrameBase;
+    TierId Tier;
+  };
+
+  /// Splits the huge page covering \p Va (if any) into 512 small PTEs on
+  /// the same frames. Returns true when a split happened.
+  bool splitCoveringHugePage(uint64_t Va);
+
+  FrameAllocator &FastAlloc;
+  FrameAllocator &SlowAlloc;
+  std::unordered_map<uint64_t, Entry> SmallPages; ///< Key: Va >> 12.
+  std::unordered_map<uint64_t, Entry> HugePages;  ///< Key: Va >> 21.
+  uint64_t MappedBytes[NumTiers] = {0, 0};
+};
+
+} // namespace sim
+} // namespace atmem
+
+#endif // ATMEM_SIM_PAGETABLE_H

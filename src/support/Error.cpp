@@ -1,0 +1,19 @@
+#include "support/Error.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace atmem;
+
+void atmem::reportFatalError(std::string_view Message) {
+  std::fprintf(stderr, "atmem fatal error: %.*s\n",
+               static_cast<int>(Message.size()), Message.data());
+  std::abort();
+}
+
+void atmem::unreachableInternal(const char *Message, const char *File,
+                                unsigned Line) {
+  std::fprintf(stderr, "atmem unreachable at %s:%u: %s\n", File, Line,
+               Message);
+  std::abort();
+}

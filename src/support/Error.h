@@ -1,0 +1,38 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ATMem reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fatal-error reporting and unreachable-code markers for the ATMem
+/// libraries. Library code never throws; programmatic errors abort with a
+/// diagnostic, matching the style of large systems codebases.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ATMEM_SUPPORT_ERROR_H
+#define ATMEM_SUPPORT_ERROR_H
+
+#include <string_view>
+
+namespace atmem {
+
+/// Prints \p Message to stderr with an "atmem fatal error:" banner and
+/// aborts. Used for unrecoverable violations of runtime invariants that must
+/// be diagnosed even in release builds.
+[[noreturn]] void reportFatalError(std::string_view Message);
+
+/// Marks a point in control flow that must never execute. Aborts with
+/// \p Message when reached.
+[[noreturn]] void unreachableInternal(const char *Message, const char *File,
+                                      unsigned Line);
+
+} // namespace atmem
+
+/// Use to mark code paths that are impossible when invariants hold.
+#define ATMEM_UNREACHABLE(MSG)                                                 \
+  ::atmem::unreachableInternal(MSG, __FILE__, __LINE__)
+
+#endif // ATMEM_SUPPORT_ERROR_H

@@ -1,0 +1,63 @@
+#include "support/Logging.h"
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdio>
+
+using namespace atmem;
+
+static std::atomic<LogLevel> CurrentLevel{LogLevel::Warning};
+
+void atmem::setLogLevel(LogLevel Level) { CurrentLevel.store(Level); }
+
+LogLevel atmem::logLevel() { return CurrentLevel.load(); }
+
+static const char *levelName(LogLevel Level) {
+  switch (Level) {
+  case LogLevel::Error:
+    return "error";
+  case LogLevel::Warning:
+    return "warning";
+  case LogLevel::Info:
+    return "info";
+  case LogLevel::Debug:
+    return "debug";
+  }
+  return "?";
+}
+
+void atmem::logMessage(LogLevel Level, std::string_view Message) {
+  if (Level > CurrentLevel.load())
+    return;
+  std::fprintf(stderr, "[atmem %s] %.*s\n", levelName(Level),
+               static_cast<int>(Message.size()), Message.data());
+}
+
+static void logFormatted(LogLevel Level, const char *Format, va_list Args) {
+  if (Level > CurrentLevel.load())
+    return;
+  char Buf[1024];
+  std::vsnprintf(Buf, sizeof(Buf), Format, Args);
+  logMessage(Level, Buf);
+}
+
+void atmem::logInfo(const char *Format, ...) {
+  va_list Args;
+  va_start(Args, Format);
+  logFormatted(LogLevel::Info, Format, Args);
+  va_end(Args);
+}
+
+void atmem::logDebug(const char *Format, ...) {
+  va_list Args;
+  va_start(Args, Format);
+  logFormatted(LogLevel::Debug, Format, Args);
+  va_end(Args);
+}
+
+void atmem::logWarning(const char *Format, ...) {
+  va_list Args;
+  va_start(Args, Format);
+  logFormatted(LogLevel::Warning, Format, Args);
+  va_end(Args);
+}

@@ -1,0 +1,40 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ATMem reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Leveled logging for the runtime. Disabled (Warning level) by default so
+/// library code stays quiet inside benchmarks; tests and tools can raise the
+/// verbosity to trace profiler and migration decisions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ATMEM_SUPPORT_LOGGING_H
+#define ATMEM_SUPPORT_LOGGING_H
+
+#include <string_view>
+
+namespace atmem {
+
+enum class LogLevel { Error = 0, Warning = 1, Info = 2, Debug = 3 };
+
+/// Sets the process-wide log threshold; messages above it are dropped.
+void setLogLevel(LogLevel Level);
+
+/// Current threshold.
+LogLevel logLevel();
+
+/// Emits \p Message to stderr when \p Level is within the threshold.
+void logMessage(LogLevel Level, std::string_view Message);
+
+/// printf-style convenience wrappers.
+void logInfo(const char *Format, ...) __attribute__((format(printf, 1, 2)));
+void logDebug(const char *Format, ...) __attribute__((format(printf, 1, 2)));
+void logWarning(const char *Format, ...) __attribute__((format(printf, 1, 2)));
+
+} // namespace atmem
+
+#endif // ATMEM_SUPPORT_LOGGING_H

@@ -1,0 +1,133 @@
+#include "support/Statistics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace atmem;
+
+double atmem::mean(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0.0;
+  double Sum = 0.0;
+  for (double V : Values)
+    Sum += V;
+  return Sum / static_cast<double>(Values.size());
+}
+
+double atmem::geomean(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0.0;
+  double LogSum = 0.0;
+  for (double V : Values) {
+    assert(V > 0.0 && "geomean requires positive values");
+    LogSum += std::log(V);
+  }
+  return std::exp(LogSum / static_cast<double>(Values.size()));
+}
+
+double atmem::stddev(const std::vector<double> &Values) {
+  if (Values.size() < 2)
+    return 0.0;
+  double M = mean(Values);
+  double SqSum = 0.0;
+  for (double V : Values)
+    SqSum += (V - M) * (V - M);
+  return std::sqrt(SqSum / static_cast<double>(Values.size() - 1));
+}
+
+double atmem::percentile(std::vector<double> Values, double Pct) {
+  if (Values.empty())
+    return 0.0;
+  assert(Pct >= 0.0 && Pct <= 100.0 && "percentile out of range");
+  std::sort(Values.begin(), Values.end());
+  if (Values.size() == 1)
+    return Values.front();
+  double Rank = Pct / 100.0 * static_cast<double>(Values.size() - 1);
+  auto Lo = static_cast<size_t>(Rank);
+  size_t Hi = std::min(Lo + 1, Values.size() - 1);
+  double Frac = Rank - static_cast<double>(Lo);
+  return Values[Lo] + (Values[Hi] - Values[Lo]) * Frac;
+}
+
+TwoMeansResult atmem::twoMeansClusters(const std::vector<double> &Values) {
+  TwoMeansResult Result;
+  if (Values.size() < 2)
+    return Result;
+  auto [MinIt, MaxIt] = std::minmax_element(Values.begin(), Values.end());
+  double C0 = *MinIt;
+  double C1 = *MaxIt;
+  if (C0 == C1) {
+    Result.Threshold = C0;
+    Result.MeanLow = C0;
+    Result.MeanHigh = C0;
+    return Result;
+  }
+  // Lloyd's iterations on one dimension converge in a handful of steps.
+  for (int Iter = 0; Iter < 32; ++Iter) {
+    double Mid = (C0 + C1) / 2.0;
+    double Sum0 = 0.0, Sum1 = 0.0;
+    size_t N0 = 0, N1 = 0;
+    for (double V : Values) {
+      if (V <= Mid) {
+        Sum0 += V;
+        ++N0;
+      } else {
+        Sum1 += V;
+        ++N1;
+      }
+    }
+    if (N0 == 0 || N1 == 0)
+      break;
+    double NewC0 = Sum0 / static_cast<double>(N0);
+    double NewC1 = Sum1 / static_cast<double>(N1);
+    if (NewC0 == C0 && NewC1 == C1)
+      break;
+    C0 = NewC0;
+    C1 = NewC1;
+  }
+  Result.Threshold = (C0 + C1) / 2.0;
+  Result.MeanLow = C0;
+  Result.MeanHigh = C1;
+  return Result;
+}
+
+double atmem::twoMeansThreshold(const std::vector<double> &Values) {
+  if (Values.size() < 2)
+    return 0.0;
+  return twoMeansClusters(Values).Threshold;
+}
+
+double atmem::largestGapThreshold(const std::vector<double> &Values) {
+  if (Values.size() < 2)
+    return 0.0;
+  std::vector<double> Sorted(Values);
+  std::sort(Sorted.begin(), Sorted.end(), std::greater<double>());
+  double MaxVal = Sorted.front();
+  if (MaxVal <= 0.0)
+    return 0.0;
+  double BestGap = -1.0;
+  double Threshold = Sorted.front();
+  for (size_t I = 0; I + 1 < Sorted.size(); ++I) {
+    double Gap = (Sorted[I] - Sorted[I + 1]) / MaxVal;
+    if (Gap > BestGap) {
+      BestGap = Gap;
+      // Place the cut just below the value preceding the steepest drop so
+      // that the high side of the gap classifies as selected.
+      Threshold = (Sorted[I] + Sorted[I + 1]) / 2.0;
+    }
+  }
+  return Threshold;
+}
+
+void RunningStat::add(double Value) {
+  if (N == 0) {
+    Min = Value;
+    Max = Value;
+  } else {
+    Min = std::min(Min, Value);
+    Max = std::max(Max, Value);
+  }
+  Sum += Value;
+  ++N;
+}

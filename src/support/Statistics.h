@@ -1,0 +1,97 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ATMem reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small statistics helpers shared by the analyzer (percentile thresholds,
+/// Eq. 2 of the paper) and the benchmark harnesses (summaries over repeated
+/// runs).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ATMEM_SUPPORT_STATISTICS_H
+#define ATMEM_SUPPORT_STATISTICS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace atmem {
+
+/// Arithmetic mean of \p Values; 0.0 for an empty input.
+double mean(const std::vector<double> &Values);
+
+/// Geometric mean of \p Values; all entries must be positive. Returns 0.0
+/// for an empty input.
+double geomean(const std::vector<double> &Values);
+
+/// Sample standard deviation; 0.0 when fewer than two values.
+double stddev(const std::vector<double> &Values);
+
+/// The \p Pct-th percentile (0..100) of \p Values using linear
+/// interpolation between closest ranks. The input does not need to be
+/// sorted. Returns 0.0 for an empty input.
+double percentile(std::vector<double> Values, double Pct);
+
+/// Result of one-dimensional 2-means clustering.
+struct TwoMeansResult {
+  /// Midpoint between the converged centroids (the split threshold).
+  double Threshold = 0.0;
+  /// Mean of the low cluster (values <= Threshold).
+  double MeanLow = 0.0;
+  /// Mean of the high cluster.
+  double MeanHigh = 0.0;
+
+  /// Ratio MeanHigh / MeanLow quantifying how separated the clusters
+  /// are; 1.0 for degenerate inputs. Large values indicate a genuinely
+  /// bimodal (skewed) distribution.
+  double separation() const {
+    return MeanLow > 0.0 ? MeanHigh / MeanLow : 1.0;
+  }
+};
+
+/// One-dimensional 2-means clustering (Lloyd's algorithm) used by the
+/// hybrid local selector as its derivative-based classification (paper
+/// Section 4.2). Returns centroids and the midpoint threshold separating
+/// the "high" cluster from the "low" cluster. Degenerate inputs (fewer
+/// than two values, or all equal) report Threshold == MeanLow == MeanHigh.
+TwoMeansResult twoMeansClusters(const std::vector<double> &Values);
+
+/// Convenience wrapper returning only the split threshold. Returns 0.0
+/// for inputs with fewer than two values.
+double twoMeansThreshold(const std::vector<double> &Values);
+
+/// Finds the largest relative gap in \p Values when sorted descending:
+/// the threshold is placed just above the value that follows the steepest
+/// drop relative to the maximum. Complements twoMeansThreshold for highly
+/// skewed distributions. Returns 0.0 for inputs with fewer than two values.
+double largestGapThreshold(const std::vector<double> &Values);
+
+/// Accumulates a stream of doubles and reports summary statistics without
+/// storing the full stream.
+class RunningStat {
+public:
+  /// Adds one observation.
+  void add(double Value);
+
+  /// Number of observations added so far.
+  size_t count() const { return N; }
+
+  /// Arithmetic mean; 0.0 when empty.
+  double mean() const { return N == 0 ? 0.0 : Sum / static_cast<double>(N); }
+
+  double min() const { return N == 0 ? 0.0 : Min; }
+  double max() const { return N == 0 ? 0.0 : Max; }
+
+private:
+  size_t N = 0;
+  double Sum = 0.0;
+  double Min = 0.0;
+  double Max = 0.0;
+};
+
+} // namespace atmem
+
+#endif // ATMEM_SUPPORT_STATISTICS_H

@@ -1,0 +1,53 @@
+#include "support/TablePrinter.h"
+
+#include "support/Error.h"
+
+#include <cstdio>
+
+using namespace atmem;
+
+TablePrinter::TablePrinter(std::vector<std::string> Headers)
+    : Headers(std::move(Headers)) {}
+
+void TablePrinter::addRow(std::vector<std::string> Cells) {
+  if (Cells.size() != Headers.size())
+    reportFatalError("table row width does not match header width");
+  Rows.push_back(std::move(Cells));
+}
+
+std::string TablePrinter::render() const {
+  std::vector<size_t> Widths(Headers.size(), 0);
+  for (size_t I = 0; I < Headers.size(); ++I)
+    Widths[I] = Headers[I].size();
+  for (const auto &Row : Rows)
+    for (size_t I = 0; I < Row.size(); ++I)
+      if (Row[I].size() > Widths[I])
+        Widths[I] = Row[I].size();
+
+  auto AppendRow = [&](std::string &Out,
+                       const std::vector<std::string> &Cells) {
+    for (size_t I = 0; I < Cells.size(); ++I) {
+      Out += Cells[I];
+      if (I + 1 < Cells.size())
+        Out.append(Widths[I] - Cells[I].size() + 2, ' ');
+    }
+    Out += '\n';
+  };
+
+  std::string Out;
+  AppendRow(Out, Headers);
+  size_t RuleWidth = 0;
+  for (size_t I = 0; I < Widths.size(); ++I)
+    RuleWidth += Widths[I] + (I + 1 < Widths.size() ? 2 : 0);
+  Out.append(RuleWidth, '-');
+  Out += '\n';
+  for (const auto &Row : Rows)
+    AppendRow(Out, Row);
+  return Out;
+}
+
+void TablePrinter::print() const {
+  std::string Text = render();
+  std::fwrite(Text.data(), 1, Text.size(), stdout);
+  std::fflush(stdout);
+}

@@ -1,0 +1,50 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ATMem reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fixed-width text table rendering for the benchmark harnesses. Every
+/// figure/table reproduction prints its results through this class so the
+/// output format stays uniform and greppable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ATMEM_SUPPORT_TABLEPRINTER_H
+#define ATMEM_SUPPORT_TABLEPRINTER_H
+
+#include <string>
+#include <vector>
+
+namespace atmem {
+
+/// Collects rows of string cells and renders them as an aligned text table
+/// with a header rule. Numeric formatting is the caller's responsibility
+/// (see StringUtils.h helpers).
+class TablePrinter {
+public:
+  /// Creates a table with the given column \p Headers.
+  explicit TablePrinter(std::vector<std::string> Headers);
+
+  /// Appends one row; the cell count must match the header count.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Renders the table to a string. Columns are left-aligned and separated
+  /// by two spaces; a dashed rule follows the header.
+  std::string render() const;
+
+  /// Convenience: renders and writes to stdout.
+  void print() const;
+
+  size_t rowCount() const { return Rows.size(); }
+
+private:
+  std::vector<std::string> Headers;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace atmem
+
+#endif // ATMEM_SUPPORT_TABLEPRINTER_H

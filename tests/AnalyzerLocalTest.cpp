@@ -1,0 +1,143 @@
+//===----------------------------------------------------------------------===//
+// Unit tests for hybrid local selection (paper Eq. 1-3).
+//===----------------------------------------------------------------------===//
+
+#include "analyzer/LocalSelector.h"
+
+#include <gtest/gtest.h>
+
+using namespace atmem::analyzer;
+
+namespace {
+
+TEST(LocalSelectorTest, EmptyInput) {
+  LocalSelector Selector;
+  LocalSelection Sel = Selector.select({}, 4096, 64);
+  EXPECT_TRUE(Sel.Priority.empty());
+  EXPECT_EQ(Sel.CriticalCount, 0u);
+}
+
+TEST(LocalSelectorTest, PriorityIsMissesPerByte) {
+  LocalSelector Selector;
+  LocalSelection Sel = Selector.select({4096.0, 8192.0}, 4096, 1);
+  EXPECT_DOUBLE_EQ(Sel.Priority[0], 1.0);
+  EXPECT_DOUBLE_EQ(Sel.Priority[1], 2.0);
+}
+
+TEST(LocalSelectorTest, AllZeroSelectsNothing) {
+  LocalSelector Selector;
+  LocalSelection Sel = Selector.select({0.0, 0.0, 0.0}, 4096, 64);
+  EXPECT_EQ(Sel.CriticalCount, 0u);
+}
+
+TEST(LocalSelectorTest, SkewedDistributionSelectsHead) {
+  LocalSelector Selector;
+  // One scorching chunk, many cold ones.
+  std::vector<double> Misses(100, 10.0);
+  Misses[7] = 100000.0;
+  LocalSelection Sel = Selector.select(Misses, 4096, 1);
+  EXPECT_TRUE(Sel.Critical[7]);
+  EXPECT_EQ(Sel.CriticalCount, 1u);
+}
+
+TEST(LocalSelectorTest, UniformDistributionSelectsNothingLocally) {
+  // Eq. 3 is strict: an exactly even object has no intra-object contrast
+  // for the *local* stage to exploit. Whether the whole object deserves
+  // fast memory is the global ranking stage's call (see
+  // AnalyzerPipelineTest.GlobalRankingLiftsUniformlyHotObject).
+  LocalSelector Selector;
+  std::vector<double> Misses(64, 5000.0);
+  LocalSelection Sel = Selector.select(Misses, 4096, 1);
+  EXPECT_EQ(Sel.CriticalCount, 0u);
+}
+
+TEST(LocalSelectorTest, NoiseFloorSuppressesSingleSamples) {
+  LocalSelectorConfig Config;
+  Config.MinSamples = 2.0;
+  LocalSelector Selector(Config);
+  // Estimates equal to one sampling period: below the 2-sample floor.
+  std::vector<double> Misses(16, 64.0);
+  LocalSelection Sel = Selector.select(Misses, 4096, /*SamplePeriod=*/64);
+  EXPECT_EQ(Sel.CriticalCount, 0u);
+}
+
+TEST(LocalSelectorTest, AboveFloorSelected) {
+  LocalSelectorConfig Config;
+  Config.MinSamples = 2.0;
+  Config.PercentileN = 50.0;
+  LocalSelector Selector(Config);
+  // Distinct values well above the noise floor: the top half (values
+  // exceeding the median) classify critical.
+  std::vector<double> Misses;
+  for (int I = 0; I < 16; ++I)
+    Misses.push_back(1000.0 + I * 10.0);
+  LocalSelection Sel = Selector.select(Misses, 4096, 64);
+  EXPECT_GE(Sel.CriticalCount, 7u);
+  EXPECT_LE(Sel.CriticalCount, 8u);
+}
+
+TEST(LocalSelectorTest, PercentileControlsSelectionBreadth) {
+  std::vector<double> Misses;
+  for (int I = 0; I < 100; ++I)
+    Misses.push_back(100.0 + I); // Slowly increasing, no big gaps.
+  LocalSelectorConfig Narrow;
+  Narrow.PercentileN = 95.0;
+  Narrow.UseDerivativeCut = false;
+  LocalSelectorConfig Wide;
+  Wide.PercentileN = 50.0;
+  Wide.UseDerivativeCut = false;
+  uint32_t NarrowCount =
+      LocalSelector(Narrow).select(Misses, 4096, 1).CriticalCount;
+  uint32_t WideCount =
+      LocalSelector(Wide).select(Misses, 4096, 1).CriticalCount;
+  EXPECT_LT(NarrowCount, WideCount);
+  EXPECT_NEAR(WideCount, 50u, 2u);
+}
+
+TEST(LocalSelectorTest, DerivativeCutTightensOnBimodal) {
+  // 50 hot chunks, 50 lukewarm. P50 alone would select all hot plus the
+  // boundary; the 2-means cut lands between the clusters.
+  std::vector<double> Misses;
+  for (int I = 0; I < 50; ++I)
+    Misses.push_back(10000.0);
+  for (int I = 0; I < 50; ++I)
+    Misses.push_back(100.0);
+  LocalSelectorConfig Config;
+  Config.PercentileN = 10.0; // Alone, would select ~90%.
+  LocalSelector Selector(Config);
+  LocalSelection Sel = Selector.select(Misses, 4096, 1);
+  EXPECT_EQ(Sel.CriticalCount, 50u);
+  for (int I = 0; I < 50; ++I)
+    EXPECT_TRUE(Sel.Critical[I]);
+}
+
+TEST(LocalSelectorTest, ThetaReported) {
+  LocalSelector Selector;
+  std::vector<double> Misses = {100.0, 200000.0, 50.0, 60.0};
+  LocalSelection Sel = Selector.select(Misses, 4096, 1);
+  EXPECT_GT(Sel.Theta, 0.0);
+  for (size_t I = 0; I < Misses.size(); ++I) {
+    if (Sel.Critical[I])
+      EXPECT_GT(Sel.Priority[I], Sel.Theta);
+    else
+      EXPECT_LE(Sel.Priority[I], Sel.Theta);
+  }
+}
+
+TEST(LocalSelectorTest, ZeroChunksNeverCritical) {
+  LocalSelector Selector;
+  std::vector<double> Misses = {0.0, 100.0, 0.0};
+  LocalSelection Sel = Selector.select(Misses, 4096, 1);
+  EXPECT_FALSE(Sel.Critical[0]);
+  EXPECT_FALSE(Sel.Critical[2]);
+  EXPECT_TRUE(Sel.Critical[1]);
+}
+
+TEST(LocalSelectorTest, LargerChunksLowerPriority) {
+  LocalSelector Selector;
+  LocalSelection SmallChunks = Selector.select({1000.0}, 4096, 1);
+  LocalSelection LargeChunks = Selector.select({1000.0}, 65536, 1);
+  EXPECT_GT(SmallChunks.Priority[0], LargeChunks.Priority[0]);
+}
+
+} // namespace

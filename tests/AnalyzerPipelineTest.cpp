@@ -1,0 +1,155 @@
+//===----------------------------------------------------------------------===//
+// Tests for the full analyzer pipeline (Analyzer::classify / plan):
+// the global cross-object ranking stage, promotion toggles, and budget
+// integration — driven through a real runtime + profiler.
+//===----------------------------------------------------------------------===//
+
+#include "analyzer/Analyzer.h"
+#include "core/Runtime.h"
+
+#include <gtest/gtest.h>
+
+using namespace atmem;
+using namespace atmem::analyzer;
+
+namespace {
+
+/// Fixture with two objects of very different density: a small array
+/// hammered uniformly at random (hot) next to a large array scanned once
+/// (cold-ish, sequential). This is the vertex-array-vs-edge-array shape
+/// of every graph kernel.
+class PipelineTest : public ::testing::Test {
+protected:
+  PipelineTest() : Rt(makeConfig()) {
+    Hot = Rt.allocate<uint64_t>("hot", 1 << 15);   // 256 KiB.
+    Cold = Rt.allocate<uint64_t>("cold", 1 << 19); // 4 MiB.
+    Rt.profilingStart();
+    Rt.beginIteration();
+    uint64_t State = 5;
+    for (int I = 0; I < 300000; ++I) {
+      State = State * 6364136223846793005ull + 1442695040888963407ull;
+      Hot[(State >> 33) & ((1 << 15) - 1)] += 1;
+    }
+    for (size_t I = 0; I < Cold.size(); I += 8)
+      Cold[I] += 1;
+    Rt.endIteration();
+    Rt.profilingStop();
+  }
+
+  static core::RuntimeConfig makeConfig() {
+    core::RuntimeConfig Config;
+    Config.Machine = sim::nvmDramTestbed(1.0 / 1024);
+    return Config;
+  }
+
+  const ObjectClassification &classOf(
+      const std::vector<ObjectClassification> &Classes,
+      mem::ObjectId Id) const {
+    for (const auto &Class : Classes)
+      if (Class.Object == Id)
+        return Class;
+    ADD_FAILURE() << "object not classified";
+    static ObjectClassification Dummy;
+    return Dummy;
+  }
+
+  static double selectedFraction(const ObjectClassification &Class) {
+    uint32_t Count = 0;
+    for (uint32_t C = 0; C < Class.numChunks(); ++C)
+      if (Class.isSelected(C))
+        ++Count;
+    return static_cast<double>(Count) / Class.numChunks();
+  }
+
+  core::Runtime Rt;
+  core::TrackedArray<uint64_t> Hot;
+  core::TrackedArray<uint64_t> Cold;
+};
+
+TEST_F(PipelineTest, GlobalRankingLiftsUniformlyHotObject) {
+  Analyzer WithGlobal;
+  auto Classes = WithGlobal.classify(Rt.registry(), Rt.profiler());
+  const auto &HotClass = classOf(Classes, Hot.objectId());
+  EXPECT_GT(selectedFraction(HotClass), 0.9);
+
+  AnalyzerConfig NoGlobal;
+  NoGlobal.UseGlobalRanking = false;
+  auto Local = Analyzer(NoGlobal).classify(Rt.registry(), Rt.profiler());
+  const auto &HotLocal = classOf(Local, Hot.objectId());
+  // The local percentile alone selects far less of a uniform object.
+  EXPECT_LT(static_cast<double>(HotLocal.Local.CriticalCount) /
+                HotLocal.numChunks(),
+            0.6);
+}
+
+TEST_F(PipelineTest, ColdObjectStaysMostlyUnselected) {
+  Analyzer Anal;
+  auto Classes = Anal.classify(Rt.registry(), Rt.profiler());
+  EXPECT_LT(selectedFraction(classOf(Classes, Cold.objectId())), 0.4);
+}
+
+TEST_F(PipelineTest, HotObjectWeightDominates) {
+  Analyzer Anal;
+  auto Classes = Anal.classify(Rt.registry(), Rt.profiler());
+  EXPECT_GT(classOf(Classes, Hot.objectId()).Promotion.Weight,
+            classOf(Classes, Cold.objectId()).Promotion.Weight);
+}
+
+TEST_F(PipelineTest, PromotionDisabledLeavesNoPromotedChunks) {
+  AnalyzerConfig Config;
+  Config.EnablePromotion = false;
+  auto Classes = Analyzer(Config).classify(Rt.registry(), Rt.profiler());
+  for (const auto &Class : Classes)
+    EXPECT_EQ(Class.Promotion.PromotedCount, 0u);
+}
+
+TEST_F(PipelineTest, PlanRespectsBudget) {
+  Analyzer Anal;
+  PlacementPlan Unbounded =
+      Anal.plan(Rt.registry(), Rt.profiler(), 1ull << 40);
+  ASSERT_GT(Unbounded.TotalBytes, 0u);
+  uint64_t Budget = Unbounded.TotalBytes / 3;
+  PlacementPlan Bounded = Anal.plan(Rt.registry(), Rt.profiler(), Budget);
+  EXPECT_LE(Bounded.TotalBytes, Budget);
+  EXPECT_GT(Bounded.TotalBytes, 0u);
+}
+
+TEST_F(PipelineTest, ClassificationCoversEveryLiveObject) {
+  Analyzer Anal;
+  auto Classes = Anal.classify(Rt.registry(), Rt.profiler());
+  EXPECT_EQ(Classes.size(), Rt.registry().liveObjects().size());
+  for (const auto &Class : Classes) {
+    const mem::DataObject &Obj = Rt.registry().object(Class.Object);
+    EXPECT_EQ(Class.numChunks(), Obj.numChunks());
+    EXPECT_EQ(Class.ChunkBytes, Obj.chunkBytes());
+    EXPECT_EQ(Class.MappedBytes, Obj.mappedBytes());
+  }
+}
+
+TEST(PipelineEmptyTest, NoSamplesYieldsEmptyPlan) {
+  core::RuntimeConfig Config;
+  Config.Machine = sim::nvmDramTestbed(1.0 / 1024);
+  core::Runtime Rt(Config);
+  auto Arr = Rt.allocate<uint64_t>("a", 1 << 14);
+  (void)Arr;
+  Rt.profilingStart();
+  Rt.profilingStop(); // No accesses at all.
+  Analyzer Anal;
+  PlacementPlan Plan = Anal.plan(Rt.registry(), Rt.profiler(), 1ull << 30);
+  EXPECT_EQ(Plan.TotalBytes, 0u);
+}
+
+TEST(PipelineEmptyTest, NoObjectsIsFine) {
+  core::RuntimeConfig Config;
+  Config.Machine = sim::nvmDramTestbed(1.0 / 1024);
+  core::Runtime Rt(Config);
+  Rt.profilingStart();
+  Rt.profilingStop();
+  Analyzer Anal;
+  auto Classes = Anal.classify(Rt.registry(), Rt.profiler());
+  EXPECT_TRUE(Classes.empty());
+  PlacementPlan Plan = Anal.plan(Rt.registry(), Rt.profiler(), 1 << 20);
+  EXPECT_EQ(Plan.TotalBytes, 0u);
+}
+
+} // namespace

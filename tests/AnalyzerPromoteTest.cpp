@@ -1,0 +1,191 @@
+//===----------------------------------------------------------------------===//
+// Unit tests for tree-based global promotion (paper Eq. 4-5, Section 4.3).
+//===----------------------------------------------------------------------===//
+
+#include "analyzer/GlobalPromoter.h"
+
+#include <gtest/gtest.h>
+
+using namespace atmem::analyzer;
+
+namespace {
+
+/// Builds a LocalSelection from explicit flags with uniform priority for
+/// critical chunks.
+LocalSelection makeSelection(std::vector<uint8_t> Critical,
+                             double CriticalPr = 1.0) {
+  LocalSelection Sel;
+  Sel.Critical = std::move(Critical);
+  Sel.Priority.resize(Sel.Critical.size(), 0.0);
+  for (size_t I = 0; I < Sel.Critical.size(); ++I)
+    if (Sel.Critical[I]) {
+      Sel.Priority[I] = CriticalPr;
+      ++Sel.CriticalCount;
+    }
+  return Sel;
+}
+
+TEST(ObjectWeightTest, AverageOfCriticalPriorities) {
+  LocalSelection Sel = makeSelection({1, 0, 1, 0});
+  Sel.Priority = {2.0, 99.0, 4.0, 99.0}; // Non-critical values ignored.
+  EXPECT_DOUBLE_EQ(GlobalPromoter::objectWeight(Sel), 3.0);
+}
+
+TEST(ObjectWeightTest, NoCriticalChunksZeroWeight) {
+  LocalSelection Sel = makeSelection({0, 0});
+  EXPECT_DOUBLE_EQ(GlobalPromoter::objectWeight(Sel), 0.0);
+}
+
+TEST(ObjectWeightTest, FewHotBeatsManyLukewarm) {
+  // Paper Section 4.3.2: "a data structure of fewer critical chunks with
+  // high priority has a higher weight than one of more critical chunks
+  // with low priority."
+  LocalSelection FewHot = makeSelection({1, 0, 0, 0, 0, 0, 0, 0}, 100.0);
+  LocalSelection ManyCool = makeSelection({1, 1, 1, 1, 1, 1, 0, 0}, 2.0);
+  EXPECT_GT(GlobalPromoter::objectWeight(FewHot),
+            GlobalPromoter::objectWeight(ManyCool));
+}
+
+TEST(AdaptiveThresholdTest, HigherWeightLowerThreshold) {
+  GlobalPromoter Promoter;
+  std::vector<double> Thresholds =
+      Promoter.adaptiveThresholds({10.0, 1.0, 5.0});
+  EXPECT_LT(Thresholds[0], Thresholds[1]);
+  EXPECT_LT(Thresholds[0], Thresholds[2]);
+  EXPECT_LT(Thresholds[2], Thresholds[1]);
+}
+
+TEST(AdaptiveThresholdTest, RangeIsEpsToEpsPlusTheta) {
+  PromoterConfig Config;
+  Config.Arity = 8;
+  Config.ThetaTR = 0.5;
+  GlobalPromoter Promoter(Config);
+  std::vector<double> Thresholds = Promoter.adaptiveThresholds({10.0, 1.0});
+  EXPECT_DOUBLE_EQ(Thresholds[0], 0.125); // eps for the heaviest object.
+  EXPECT_DOUBLE_EQ(Thresholds[1], 0.625); // eps + thetaTR for the lightest.
+}
+
+TEST(AdaptiveThresholdTest, ZeroWeightNeverPromotes) {
+  GlobalPromoter Promoter;
+  std::vector<double> Thresholds = Promoter.adaptiveThresholds({5.0, 0.0});
+  EXPECT_GT(Thresholds[1], 1.0);
+}
+
+TEST(AdaptiveThresholdTest, SingleWeightUsesMidpoint) {
+  PromoterConfig Config;
+  Config.Arity = 4;
+  Config.ThetaTR = 0.5;
+  GlobalPromoter Promoter(Config);
+  std::vector<double> Thresholds = Promoter.adaptiveThresholds({3.0});
+  EXPECT_DOUBLE_EQ(Thresholds[0], 0.25 + 0.25);
+}
+
+TEST(AdaptiveThresholdTest, EpsilonOffsetShiftsThresholds) {
+  PromoterConfig Lo;
+  Lo.EpsilonOffset = 0.0;
+  PromoterConfig Hi;
+  Hi.EpsilonOffset = 0.3;
+  auto ThreshLo = GlobalPromoter(Lo).adaptiveThresholds({2.0, 1.0});
+  auto ThreshHi = GlobalPromoter(Hi).adaptiveThresholds({2.0, 1.0});
+  EXPECT_DOUBLE_EQ(ThreshHi[0], ThreshLo[0] + 0.3);
+  EXPECT_DOUBLE_EQ(ThreshHi[1], ThreshLo[1] + 0.3);
+}
+
+TEST(AdaptiveThresholdTest, AllWeightsZero) {
+  GlobalPromoter Promoter;
+  for (double T : Promoter.adaptiveThresholds({0.0, 0.0}))
+    EXPECT_GT(T, 1.0);
+}
+
+TEST(PromoteTest, PaperFigure3TopDownPromotion) {
+  // Figure 3c: threshold 0.5; the left subtree of a binary tree has
+  // TR 0.75 >= 0.5, so its zero-ratio child is patched, producing one
+  // continuous region over leaves [0, 4). The right half is untouched.
+  PromoterConfig Config;
+  Config.Arity = 2;
+  GlobalPromoter Promoter(Config);
+  LocalSelection Sel = makeSelection({1, 1, 1, 0, 0, 0, 0, 0});
+  PromotionResult Result = Promoter.promote(Sel, 0.5);
+  EXPECT_TRUE(Result.Promoted[3]);
+  EXPECT_EQ(Result.PromotedCount, 1u);
+  for (int I = 4; I < 8; ++I)
+    EXPECT_FALSE(Result.Promoted[I]) << "leaf " << I;
+}
+
+TEST(PromoteTest, RootAboveThresholdPromotesWholeObject) {
+  PromoterConfig Config;
+  Config.Arity = 2;
+  GlobalPromoter Promoter(Config);
+  LocalSelection Sel = makeSelection({1, 0, 1, 0, 1, 0, 1, 0});
+  PromotionResult Result = Promoter.promote(Sel, 0.5);
+  EXPECT_EQ(Result.PromotedCount, 4u);
+  for (int I = 0; I < 8; ++I)
+    EXPECT_TRUE(Sel.Critical[I] || Result.Promoted[I]);
+}
+
+TEST(PromoteTest, NothingCriticalNothingPromoted) {
+  GlobalPromoter Promoter;
+  LocalSelection Sel = makeSelection({0, 0, 0, 0});
+  PromotionResult Result = Promoter.promote(Sel, 0.125);
+  EXPECT_EQ(Result.PromotedCount, 0u);
+}
+
+TEST(PromoteTest, ThresholdAboveOneNeverPromotes) {
+  GlobalPromoter Promoter;
+  LocalSelection Sel = makeSelection({1, 1, 1, 0});
+  PromotionResult Result = Promoter.promote(Sel, 1.5);
+  EXPECT_EQ(Result.PromotedCount, 0u);
+}
+
+TEST(PromoteTest, IsolatedDenseSubtreePromotesLocally) {
+  // Sixteen leaves, only the first four critical; with threshold 0.6 the
+  // root (4/16) fails but the first quad (4/4) succeeds without needing
+  // promotion; a 3/4 quad would promote its gap.
+  PromoterConfig Config;
+  Config.Arity = 4;
+  GlobalPromoter Promoter(Config);
+  std::vector<uint8_t> Flags(16, 0);
+  Flags[0] = Flags[1] = Flags[2] = 1; // 3/4 in first quad.
+  LocalSelection Sel = makeSelection(Flags);
+  PromotionResult Result = Promoter.promote(Sel, 0.6);
+  EXPECT_TRUE(Result.Promoted[3]);
+  EXPECT_EQ(Result.PromotedCount, 1u);
+}
+
+TEST(PromoteTest, PromotionMergesFragmentsIntoContiguousRegion) {
+  // Scattered criticals under a qualifying node become one continuous
+  // range (the migration-efficiency motivation of Section 4.3).
+  PromoterConfig Config;
+  Config.Arity = 8;
+  GlobalPromoter Promoter(Config);
+  std::vector<uint8_t> Flags = {1, 0, 1, 0, 1, 0, 1, 0};
+  LocalSelection Sel = makeSelection(Flags);
+  PromotionResult Result = Promoter.promote(Sel, 0.5);
+  for (int I = 0; I < 8; ++I)
+    EXPECT_TRUE(Sel.Critical[I] || Result.Promoted[I]) << I;
+}
+
+TEST(PromoteTest, PromoteAllAppliesPerObjectThresholds) {
+  PromoterConfig Config;
+  Config.Arity = 2;
+  Config.ThetaTR = 0.5;
+  GlobalPromoter Promoter(Config);
+  // Object A: hot (high priority) -> low threshold -> promotes its gaps.
+  LocalSelection A = makeSelection({1, 0, 1, 0}, 100.0);
+  // Object B: cool -> threshold 1.0 -> no promotion beyond full nodes.
+  LocalSelection B = makeSelection({1, 0, 0, 0}, 1.0);
+  auto Results = Promoter.promoteAll({A, B});
+  ASSERT_EQ(Results.size(), 2u);
+  EXPECT_GT(Results[0].PromotedCount, 0u);
+  EXPECT_EQ(Results[1].PromotedCount, 0u);
+  EXPECT_LT(Results[0].Threshold, Results[1].Threshold);
+}
+
+TEST(PromoteTest, WeightsReportedInResults) {
+  GlobalPromoter Promoter;
+  LocalSelection Sel = makeSelection({1, 1, 0, 0}, 7.0);
+  PromotionResult Result = Promoter.promote(Sel, 0.5);
+  EXPECT_DOUBLE_EQ(Result.Weight, 7.0);
+}
+
+} // namespace

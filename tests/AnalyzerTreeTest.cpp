@@ -1,0 +1,127 @@
+//===----------------------------------------------------------------------===//
+// Unit tests for the m-ary promotion tree (paper Section 4.3.1, Figure 3).
+//===----------------------------------------------------------------------===//
+
+#include "analyzer/MaryTree.h"
+
+#include <gtest/gtest.h>
+
+using namespace atmem::analyzer;
+
+namespace {
+
+TEST(MaryTreeTest, SingleLeafTree) {
+  MaryTree Tree({1}, 2);
+  EXPECT_EQ(Tree.numLeaves(), 1u);
+  EXPECT_EQ(Tree.numNodes(), 1u);
+  EXPECT_DOUBLE_EQ(Tree.treeRatio(Tree.root()), 1.0);
+}
+
+TEST(MaryTreeTest, BinaryTreeOverFourLeaves) {
+  MaryTree Tree({1, 0, 1, 1}, 2);
+  EXPECT_EQ(Tree.numLeaves(), 4u);
+  // 4 leaves + 2 internal + root = 7 nodes.
+  EXPECT_EQ(Tree.numNodes(), 7u);
+  const MaryTree::Node &Root = Tree.node(Tree.root());
+  EXPECT_EQ(Root.Value, 3u);
+  EXPECT_EQ(Root.LeafBegin, 0u);
+  EXPECT_EQ(Root.LeafEnd, 4u);
+  EXPECT_DOUBLE_EQ(Tree.treeRatio(Tree.root()), 0.75);
+}
+
+TEST(MaryTreeTest, LeavesAreFirstNodesInChunkOrder) {
+  MaryTree Tree({1, 0, 1}, 2);
+  for (uint32_t I = 0; I < 3; ++I) {
+    const MaryTree::Node &Leaf = Tree.node(I);
+    EXPECT_TRUE(Leaf.isLeaf());
+    EXPECT_EQ(Leaf.LeafBegin, I);
+    EXPECT_EQ(Leaf.LeafEnd, I + 1);
+  }
+  EXPECT_EQ(Tree.node(0).Value, 1u);
+  EXPECT_EQ(Tree.node(1).Value, 0u);
+}
+
+TEST(MaryTreeTest, InternalValuesSumChildren) {
+  MaryTree Tree({1, 1, 0, 0, 1, 0, 0, 0}, 2);
+  // Verify every internal node's value equals the sum over its leaves.
+  for (uint32_t Id = 0; Id < Tree.numNodes(); ++Id) {
+    const MaryTree::Node &Node = Tree.node(Id);
+    uint32_t Expected = 0;
+    for (uint32_t Leaf = Node.LeafBegin; Leaf < Node.LeafEnd; ++Leaf)
+      Expected += Tree.node(Leaf).Value;
+    EXPECT_EQ(Node.Value, Expected) << "node " << Id;
+  }
+}
+
+TEST(MaryTreeTest, ParentsAreConsistent) {
+  MaryTree Tree({1, 0, 1, 0, 1, 0, 1}, 3);
+  for (uint32_t Id = 0; Id + 1 < Tree.numNodes(); ++Id) {
+    uint32_t Parent = Tree.node(Id).Parent;
+    ASSERT_NE(Parent, MaryTree::InvalidNode) << "non-root without parent";
+    const MaryTree::Node &P = Tree.node(Parent);
+    EXPECT_GE(Id, P.FirstChild);
+    EXPECT_LT(Id, P.FirstChild + P.NumChildren);
+  }
+  EXPECT_EQ(Tree.node(Tree.root()).Parent, MaryTree::InvalidNode);
+}
+
+TEST(MaryTreeTest, NonPowerLeafCountHandled) {
+  // 5 leaves, arity 4: one full group of 4 plus one remainder node.
+  MaryTree Tree({1, 1, 1, 1, 0}, 4);
+  const MaryTree::Node &Root = Tree.node(Tree.root());
+  EXPECT_EQ(Root.LeafEnd, 5u);
+  EXPECT_EQ(Root.Value, 4u);
+}
+
+TEST(MaryTreeTest, PaperFigure3Example) {
+  // Figure 3: eight chunks; with a binary tree over DO_i where the left
+  // half has 3 of 4 critical (node N11 TR = 3/4) and the right half none.
+  MaryTree Tree({1, 1, 1, 0, 0, 0, 0, 0}, 2);
+  // Level-1 parents of leaves: nodes 8..11 (pairs), level-2: 12..13,
+  // root 14. Find the node covering leaves [0,4).
+  uint32_t N11 = MaryTree::InvalidNode;
+  for (uint32_t Id = 0; Id < Tree.numNodes(); ++Id) {
+    const MaryTree::Node &Node = Tree.node(Id);
+    if (Node.LeafBegin == 0 && Node.LeafEnd == 4)
+      N11 = Id;
+  }
+  ASSERT_NE(N11, MaryTree::InvalidNode);
+  EXPECT_DOUBLE_EQ(Tree.treeRatio(N11), 0.75);
+  EXPECT_DOUBLE_EQ(Tree.treeRatio(Tree.root()), 3.0 / 8.0);
+}
+
+TEST(MaryTreeTest, OcttreeShallowerThanBinary) {
+  std::vector<uint8_t> Leaves(64, 0);
+  MaryTree Binary(Leaves, 2);
+  MaryTree Oct(Leaves, 8);
+  // 64 leaves: binary has 127 nodes, octree 64 + 8 + 1 = 73.
+  EXPECT_EQ(Binary.numNodes(), 127u);
+  EXPECT_EQ(Oct.numNodes(), 73u);
+}
+
+TEST(MaryTreeTest, TreeRatioLeafIsCatValue) {
+  MaryTree Tree({1, 0}, 2);
+  EXPECT_DOUBLE_EQ(Tree.treeRatio(0), 1.0);
+  EXPECT_DOUBLE_EQ(Tree.treeRatio(1), 0.0);
+}
+
+TEST(MaryTreeTest, EmptyTreeHasNoNodes) {
+  MaryTree Tree({}, 4);
+  EXPECT_EQ(Tree.numLeaves(), 0u);
+  EXPECT_EQ(Tree.numNodes(), 0u);
+}
+
+TEST(MaryTreeTest, RootCoversAllLeavesForManyArities) {
+  for (uint32_t Arity : {2u, 3u, 4u, 5u, 8u, 16u}) {
+    for (uint32_t N : {1u, 2u, 7u, 64u, 100u, 1000u}) {
+      std::vector<uint8_t> Leaves(N, 1);
+      MaryTree Tree(Leaves, Arity);
+      const MaryTree::Node &Root = Tree.node(Tree.root());
+      ASSERT_EQ(Root.LeafBegin, 0u) << Arity << " " << N;
+      ASSERT_EQ(Root.LeafEnd, N) << Arity << " " << N;
+      ASSERT_EQ(Root.Value, N) << Arity << " " << N;
+    }
+  }
+}
+
+} // namespace

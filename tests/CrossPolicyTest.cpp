@@ -1,0 +1,94 @@
+//===----------------------------------------------------------------------===//
+// Cross-policy correctness matrix: every kernel must produce identical
+// results under every placement policy on both testbeds — placement and
+// migration may never change computation.
+//===----------------------------------------------------------------------===//
+
+#include "baseline/Experiment.h"
+#include "graph/Generators.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+using namespace atmem;
+using namespace atmem::baseline;
+
+namespace {
+
+struct MatrixCase {
+  const char *Kernel;
+  bool Mcdram;
+};
+
+class CrossPolicyTest : public ::testing::TestWithParam<MatrixCase> {
+protected:
+  static void SetUpTestSuite() {
+    graph::PowerLawParams Params;
+    Params.NumVertices = 6000;
+    Params.AverageDegree = 10;
+    Params.Gamma = 2.1;
+    Params.Seed = 99;
+    Graph = new graph::CsrGraph(
+        graph::withRandomWeights(graph::generatePowerLaw(Params), 32, 3));
+  }
+  static void TearDownTestSuite() {
+    delete Graph;
+    Graph = nullptr;
+  }
+
+  static graph::CsrGraph *Graph;
+};
+
+graph::CsrGraph *CrossPolicyTest::Graph = nullptr;
+
+TEST_P(CrossPolicyTest, ChecksumIdenticalUnderEveryPolicy) {
+  const MatrixCase &Case = GetParam();
+  const Policy Policies[] = {
+      Policy::AllSlow,       Policy::AllFast,
+      Policy::PreferredFast, Policy::Interleaved,
+      Policy::Atmem,         Policy::AtmemMbind,
+      Policy::AtmemSampledOnly, Policy::CoarseGrained,
+  };
+  std::map<Policy, uint64_t> Checksums;
+  for (Policy P : Policies) {
+    RunConfig Config;
+    Config.KernelName = Case.Kernel;
+    Config.Graph = Graph;
+    Config.Machine = Case.Mcdram ? sim::mcdramDramTestbed(1.0 / 2048)
+                                 : sim::nvmDramTestbed(1.0 / 2048);
+    Config.PolicyKind = P;
+    Checksums[P] = runExperiment(Config).Checksum;
+  }
+  // Iterative kernels accumulate across iterations, so policies that run
+  // one extra profiled iteration (the ATMem family) are compared among
+  // themselves, and the single-measured-iteration baselines among
+  // themselves.
+  EXPECT_EQ(Checksums[Policy::AllFast], Checksums[Policy::AllSlow]);
+  EXPECT_EQ(Checksums[Policy::PreferredFast], Checksums[Policy::AllSlow]);
+  EXPECT_EQ(Checksums[Policy::Interleaved], Checksums[Policy::AllSlow]);
+  EXPECT_EQ(Checksums[Policy::AtmemMbind], Checksums[Policy::Atmem]);
+  EXPECT_EQ(Checksums[Policy::AtmemSampledOnly], Checksums[Policy::Atmem]);
+  EXPECT_EQ(Checksums[Policy::CoarseGrained], Checksums[Policy::Atmem]);
+  // Idempotent kernels agree across both groups too.
+  std::string Kernel = Case.Kernel;
+  if (Kernel != "pr" && Kernel != "cc") {
+    EXPECT_EQ(Checksums[Policy::Atmem], Checksums[Policy::AllSlow]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernelsBothTestbeds, CrossPolicyTest,
+    ::testing::Values(MatrixCase{"bfs", false}, MatrixCase{"bfs", true},
+                      MatrixCase{"sssp", false}, MatrixCase{"sssp", true},
+                      MatrixCase{"pr", false}, MatrixCase{"pr", true},
+                      MatrixCase{"bc", false}, MatrixCase{"bc", true},
+                      MatrixCase{"cc", false}, MatrixCase{"cc", true},
+                      MatrixCase{"spmv", false}, MatrixCase{"spmv", true},
+                      MatrixCase{"tc", false}, MatrixCase{"kcore", false}),
+    [](const auto &Info) {
+      return std::string(Info.param.Kernel) +
+             (Info.param.Mcdram ? "_mcdram" : "_nvm");
+    });
+
+} // namespace

@@ -1,0 +1,63 @@
+//===----------------------------------------------------------------------===//
+// Death tests for the library's programmatic-error contracts: invariant
+// violations must abort with a diagnostic rather than corrupt state.
+//===----------------------------------------------------------------------===//
+
+#include "apps/Kernel.h"
+#include "graph/CsrGraph.h"
+#include "graph/Datasets.h"
+#include "mem/DataObject.h"
+#include "support/Error.h"
+#include "support/TablePrinter.h"
+
+#include <gtest/gtest.h>
+
+using namespace atmem;
+
+namespace {
+
+TEST(DeathTest, ReportFatalErrorAborts) {
+  EXPECT_DEATH(reportFatalError("boom"), "atmem fatal error: boom");
+}
+
+TEST(DeathTest, UnreachableAborts) {
+  EXPECT_DEATH(ATMEM_UNREACHABLE("impossible"), "impossible");
+}
+
+TEST(DeathTest, TableRowWidthMismatchAborts) {
+  TablePrinter Table({"a", "b"});
+  EXPECT_DEATH(Table.addRow({"only-one"}), "row width");
+}
+
+TEST(DeathTest, UnknownDatasetAborts) {
+  EXPECT_DEATH((void)graph::makeDataset("orkut"), "unknown dataset");
+}
+
+TEST(DeathTest, UnknownKernelAborts) {
+  EXPECT_DEATH((void)apps::makeKernel("gnn"), "unknown kernel");
+}
+
+TEST(DeathTest, NonPowerOfTwoChunkAborts) {
+  EXPECT_DEATH(mem::DataObject(0, "x", 0x1000000, 8192, 5000),
+               "power of two");
+}
+
+TEST(DeathTest, SubPageChunkAborts) {
+  EXPECT_DEATH(mem::DataObject(0, "x", 0x1000000, 8192, 1024),
+               "power of two");
+}
+
+TEST(DeathTest, MismatchedCsrArraysAbort) {
+  EXPECT_DEATH(graph::CsrGraph(std::vector<uint64_t>{0, 2},
+                               std::vector<graph::VertexId>{1}),
+               "row offsets");
+}
+
+TEST(DeathTest, MismatchedWeightsAbort) {
+  EXPECT_DEATH(graph::CsrGraph(std::vector<uint64_t>{0, 1},
+                               std::vector<graph::VertexId>{0},
+                               std::vector<uint32_t>{1, 2}),
+               "weight");
+}
+
+} // namespace

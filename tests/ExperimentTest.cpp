@@ -1,0 +1,223 @@
+//===----------------------------------------------------------------------===//
+// Integration tests over the experiment runner: the paper's qualitative
+// claims must hold on the simulated testbeds.
+//===----------------------------------------------------------------------===//
+
+#include "baseline/Experiment.h"
+#include "graph/Datasets.h"
+
+#include <gtest/gtest.h>
+
+using namespace atmem;
+using namespace atmem::baseline;
+
+namespace {
+
+/// Shared scaled dataset; rmat24 is the smallest input with robust skew.
+class ExperimentTest : public ::testing::Test {
+protected:
+  static void SetUpTestSuite() {
+    Data = new graph::Dataset(graph::makeDataset("rmat24", 512));
+  }
+  static void TearDownTestSuite() {
+    delete Data;
+    Data = nullptr;
+  }
+
+  RunConfig nvmConfig(Policy P) const {
+    RunConfig Config;
+    Config.KernelName = "bfs";
+    Config.Graph = &Data->Graph;
+    Config.Machine = sim::nvmDramTestbed(1.0 / 512);
+    Config.PolicyKind = P;
+    return Config;
+  }
+
+  static graph::Dataset *Data;
+};
+
+graph::Dataset *ExperimentTest::Data = nullptr;
+
+TEST_F(ExperimentTest, PolicyNamesUnique) {
+  std::set<std::string> Names;
+  for (Policy P :
+       {Policy::AllSlow, Policy::AllFast, Policy::PreferredFast,
+        Policy::Atmem, Policy::AtmemMbind, Policy::AtmemSampledOnly,
+        Policy::CoarseGrained})
+    EXPECT_TRUE(Names.insert(policyName(P)).second);
+}
+
+TEST_F(ExperimentTest, PolicyUsesAtmemClassification) {
+  EXPECT_FALSE(policyUsesAtmem(Policy::AllSlow));
+  EXPECT_FALSE(policyUsesAtmem(Policy::AllFast));
+  EXPECT_FALSE(policyUsesAtmem(Policy::PreferredFast));
+  EXPECT_TRUE(policyUsesAtmem(Policy::Atmem));
+  EXPECT_TRUE(policyUsesAtmem(Policy::AtmemMbind));
+  EXPECT_TRUE(policyUsesAtmem(Policy::AtmemSampledOnly));
+  EXPECT_TRUE(policyUsesAtmem(Policy::CoarseGrained));
+}
+
+TEST_F(ExperimentTest, AtmemBetweenBaselineAndIdeal) {
+  RunResult Slow = runExperiment(nvmConfig(Policy::AllSlow));
+  RunResult Atmem = runExperiment(nvmConfig(Policy::Atmem));
+  RunResult Fast = runExperiment(nvmConfig(Policy::AllFast));
+  EXPECT_LT(Atmem.MeasuredIterSec, Slow.MeasuredIterSec);
+  EXPECT_GE(Atmem.MeasuredIterSec, Fast.MeasuredIterSec);
+}
+
+TEST_F(ExperimentTest, ChecksumsIdenticalAcrossPolicies) {
+  uint64_t Reference = runExperiment(nvmConfig(Policy::AllSlow)).Checksum;
+  for (Policy P : {Policy::AllFast, Policy::Atmem, Policy::AtmemMbind,
+                   Policy::AtmemSampledOnly, Policy::CoarseGrained})
+    EXPECT_EQ(runExperiment(nvmConfig(P)).Checksum, Reference)
+        << policyName(P);
+}
+
+TEST_F(ExperimentTest, AtmemSelectsMinorityOfData) {
+  RunResult Atmem = runExperiment(nvmConfig(Policy::Atmem));
+  EXPECT_GT(Atmem.FastDataRatio, 0.01);
+  EXPECT_LT(Atmem.FastDataRatio, 0.5);
+}
+
+TEST_F(ExperimentTest, BaselineRatiosAtExtremes) {
+  EXPECT_DOUBLE_EQ(runExperiment(nvmConfig(Policy::AllSlow)).FastDataRatio,
+                   0.0);
+  EXPECT_DOUBLE_EQ(runExperiment(nvmConfig(Policy::AllFast)).FastDataRatio,
+                   1.0);
+}
+
+TEST_F(ExperimentTest, ProfilingOverheadUnderTenPercent) {
+  // Paper Section 7.4: profiling costs less than 10% of iteration one.
+  RunResult Atmem = runExperiment(nvmConfig(Policy::Atmem));
+  EXPECT_LT(Atmem.ProfilingOverheadSec, 0.1 * Atmem.FirstIterSec);
+  EXPECT_GT(Atmem.ProfilingOverheadSec, 0.0);
+}
+
+TEST_F(ExperimentTest, MigrationCountersPopulated) {
+  RunResult Atmem = runExperiment(nvmConfig(Policy::Atmem));
+  EXPECT_GT(Atmem.Migration.BytesMoved, 0u);
+  EXPECT_GT(Atmem.Migration.Ranges, 0u);
+  EXPECT_GT(Atmem.Migration.SimSeconds, 0.0);
+}
+
+TEST_F(ExperimentTest, NonAtmemPoliciesDoNotMigrate) {
+  RunResult Slow = runExperiment(nvmConfig(Policy::AllSlow));
+  EXPECT_EQ(Slow.Migration.BytesMoved, 0u);
+  EXPECT_EQ(Slow.ProfilingOverheadSec, 0.0);
+}
+
+TEST_F(ExperimentTest, MbindMigrationSlowerAndMoreTlbMisses) {
+  // Table 4: ATMem reduces both migration time and post-migration TLB
+  // misses relative to mbind.
+  RunConfig AtmemConfig = nvmConfig(Policy::Atmem);
+  AtmemConfig.KernelName = "pr";
+  AtmemConfig.MeasureTlb = true;
+  RunConfig MbindConfig = nvmConfig(Policy::AtmemMbind);
+  MbindConfig.KernelName = "pr";
+  MbindConfig.MeasureTlb = true;
+  RunResult Atmem = runExperiment(AtmemConfig);
+  RunResult Mbind = runExperiment(MbindConfig);
+  EXPECT_LT(Atmem.Migration.SimSeconds, Mbind.Migration.SimSeconds);
+  // At this tiny scale the selected ranges can be smaller than a huge
+  // page on both paths, so the TLB comparison is only required not to
+  // regress; the strict separation is covered by
+  // RuntimeTlbTest.AtmemPreservesTlbReachAfterMigration and by the
+  // full-scale table4 benchmark.
+  EXPECT_LE(Atmem.TlbMisses, Mbind.TlbMisses);
+  EXPECT_GT(Mbind.Migration.HugePagesSplit, 0u);
+  EXPECT_EQ(Atmem.Migration.HugePagesSplit, 0u);
+}
+
+TEST_F(ExperimentTest, AtmemPreservesTlbReachAfterMigration) {
+  // Deterministic Table 4 mechanism check: a hot object spanning many
+  // huge pages is fully selected and migrated; ATMem's remap keeps 2 MiB
+  // mappings while mbind fragments them into 4 KiB entries, so replaying
+  // the same access pattern misses the TLB far more often after mbind.
+  auto RunOne = [](core::MigrationMechanism Mechanism) {
+    core::RuntimeConfig Config;
+    Config.Machine = sim::nvmDramTestbed(1.0 / 512);
+    Config.Mechanism = Mechanism;
+    core::Runtime Rt(Config);
+    auto Hot = Rt.allocate<uint64_t>("hot", (16ull << 20) / 8);
+    auto Touch = [&] {
+      uint64_t State = 99;
+      for (int I = 0; I < 400000; ++I) {
+        State = State * 6364136223846793005ull + 1442695040888963407ull;
+        Hot[(State >> 30) % Hot.size()] += 1;
+      }
+    };
+    Rt.profilingStart();
+    Rt.beginIteration();
+    Touch();
+    Rt.endIteration();
+    Rt.profilingStop();
+    Rt.optimize();
+    EXPECT_GT(Rt.fastDataRatio(), 0.9);
+    sim::Tlb Tlb = Rt.machine().makeTlb();
+    Rt.setReplayTlb(&Tlb);
+    Rt.beginIteration();
+    Touch();
+    Rt.endIteration();
+    Rt.setReplayTlb(nullptr);
+    return Tlb.misses();
+  };
+  uint64_t AtmemMisses = RunOne(core::MigrationMechanism::Atmem);
+  uint64_t MbindMisses = RunOne(core::MigrationMechanism::Mbind);
+  EXPECT_GT(MbindMisses, 5 * AtmemMisses);
+}
+
+TEST_F(ExperimentTest, EpsilonSweepMovesDataRatio) {
+  // The Section 7.2 sensitivity mechanism: larger eps -> higher TR
+  // thresholds -> less promotion -> lower data ratio.
+  RunConfig Low = nvmConfig(Policy::Atmem);
+  Low.EpsilonOffset = -0.10;
+  RunConfig High = nvmConfig(Policy::Atmem);
+  High.EpsilonOffset = 0.60;
+  RunResult LowResult = runExperiment(Low);
+  RunResult HighResult = runExperiment(High);
+  EXPECT_GE(LowResult.FastDataRatio, HighResult.FastDataRatio);
+}
+
+TEST_F(ExperimentTest, SampledOnlyAblationSelectsNoMoreData) {
+  RunResult Full = runExperiment(nvmConfig(Policy::Atmem));
+  RunResult Sampled = runExperiment(nvmConfig(Policy::AtmemSampledOnly));
+  EXPECT_LE(Sampled.FastDataRatio, Full.FastDataRatio);
+}
+
+TEST_F(ExperimentTest, McdramPreferredOverflowsOnLargeGraph) {
+  graph::Dataset Big = graph::makeDataset("friendster", 512);
+  RunConfig Config;
+  Config.KernelName = "bfs";
+  Config.Graph = &Big.Graph;
+  Config.Machine = sim::mcdramDramTestbed(1.0 / 512);
+  Config.PolicyKind = Policy::PreferredFast;
+  RunResult Preferred = runExperiment(Config);
+  // MCDRAM cannot hold everything (the Section 7.2 capacity story).
+  EXPECT_LT(Preferred.FastDataRatio, 1.0);
+  EXPECT_GT(Preferred.FastDataRatio, 0.1);
+
+  Config.PolicyKind = Policy::Atmem;
+  RunResult Atmem = runExperiment(Config);
+  // ATMem stays within capacity and beats the preferred policy.
+  EXPECT_LT(Atmem.FastDataRatio, Preferred.FastDataRatio);
+  EXPECT_LT(Atmem.MeasuredIterSec, Preferred.MeasuredIterSec);
+}
+
+TEST_F(ExperimentTest, MeasuredIterationsAveraged) {
+  RunConfig Config = nvmConfig(Policy::AllSlow);
+  Config.MeasuredIterations = 3;
+  RunResult Result = runExperiment(Config);
+  EXPECT_GT(Result.MeasuredIterSec, 0.0);
+}
+
+TEST_F(ExperimentTest, AllKernelsRunUnderAtmem) {
+  for (const char *Kernel : {"bfs", "sssp", "pr", "bc", "cc", "spmv"}) {
+    RunConfig Config = nvmConfig(Policy::Atmem);
+    Config.KernelName = Kernel;
+    RunResult Result = runExperiment(Config);
+    EXPECT_GT(Result.MeasuredIterSec, 0.0) << Kernel;
+    EXPECT_GT(Result.FastDataRatio, 0.0) << Kernel;
+  }
+}
+
+} // namespace

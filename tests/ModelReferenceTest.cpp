@@ -1,0 +1,167 @@
+//===----------------------------------------------------------------------===//
+// Model-vs-reference property tests: the optimized cache and TLB models
+// must agree, access for access, with naive dictionary-based reference
+// implementations on randomized traces; the migration cost model must be
+// monotone in its inputs.
+//===----------------------------------------------------------------------===//
+
+#include "sim/CacheSim.h"
+#include "sim/FrameAllocator.h"
+#include "sim/CostModel.h"
+#include "sim/Tlb.h"
+#include "support/Prng.h"
+
+#include <gtest/gtest.h>
+
+#include <list>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+using namespace atmem;
+using namespace atmem::sim;
+
+namespace {
+
+/// Naive set-associative LRU cache: per-set list of tags, front = MRU.
+class ReferenceCache {
+public:
+  ReferenceCache(uint32_t Sets, uint32_t Ways, uint32_t LineBytes)
+      : Sets(Sets), Ways(Ways), LineBytes(LineBytes), Contents(Sets) {}
+
+  bool access(uint64_t Va) {
+    uint64_t Line = Va / LineBytes;
+    auto Set = static_cast<uint32_t>(Line % Sets);
+    uint64_t Tag = Line / Sets;
+    auto &List = Contents[Set];
+    for (auto It = List.begin(); It != List.end(); ++It) {
+      if (*It == Tag) {
+        List.erase(It);
+        List.push_front(Tag);
+        return true;
+      }
+    }
+    List.push_front(Tag);
+    if (List.size() > Ways)
+      List.pop_back();
+    return false;
+  }
+
+private:
+  uint32_t Sets;
+  uint32_t Ways;
+  uint32_t LineBytes;
+  std::vector<std::list<uint64_t>> Contents;
+};
+
+class CacheEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CacheEquivalenceTest, MatchesReferenceAccessForAccess) {
+  CacheConfig Config;
+  Config.SizeBytes = 64 * 64 * 4; // 64 sets x 4 ways x 64 B.
+  Config.Ways = 4;
+  Config.LineBytes = 64;
+  CacheSim Model(Config);
+  ReferenceCache Reference(64, 4, 64);
+
+  Xoshiro256 Rng(GetParam());
+  for (int I = 0; I < 50000; ++I) {
+    // Mix of random and localized accesses to exercise hits and misses.
+    uint64_t Va = Rng.nextDouble() < 0.5
+                      ? Rng.nextBounded(1 << 20)
+                      : Rng.nextBounded(1 << 12);
+    ASSERT_EQ(Model.access(Va), Reference.access(Va)) << "access " << I;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CacheEquivalenceTest,
+                         ::testing::Range<uint64_t>(40, 48));
+
+/// Naive TLB array reference, mirroring ReferenceCache for pages.
+class TlbEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TlbEquivalenceTest, SmallArrayMatchesReference) {
+  TlbArray Model(/*Entries=*/32, /*Ways=*/4, SmallPageBytes);
+  ReferenceCache Reference(8, 4, SmallPageBytes);
+  Xoshiro256 Rng(GetParam());
+  for (int I = 0; I < 50000; ++I) {
+    uint64_t Va = Rng.nextBounded(1ull << 24);
+    ASSERT_EQ(Model.access(Va), Reference.access(Va)) << "access " << I;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TlbEquivalenceTest,
+                         ::testing::Range<uint64_t>(60, 66));
+
+//===----------------------------------------------------------------------===//
+// Cost model monotonicity
+//===----------------------------------------------------------------------===//
+
+TEST(CostModelMonotonicityTest, MigrationTimeGrowsWithBytes) {
+  MachineConfig Config = nvmDramTestbed();
+  MigrationCostModel Model(Config);
+  double Previous = 0.0;
+  for (uint64_t Mib = 1; Mib <= 256; Mib *= 4) {
+    MigrationWork Work;
+    Work.Bytes = Mib << 20;
+    Work.PtesTouched = Work.Bytes / SmallPageBytes;
+    double T = Model.atmemSeconds(Work);
+    EXPECT_GT(T, Previous);
+    Previous = T;
+  }
+}
+
+TEST(CostModelMonotonicityTest, MoreCopyThreadsNeverSlower) {
+  MachineConfig Config = nvmDramTestbed();
+  MigrationCostModel Model(Config);
+  double Previous = 0.0;
+  for (uint32_t Threads : {1u, 4u, 16u, 64u}) {
+    double Bw = Model.copyBandwidth(TierId::Slow, TierId::Fast, Threads);
+    EXPECT_GE(Bw, Previous);
+    Previous = Bw;
+  }
+}
+
+TEST(CostModelMonotonicityTest, KernelTimeGrowsWithSlowMisses) {
+  MachineConfig Config = nvmDramTestbed();
+  KernelCostModel Model(Config);
+  double Previous = 0.0;
+  for (uint64_t Misses = 1000; Misses <= 64000000; Misses *= 8) {
+    AccessStats Stats;
+    Stats.Accesses = Misses;
+    Stats.TierMisses[tierIndex(TierId::Slow)] = Misses;
+    double T = Model.estimate(Stats).seconds();
+    EXPECT_GT(T, Previous);
+    Previous = T;
+  }
+}
+
+TEST(CostModelMonotonicityTest, ShiftingMissesToFastNeverHurts) {
+  MachineConfig Config = nvmDramTestbed();
+  KernelCostModel Model(Config);
+  constexpr uint64_t Total = 10000000;
+  double Previous = 1e300;
+  for (uint64_t OnFast = 0; OnFast <= Total; OnFast += Total / 10) {
+    AccessStats Stats;
+    Stats.Accesses = Total;
+    Stats.TierMisses[tierIndex(TierId::Fast)] = OnFast;
+    Stats.TierMisses[tierIndex(TierId::Slow)] = Total - OnFast;
+    double T = Model.estimate(Stats).seconds();
+    EXPECT_LE(T, Previous) << "fast share " << OnFast;
+    Previous = T;
+  }
+}
+
+TEST(CostModelMonotonicityTest, HugePtesCheaperThanSmallForSamePayload) {
+  MachineConfig Config = mcdramDramTestbed();
+  MigrationCostModel Model(Config);
+  MigrationWork Small;
+  Small.Bytes = 64ull << 20;
+  Small.PtesTouched = Small.Bytes / SmallPageBytes;
+  MigrationWork Huge = Small;
+  Huge.PtesTouched = Small.Bytes / HugePageBytes;
+  EXPECT_LT(Model.atmemSeconds(Huge), Model.atmemSeconds(Small));
+  EXPECT_LT(Model.mbindSeconds(Huge), Model.mbindSeconds(Small));
+}
+
+} // namespace

@@ -1,0 +1,144 @@
+//===----------------------------------------------------------------------===//
+// Unit tests for placement-plan construction and budget trimming.
+//===----------------------------------------------------------------------===//
+
+#include "analyzer/PlacementPlan.h"
+
+#include <gtest/gtest.h>
+
+using namespace atmem::analyzer;
+using atmem::mem::ChunkRange;
+
+namespace {
+
+/// Builds a classification with the given critical/promoted flags.
+ObjectClassification makeClass(uint32_t ObjectId,
+                               std::vector<uint8_t> Critical,
+                               std::vector<uint8_t> Promoted,
+                               uint64_t ChunkBytes = 4096,
+                               uint64_t MappedBytes = 0) {
+  ObjectClassification Class;
+  Class.Object = ObjectId;
+  Class.ChunkBytes = ChunkBytes;
+  Class.MappedBytes =
+      MappedBytes ? MappedBytes : Critical.size() * ChunkBytes;
+  Class.Local.Critical = Critical;
+  Class.Local.Priority.assign(Critical.size(), 0.0);
+  for (size_t I = 0; I < Critical.size(); ++I)
+    if (Critical[I]) {
+      Class.Local.Priority[I] = 1.0;
+      ++Class.Local.CriticalCount;
+    }
+  Class.Promotion.Promoted = Promoted;
+  return Class;
+}
+
+TEST(PlanTest, MergesAdjacentChunksIntoRanges) {
+  auto Class = makeClass(0, {1, 1, 0, 1, 1, 1, 0, 0}, {0, 0, 0, 0, 0, 0, 0, 0});
+  PlacementPlan Plan = PlanBuilder::build({Class});
+  ASSERT_EQ(Plan.Objects.size(), 1u);
+  const ObjectPlan &Obj = Plan.Objects[0];
+  ASSERT_EQ(Obj.Ranges.size(), 2u);
+  EXPECT_EQ(Obj.Ranges[0], (ChunkRange{0, 2}));
+  EXPECT_EQ(Obj.Ranges[1], (ChunkRange{3, 3}));
+  EXPECT_EQ(Obj.Bytes, 5u * 4096);
+}
+
+TEST(PlanTest, PromotedChunksBridgeGaps) {
+  auto Class = makeClass(0, {1, 0, 1, 0}, {0, 1, 0, 0});
+  PlacementPlan Plan = PlanBuilder::build({Class});
+  ASSERT_EQ(Plan.Objects[0].Ranges.size(), 1u);
+  EXPECT_EQ(Plan.Objects[0].Ranges[0], (ChunkRange{0, 3}));
+}
+
+TEST(PlanTest, EmptySelectionProducesEmptyPlan) {
+  auto Class = makeClass(0, {0, 0, 0}, {0, 0, 0});
+  PlacementPlan Plan = PlanBuilder::build({Class});
+  EXPECT_TRUE(Plan.Objects.empty());
+  EXPECT_EQ(Plan.TotalBytes, 0u);
+}
+
+TEST(PlanTest, MultipleObjects) {
+  auto A = makeClass(0, {1, 0}, {0, 0});
+  auto B = makeClass(1, {0, 1}, {0, 0});
+  PlacementPlan Plan = PlanBuilder::build({A, B});
+  ASSERT_EQ(Plan.Objects.size(), 2u);
+  EXPECT_EQ(Plan.Objects[0].Object, 0u);
+  EXPECT_EQ(Plan.Objects[1].Object, 1u);
+  EXPECT_EQ(Plan.TotalBytes, 2u * 4096);
+}
+
+TEST(PlanTest, PartialLastChunkCountsPayloadBytes) {
+  // 3 chunks of 4 KiB over a 9 KiB mapping: last chunk holds 1 KiB...
+  // mappings are page-rounded, so use 12 KiB mapped but chunk 8 KiB:
+  // chunk 1 covers only 4 KiB.
+  auto Class = makeClass(0, {1, 1}, {0, 0}, 8192, 12288);
+  PlacementPlan Plan = PlanBuilder::build({Class});
+  EXPECT_EQ(Plan.TotalBytes, 12288u);
+}
+
+TEST(PlanTest, DataRatio) {
+  auto Class = makeClass(0, {1, 0, 0, 0}, {0, 0, 0, 0});
+  PlacementPlan Plan = PlanBuilder::build({Class});
+  EXPECT_DOUBLE_EQ(Plan.dataRatio(4 * 4096), 0.25);
+  EXPECT_DOUBLE_EQ(Plan.dataRatio(0), 0.0);
+}
+
+TEST(PlanTest, BudgetKeepsHighestPriorityChunks) {
+  ObjectClassification Class = makeClass(0, {1, 1, 1, 1}, {0, 0, 0, 0});
+  Class.Local.Priority = {1.0, 9.0, 5.0, 3.0};
+  PlacementPlan Plan = PlanBuilder::build({Class}, 2 * 4096);
+  EXPECT_EQ(Plan.TotalBytes, 2u * 4096);
+  // The two highest-priority chunks (1 and 2) survive.
+  ASSERT_EQ(Plan.Objects.size(), 1u);
+  ASSERT_EQ(Plan.Objects[0].Ranges.size(), 1u);
+  EXPECT_EQ(Plan.Objects[0].Ranges[0], (ChunkRange{1, 2}));
+}
+
+TEST(PlanTest, BudgetDropsPromotedGapFillersFirst) {
+  // Promoted chunks carry the PR sampling observed - often zero - so
+  // they are the first to go under pressure.
+  ObjectClassification Class = makeClass(0, {1, 0, 1}, {0, 1, 0});
+  PlacementPlan Plan = PlanBuilder::build({Class}, 2 * 4096);
+  ASSERT_EQ(Plan.Objects.size(), 1u);
+  EXPECT_EQ(Plan.TotalBytes, 2u * 4096);
+  EXPECT_EQ(Plan.Objects[0].Ranges.size(), 2u); // Gap chunk dropped.
+}
+
+TEST(PlanTest, GenerousBudgetKeepsEverything) {
+  auto Class = makeClass(0, {1, 1, 1}, {0, 0, 0});
+  PlacementPlan Plan = PlanBuilder::build({Class}, 1ull << 30);
+  EXPECT_EQ(Plan.TotalBytes, 3u * 4096);
+}
+
+TEST(PlanTest, ZeroBudgetEmptyPlan) {
+  auto Class = makeClass(0, {1, 1}, {0, 0});
+  PlacementPlan Plan = PlanBuilder::build({Class}, 0);
+  EXPECT_EQ(Plan.TotalBytes, 0u);
+  EXPECT_TRUE(Plan.Objects.empty());
+}
+
+TEST(PlanTest, BudgetAcrossObjectsPrefersGlobalPriority) {
+  ObjectClassification A = makeClass(0, {1}, {0});
+  A.Local.Priority = {1.0};
+  ObjectClassification B = makeClass(1, {1}, {0});
+  B.Local.Priority = {10.0};
+  PlacementPlan Plan = PlanBuilder::build({A, B}, 4096);
+  ASSERT_EQ(Plan.Objects.size(), 1u);
+  EXPECT_EQ(Plan.Objects[0].Object, 1u);
+}
+
+TEST(PlanTest, IsSelectedCombinesBothFlags) {
+  auto Class = makeClass(0, {1, 0, 0}, {0, 1, 0});
+  EXPECT_TRUE(Class.isSelected(0));
+  EXPECT_TRUE(Class.isSelected(1));
+  EXPECT_FALSE(Class.isSelected(2));
+}
+
+TEST(PlanTest, ChunkPayloadBytesClampsAtEnd) {
+  auto Class = makeClass(0, {1, 1}, {0, 0}, 8192, 12288);
+  EXPECT_EQ(Class.chunkPayloadBytes(0), 8192u);
+  EXPECT_EQ(Class.chunkPayloadBytes(1), 4096u);
+}
+
+} // namespace

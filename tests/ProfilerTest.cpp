@@ -1,0 +1,186 @@
+//===----------------------------------------------------------------------===//
+// Unit tests for the PEBS-like sampling profiler.
+//===----------------------------------------------------------------------===//
+
+#include "profiler/SamplingProfiler.h"
+
+#include "sim/Machine.h"
+
+#include <gtest/gtest.h>
+
+using namespace atmem;
+using namespace atmem::mem;
+using namespace atmem::prof;
+using namespace atmem::sim;
+
+namespace {
+
+class ProfilerTest : public ::testing::Test {
+protected:
+  ProfilerTest() : M(nvmDramTestbed(1.0 / 1024)), Registry(M) {}
+
+  ProfilerConfig fixedPeriod(uint64_t Period) {
+    ProfilerConfig Config;
+    Config.InitialPeriod = Period;
+    return Config;
+  }
+
+  Machine M;
+  DataObjectRegistry Registry;
+};
+
+TEST_F(ProfilerTest, InactiveUntilStart) {
+  SamplingProfiler Profiler(Registry, fixedPeriod(4));
+  EXPECT_FALSE(Profiler.isActive());
+  Profiler.notifyMiss(0x1000);
+  EXPECT_EQ(Profiler.missesSeen(), 0u);
+}
+
+TEST_F(ProfilerTest, SamplesEveryNthMiss) {
+  DataObject &Obj = Registry.create("a", 1 << 20, InitialPlacement::Slow);
+  SamplingProfiler Profiler(Registry, fixedPeriod(4));
+  Profiler.start(1);
+  for (int I = 0; I < 16; ++I)
+    Profiler.notifyMiss(Obj.va());
+  EXPECT_EQ(Profiler.sampleCount(), 4u);
+  EXPECT_EQ(Profiler.missesSeen(), 16u);
+}
+
+TEST_F(ProfilerTest, AttributesToCorrectChunk) {
+  DataObject &Obj =
+      Registry.create("a", 1 << 20, InitialPlacement::Slow, 65536);
+  SamplingProfiler Profiler(Registry, fixedPeriod(1));
+  Profiler.start(1);
+  Profiler.notifyMiss(Obj.va() + 65536 * 3 + 17);
+  Profiler.stop();
+  ObjectProfile Profile = Profiler.profileFor(Obj.id());
+  ASSERT_EQ(Profile.Samples.size(), Obj.numChunks());
+  EXPECT_EQ(Profile.Samples[3], 1u);
+  EXPECT_EQ(Profile.Samples[0], 0u);
+}
+
+TEST_F(ProfilerTest, EstimateIsSamplesTimesPeriod) {
+  DataObject &Obj = Registry.create("a", 1 << 20, InitialPlacement::Slow);
+  SamplingProfiler Profiler(Registry, fixedPeriod(8));
+  Profiler.start(1);
+  for (int I = 0; I < 64; ++I)
+    Profiler.notifyMiss(Obj.va());
+  Profiler.stop();
+  ObjectProfile Profile = Profiler.profileFor(Obj.id());
+  EXPECT_DOUBLE_EQ(Profile.EstimatedMisses[0], 64.0);
+}
+
+TEST_F(ProfilerTest, EstimateApproximatesTrueDistribution) {
+  DataObject &Obj =
+      Registry.create("a", 1 << 20, InitialPlacement::Slow, 65536);
+  SamplingProfiler Profiler(Registry, fixedPeriod(7));
+  Profiler.start(1);
+  // Chunk 0 gets 3x the misses of chunk 1.
+  for (int I = 0; I < 21000; ++I)
+    Profiler.notifyMiss(Obj.va() + (I % 4 == 0 ? 65536 : 0));
+  Profiler.stop();
+  ObjectProfile Profile = Profiler.profileFor(Obj.id());
+  double Ratio = Profile.EstimatedMisses[0] / Profile.EstimatedMisses[1];
+  EXPECT_NEAR(Ratio, 3.0, 0.5);
+}
+
+TEST_F(ProfilerTest, StopFreezesResults) {
+  DataObject &Obj = Registry.create("a", 1 << 20, InitialPlacement::Slow);
+  SamplingProfiler Profiler(Registry, fixedPeriod(1));
+  Profiler.start(1);
+  Profiler.notifyMiss(Obj.va());
+  Profiler.stop();
+  Profiler.notifyMiss(Obj.va());
+  EXPECT_EQ(Profiler.sampleCount(), 1u);
+}
+
+TEST_F(ProfilerTest, RestartClearsPreviousProfile) {
+  DataObject &Obj = Registry.create("a", 1 << 20, InitialPlacement::Slow);
+  SamplingProfiler Profiler(Registry, fixedPeriod(1));
+  Profiler.start(1);
+  Profiler.notifyMiss(Obj.va());
+  Profiler.stop();
+  Profiler.start(1);
+  EXPECT_EQ(Profiler.sampleCount(), 0u);
+  ObjectProfile Profile = Profiler.profileFor(Obj.id());
+  EXPECT_EQ(Profile.Samples[0], 0u);
+}
+
+TEST_F(ProfilerTest, UnattributedAddressesCountedButNotRecorded) {
+  Registry.create("a", 1 << 20, InitialPlacement::Slow);
+  SamplingProfiler Profiler(Registry, fixedPeriod(1));
+  Profiler.start(1);
+  Profiler.notifyMiss(0x10); // Not inside any object.
+  EXPECT_EQ(Profiler.sampleCount(), 1u);
+}
+
+TEST_F(ProfilerTest, BudgetDoublesPeriod) {
+  DataObject &Obj = Registry.create("a", 1 << 20, InitialPlacement::Slow);
+  ProfilerConfig Config = fixedPeriod(2);
+  Config.MinSampleBudget = 16; // Tiny budget to trigger adaptation.
+  Config.MaxSampleBudget = 16;
+  Config.SamplesPerChunk = 0.001;
+  SamplingProfiler Profiler(Registry, Config);
+  Profiler.start(1);
+  uint64_t InitialPeriod = Profiler.period();
+  for (int I = 0; I < 2 * 16 + 10; ++I)
+    Profiler.notifyMiss(Obj.va());
+  EXPECT_GT(Profiler.period(), InitialPeriod);
+}
+
+TEST_F(ProfilerTest, EstimatesStayUnbiasedAcrossPeriodDoubling) {
+  DataObject &Obj = Registry.create("a", 1 << 20, InitialPlacement::Slow);
+  ProfilerConfig Config = fixedPeriod(2);
+  Config.MinSampleBudget = 64;
+  Config.MaxSampleBudget = 64;
+  Config.SamplesPerChunk = 0.001;
+  SamplingProfiler Profiler(Registry, Config);
+  Profiler.start(1);
+  constexpr int TotalMisses = 4000;
+  for (int I = 0; I < TotalMisses; ++I)
+    Profiler.notifyMiss(Obj.va());
+  Profiler.stop();
+  ObjectProfile Profile = Profiler.profileFor(Obj.id());
+  EXPECT_NEAR(Profile.EstimatedMisses[0], TotalMisses,
+              TotalMisses * 0.15);
+}
+
+TEST_F(ProfilerTest, DerivedPeriodGrowsWithThreads) {
+  uint64_t P1 = SamplingProfiler::deriveInitialPeriod(1000, 1 << 30, 16);
+  uint64_t P2 = SamplingProfiler::deriveInitialPeriod(1000, 1 << 30, 256);
+  EXPECT_GE(P2, P1);
+}
+
+TEST_F(ProfilerTest, DerivedPeriodGrowsWithBytesPerChunk) {
+  uint64_t Small = SamplingProfiler::deriveInitialPeriod(1024, 1 << 24, 48);
+  uint64_t Large = SamplingProfiler::deriveInitialPeriod(1024, 1ull << 34, 48);
+  EXPECT_GT(Large, Small);
+}
+
+TEST_F(ProfilerTest, OverheadScalesWithSamplesAndDividesByThreads) {
+  DataObject &Obj = Registry.create("a", 1 << 20, InitialPlacement::Slow);
+  ProfilerConfig Config = fixedPeriod(1);
+  SamplingProfiler P1(Registry, Config);
+  P1.start(1);
+  for (int I = 0; I < 100; ++I)
+    P1.notifyMiss(Obj.va());
+  SamplingProfiler P48(Registry, Config);
+  P48.start(48);
+  for (int I = 0; I < 100; ++I)
+    P48.notifyMiss(Obj.va());
+  EXPECT_GT(P1.overheadSeconds(), 0.0);
+  EXPECT_NEAR(P1.overheadSeconds() / 48.0, P48.overheadSeconds(), 1e-12);
+}
+
+TEST_F(ProfilerTest, ProfileForUnsampledObjectIsZeroes) {
+  DataObject &Obj = Registry.create("a", 1 << 20, InitialPlacement::Slow);
+  SamplingProfiler Profiler(Registry, fixedPeriod(4));
+  Profiler.start(1);
+  Profiler.stop();
+  ObjectProfile Profile = Profiler.profileFor(Obj.id());
+  EXPECT_EQ(Profile.Samples.size(), Obj.numChunks());
+  for (uint64_t S : Profile.Samples)
+    EXPECT_EQ(S, 0u);
+}
+
+} // namespace

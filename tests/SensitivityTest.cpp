@@ -1,0 +1,167 @@
+//===----------------------------------------------------------------------===//
+// Sensitivity tests: the analyzer's knobs must move selection in the
+// documented direction, monotonically, across a realistic profiled
+// workload. These are the regression guards behind the Section 7.2
+// sweeps.
+//===----------------------------------------------------------------------===//
+
+#include "analyzer/Analyzer.h"
+#include "apps/Kernels.h"
+#include "core/Runtime.h"
+#include "graph/Generators.h"
+
+#include <gtest/gtest.h>
+
+using namespace atmem;
+
+namespace {
+
+/// Shared profiled runtime over a skewed graph; each test classifies the
+/// same profile under different analyzer settings.
+class SensitivityTest : public ::testing::Test {
+protected:
+  static void SetUpTestSuite() {
+    graph::PowerLawParams Params;
+    Params.NumVertices = 1 << 14;
+    Params.AverageDegree = 16;
+    Params.Gamma = 2.0;
+    Params.Seed = 77;
+    Graph = new graph::CsrGraph(graph::generatePowerLaw(Params));
+
+    core::RuntimeConfig Config;
+    Config.Machine = sim::nvmDramTestbed(1.0 / 1024);
+    Rt = new core::Runtime(Config);
+    Kernel = new apps::PageRankKernel();
+    Kernel->setup(*Rt, *Graph);
+    Rt->profilingStart();
+    Rt->beginIteration();
+    Kernel->runIteration();
+    Rt->endIteration();
+    Rt->profilingStop();
+  }
+
+  static void TearDownTestSuite() {
+    delete Kernel;
+    delete Rt;
+    delete Graph;
+    Kernel = nullptr;
+    Rt = nullptr;
+    Graph = nullptr;
+  }
+
+  /// Selected bytes under \p Config (no budget cap).
+  static uint64_t selectedBytes(const analyzer::AnalyzerConfig &Config) {
+    analyzer::Analyzer Anal(Config);
+    return Anal.plan(Rt->registry(), Rt->profiler(), 1ull << 40).TotalBytes;
+  }
+
+  static graph::CsrGraph *Graph;
+  static core::Runtime *Rt;
+  static apps::PageRankKernel *Kernel;
+};
+
+graph::CsrGraph *SensitivityTest::Graph = nullptr;
+core::Runtime *SensitivityTest::Rt = nullptr;
+apps::PageRankKernel *SensitivityTest::Kernel = nullptr;
+
+TEST_F(SensitivityTest, SelectivityBiasIsMonotone) {
+  uint64_t Previous = ~0ull;
+  for (double Bias : {-0.5, -0.25, 0.0, 0.25, 0.5}) {
+    analyzer::AnalyzerConfig Config;
+    Config.SelectivityBias = Bias;
+    uint64_t Bytes = selectedBytes(Config);
+    EXPECT_LE(Bytes, Previous) << "bias " << Bias;
+    Previous = Bytes;
+  }
+}
+
+TEST_F(SensitivityTest, NegativeBiasReachesNearTotal) {
+  analyzer::AnalyzerConfig Config;
+  Config.SelectivityBias = -0.9;
+  uint64_t Total = Rt->registry().totalMappedBytes();
+  EXPECT_GT(selectedBytes(Config), Total / 2);
+}
+
+TEST_F(SensitivityTest, PositiveBiasStronglySelective) {
+  analyzer::AnalyzerConfig Default;
+  analyzer::AnalyzerConfig Tight;
+  Tight.SelectivityBias = 0.6;
+  EXPECT_LT(selectedBytes(Tight), selectedBytes(Default) / 2);
+}
+
+TEST_F(SensitivityTest, HigherPercentileSelectsLess) {
+  analyzer::AnalyzerConfig Lo, Hi;
+  Lo.Local.PercentileN = 70.0;
+  Hi.Local.PercentileN = 97.0;
+  // Isolate the local stage: disable the global/promotion compensators.
+  Lo.UseGlobalRanking = Hi.UseGlobalRanking = false;
+  Lo.EnablePromotion = Hi.EnablePromotion = false;
+  EXPECT_LT(selectedBytes(Hi), selectedBytes(Lo));
+}
+
+TEST_F(SensitivityTest, LargerThetaTrPromotesLess) {
+  analyzer::AnalyzerConfig Lo, Hi;
+  Lo.Promoter.ThetaTR = 0.1;
+  Hi.Promoter.ThetaTR = 0.9;
+  EXPECT_LE(selectedBytes(Hi), selectedBytes(Lo));
+}
+
+TEST_F(SensitivityTest, PromotionNeverShrinksSelection) {
+  analyzer::AnalyzerConfig Off;
+  Off.EnablePromotion = false;
+  analyzer::AnalyzerConfig On;
+  EXPECT_GE(selectedBytes(On), selectedBytes(Off));
+}
+
+TEST_F(SensitivityTest, GlobalRankingNeverShrinksSelection) {
+  analyzer::AnalyzerConfig Off;
+  Off.UseGlobalRanking = false;
+  analyzer::AnalyzerConfig On;
+  EXPECT_GE(selectedBytes(On), selectedBytes(Off));
+}
+
+TEST_F(SensitivityTest, BudgetIsMonotoneInRuntimePlans) {
+  analyzer::Analyzer Anal;
+  uint64_t Previous = 0;
+  for (uint64_t Budget : {64ull << 10, 256ull << 10, 1ull << 20,
+                          16ull << 20, 1ull << 30}) {
+    uint64_t Bytes =
+        Anal.plan(Rt->registry(), Rt->profiler(), Budget).TotalBytes;
+    EXPECT_LE(Bytes, Budget);
+    EXPECT_GE(Bytes, Previous);
+    Previous = Bytes;
+  }
+}
+
+TEST_F(SensitivityTest, NoiseFloorSuppressesMoreWithHigherMinSamples) {
+  analyzer::AnalyzerConfig Lo, Hi;
+  Lo.Local.MinSamples = 1.0;
+  Hi.Local.MinSamples = 16.0;
+  Lo.UseGlobalRanking = Hi.UseGlobalRanking = false;
+  Lo.EnablePromotion = Hi.EnablePromotion = false;
+  EXPECT_LE(selectedBytes(Hi), selectedBytes(Lo));
+}
+
+TEST_F(SensitivityTest, SamplesPerChunkControlsProfileDensity) {
+  // Re-profile with different budgets on fresh runtimes.
+  auto SamplesWith = [&](double SamplesPerChunk) {
+    core::RuntimeConfig Config;
+    Config.Machine = sim::nvmDramTestbed(1.0 / 1024);
+    Config.Profiler.SamplesPerChunk = SamplesPerChunk;
+    Config.Profiler.MinSampleBudget = 256;
+    core::Runtime Local(Config);
+    apps::PageRankKernel K;
+    K.setup(Local, *Graph);
+    Local.profilingStart();
+    Local.beginIteration();
+    K.runIteration();
+    Local.endIteration();
+    Local.profilingStop();
+    return Local.profiler().sampleCount();
+  };
+  // The budget caps period doubling, so a larger budget keeps the period
+  // low and collects more samples.
+  EXPECT_GT(SamplesWith(256.0), SamplesWith(2.0));
+}
+
+} // namespace

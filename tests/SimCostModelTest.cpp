@@ -1,0 +1,205 @@
+//===----------------------------------------------------------------------===//
+// Unit tests for the kernel and migration cost models and the testbed
+// presets.
+//===----------------------------------------------------------------------===//
+
+#include "sim/CostModel.h"
+#include "sim/Machine.h"
+
+#include <gtest/gtest.h>
+
+using namespace atmem::sim;
+
+namespace {
+
+TEST(TestbedPresetTest, NvmDramTierAsymmetry) {
+  MachineConfig Config = nvmDramTestbed();
+  EXPECT_EQ(Config.Name, "NVM-DRAM");
+  // DRAM (fast) has higher bandwidth and lower latency than NVM.
+  EXPECT_GT(Config.Fast.BandwidthBytesPerSec,
+            Config.Slow.BandwidthBytesPerSec);
+  EXPECT_LT(Config.Fast.LoadLatencySec, Config.Slow.LoadLatencySec);
+  // NVM has far larger capacity (it is the large-capacity memory).
+  EXPECT_GT(Config.Slow.CapacityBytes, Config.Fast.CapacityBytes);
+  // Optane's 256-byte media granularity.
+  EXPECT_EQ(Config.Slow.AccessGranularityBytes, 256u);
+}
+
+TEST(TestbedPresetTest, McdramTierAsymmetry) {
+  MachineConfig Config = mcdramDramTestbed();
+  // MCDRAM: ~4x bandwidth of DDR4 but tiny capacity.
+  EXPECT_GT(Config.Fast.BandwidthBytesPerSec,
+            3 * Config.Slow.BandwidthBytesPerSec);
+  EXPECT_LT(Config.Fast.CapacityBytes, Config.Slow.CapacityBytes);
+  EXPECT_EQ(Config.Exec.Threads, 256u);
+}
+
+TEST(TestbedPresetTest, CapacityScaleShrinksEverything) {
+  MachineConfig Full = nvmDramTestbed(1.0);
+  MachineConfig Scaled = nvmDramTestbed(1.0 / 256);
+  EXPECT_NEAR(static_cast<double>(Scaled.Fast.CapacityBytes),
+              static_cast<double>(Full.Fast.CapacityBytes) / 256, 1e6);
+  EXPECT_LT(Scaled.Cache.SizeBytes, Full.Cache.SizeBytes);
+}
+
+TEST(TestbedPresetTest, RandomAccessBandwidthAmplification) {
+  MachineConfig Config = nvmDramTestbed();
+  // 256-byte granularity quarters the NVM's effective random bandwidth.
+  EXPECT_NEAR(Config.Slow.randomAccessBandwidth(),
+              Config.Slow.BandwidthBytesPerSec / 4.0, 1.0);
+  EXPECT_DOUBLE_EQ(Config.Fast.randomAccessBandwidth(),
+                   Config.Fast.BandwidthBytesPerSec);
+}
+
+TEST(KernelCostModelTest, ZeroStatsZeroTime) {
+  MachineConfig Config = nvmDramTestbed();
+  KernelCostModel Model(Config);
+  AccessStats Stats;
+  EXPECT_DOUBLE_EQ(Model.estimate(Stats).seconds(), 0.0);
+}
+
+TEST(KernelCostModelTest, SlowMissesCostMoreThanFastMisses) {
+  MachineConfig Config = nvmDramTestbed();
+  KernelCostModel Model(Config);
+  AccessStats OnFast;
+  OnFast.Accesses = 1000000;
+  OnFast.TierMisses[tierIndex(TierId::Fast)] = 1000000;
+  AccessStats OnSlow;
+  OnSlow.Accesses = 1000000;
+  OnSlow.TierMisses[tierIndex(TierId::Slow)] = 1000000;
+  EXPECT_GT(Model.estimate(OnSlow).seconds(),
+            2.0 * Model.estimate(OnFast).seconds());
+}
+
+TEST(KernelCostModelTest, BandwidthBoundForMassedMisses) {
+  MachineConfig Config = nvmDramTestbed();
+  KernelCostModel Model(Config);
+  AccessStats Stats;
+  Stats.Accesses = 100000000;
+  Stats.TierMisses[tierIndex(TierId::Slow)] = 100000000;
+  KernelTime Time = Model.estimate(Stats);
+  EXPECT_GT(Time.BandwidthSec, Time.CpuSec);
+  EXPECT_EQ(Time.seconds(), Time.BandwidthSec);
+}
+
+TEST(KernelCostModelTest, CpuBoundWhenAllHits) {
+  MachineConfig Config = nvmDramTestbed();
+  KernelCostModel Model(Config);
+  AccessStats Stats;
+  Stats.Accesses = 1000000;
+  Stats.LlcHits = 1000000;
+  KernelTime Time = Model.estimate(Stats);
+  EXPECT_DOUBLE_EQ(Time.BandwidthSec, 0.0);
+  EXPECT_GT(Time.seconds(), 0.0);
+}
+
+TEST(KernelCostModelTest, MovingMissesToFastReducesTime) {
+  MachineConfig Config = nvmDramTestbed();
+  KernelCostModel Model(Config);
+  AccessStats Before;
+  Before.Accesses = 10000000;
+  Before.TierMisses[tierIndex(TierId::Slow)] = 5000000;
+  AccessStats After = Before;
+  After.TierMisses[tierIndex(TierId::Slow)] = 1000000;
+  After.TierMisses[tierIndex(TierId::Fast)] = 4000000;
+  EXPECT_LT(Model.estimate(After).seconds(),
+            Model.estimate(Before).seconds());
+}
+
+TEST(KernelCostModelTest, AccessStatsAccumulate) {
+  AccessStats A;
+  A.Accesses = 10;
+  A.LlcHits = 5;
+  A.TierMisses[0] = 2;
+  AccessStats B;
+  B.Accesses = 3;
+  B.TierMisses[1] = 1;
+  A += B;
+  EXPECT_EQ(A.Accesses, 13u);
+  EXPECT_EQ(A.totalMisses(), 3u);
+}
+
+TEST(MigrationCostModelTest, AtmemFasterThanMbindForLargeMoves) {
+  MachineConfig Config = nvmDramTestbed();
+  MigrationCostModel Model(Config);
+  MigrationWork Work;
+  Work.Bytes = 256ull << 20;
+  Work.PtesTouched = Work.Bytes / SmallPageBytes;
+  Work.Source = TierId::Slow;
+  Work.Target = TierId::Fast;
+  double Atmem = Model.atmemSeconds(Work);
+  double Mbind = Model.mbindSeconds(Work);
+  EXPECT_LT(Atmem, Mbind);
+  // Paper Table 4: 1.3x - 2.7x on NVM-DRAM.
+  EXPECT_GT(Mbind / Atmem, 1.2);
+}
+
+TEST(MigrationCostModelTest, HugePtesMakeAtmemRemapCheap) {
+  MachineConfig Config = nvmDramTestbed();
+  MigrationCostModel Model(Config);
+  MigrationWork ManyPtes;
+  ManyPtes.Bytes = 64ull << 20;
+  ManyPtes.PtesTouched = ManyPtes.Bytes / SmallPageBytes;
+  MigrationWork FewPtes = ManyPtes;
+  FewPtes.PtesTouched = ManyPtes.Bytes / HugePageBytes;
+  EXPECT_LT(Model.atmemSeconds(FewPtes), Model.atmemSeconds(ManyPtes));
+}
+
+TEST(MigrationCostModelTest, McdramSpeedupExceedsNvmSpeedup) {
+  // Paper Table 4: average 5.32x on MCDRAM-DRAM vs 2.07x on NVM-DRAM,
+  // because NVM read bandwidth bottlenecks the multi-threaded stage.
+  MigrationWork Work;
+  Work.Bytes = 256ull << 20;
+  Work.PtesTouched = Work.Bytes / SmallPageBytes;
+  Work.Source = TierId::Slow;
+  Work.Target = TierId::Fast;
+
+  MachineConfig Nvm = nvmDramTestbed();
+  MigrationCostModel NvmModel(Nvm);
+  double NvmSpeedup =
+      NvmModel.mbindSeconds(Work) / NvmModel.atmemSeconds(Work);
+
+  MachineConfig Knl = mcdramDramTestbed();
+  MigrationCostModel KnlModel(Knl);
+  double KnlSpeedup =
+      KnlModel.mbindSeconds(Work) / KnlModel.atmemSeconds(Work);
+
+  EXPECT_GT(KnlSpeedup, NvmSpeedup);
+}
+
+TEST(MigrationCostModelTest, CopyBandwidthSaturatesAtTierPeak) {
+  MachineConfig Config = nvmDramTestbed();
+  MigrationCostModel Model(Config);
+  double OneThread = Model.copyBandwidth(TierId::Slow, TierId::Fast, 1);
+  double ManyThreads = Model.copyBandwidth(TierId::Slow, TierId::Fast, 64);
+  EXPECT_GT(ManyThreads, OneThread);
+  EXPECT_LE(ManyThreads, Config.Slow.BandwidthBytesPerSec);
+}
+
+TEST(MachineTest, AggregatesComponents) {
+  Machine M(nvmDramTestbed(1.0 / 256));
+  EXPECT_EQ(M.allocator(TierId::Fast).tier(), TierId::Fast);
+  EXPECT_EQ(M.allocator(TierId::Slow).tier(), TierId::Slow);
+  EXPECT_GT(M.llc().sizeBytes(), 0u);
+  // Page table allocates from the machine's allocators.
+  ASSERT_TRUE(M.pageTable().mapRegion(0x100000000000ull, HugePageBytes,
+                                      TierId::Fast, true));
+  EXPECT_EQ(M.allocator(TierId::Fast).usedBytes(), HugePageBytes);
+}
+
+TEST(MachineTest, MakeTlbMatchesGeometry) {
+  Machine M(nvmDramTestbed());
+  Tlb T = M.makeTlb();
+  EXPECT_EQ(T.misses(), 0u);
+  T.access(0x1000, SmallPageBytes);
+  EXPECT_EQ(T.misses(), 1u);
+}
+
+TEST(TierHelpersTest, OtherTierAndIndex) {
+  EXPECT_EQ(otherTier(TierId::Fast), TierId::Slow);
+  EXPECT_EQ(otherTier(TierId::Slow), TierId::Fast);
+  EXPECT_EQ(tierIndex(TierId::Fast), 0u);
+  EXPECT_EQ(tierIndex(TierId::Slow), 1u);
+}
+
+} // namespace

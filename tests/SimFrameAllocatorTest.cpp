@@ -1,0 +1,139 @@
+//===----------------------------------------------------------------------===//
+// Unit tests for the per-tier physical frame allocator.
+//===----------------------------------------------------------------------===//
+
+#include "sim/FrameAllocator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace atmem::sim;
+
+TEST(FrameAllocatorTest, StartsEmpty) {
+  FrameAllocator Alloc(TierId::Fast, 1 << 20);
+  EXPECT_EQ(Alloc.usedBytes(), 0u);
+  EXPECT_EQ(Alloc.freeBytes(), 1u << 20);
+  EXPECT_EQ(Alloc.tier(), TierId::Fast);
+}
+
+TEST(FrameAllocatorTest, SmallAllocationCharges4K) {
+  FrameAllocator Alloc(TierId::Slow, 1 << 20);
+  auto Frame = Alloc.allocateSmall();
+  ASSERT_TRUE(Frame.has_value());
+  EXPECT_EQ(Alloc.usedBytes(), SmallPageBytes);
+}
+
+TEST(FrameAllocatorTest, HugeAllocationCharges2M) {
+  FrameAllocator Alloc(TierId::Slow, 4ull << 20);
+  auto Base = Alloc.allocateHuge();
+  ASSERT_TRUE(Base.has_value());
+  EXPECT_EQ(*Base % FramesPerHugeBlock, 0u);
+  EXPECT_EQ(Alloc.usedBytes(), HugePageBytes);
+}
+
+TEST(FrameAllocatorTest, SmallAllocationsAreUnique) {
+  FrameAllocator Alloc(TierId::Fast, 8ull << 20);
+  std::set<uint64_t> Frames;
+  for (int I = 0; I < 1024; ++I) {
+    auto Frame = Alloc.allocateSmall();
+    ASSERT_TRUE(Frame.has_value());
+    EXPECT_TRUE(Frames.insert(*Frame).second) << "duplicate frame";
+  }
+}
+
+TEST(FrameAllocatorTest, HugeAllocationsAreAlignedAndUnique) {
+  FrameAllocator Alloc(TierId::Fast, 16ull << 20);
+  std::set<uint64_t> Bases;
+  for (int I = 0; I < 8; ++I) {
+    auto Base = Alloc.allocateHuge();
+    ASSERT_TRUE(Base.has_value());
+    EXPECT_EQ(*Base % FramesPerHugeBlock, 0u);
+    EXPECT_TRUE(Bases.insert(*Base).second);
+  }
+}
+
+TEST(FrameAllocatorTest, ExhaustionReturnsNullopt) {
+  FrameAllocator Alloc(TierId::Fast, 2 * SmallPageBytes);
+  EXPECT_TRUE(Alloc.allocateSmall().has_value());
+  EXPECT_TRUE(Alloc.allocateSmall().has_value());
+  EXPECT_FALSE(Alloc.allocateSmall().has_value());
+}
+
+TEST(FrameAllocatorTest, HugeExhaustionRespectsCapacity) {
+  FrameAllocator Alloc(TierId::Fast, HugePageBytes + SmallPageBytes);
+  EXPECT_TRUE(Alloc.allocateHuge().has_value());
+  EXPECT_FALSE(Alloc.allocateHuge().has_value());
+  // A small frame still fits in the remaining capacity.
+  EXPECT_TRUE(Alloc.allocateSmall().has_value());
+}
+
+TEST(FrameAllocatorTest, FreeSmallReturnsCapacity) {
+  FrameAllocator Alloc(TierId::Fast, 1ull << 20);
+  auto Frame = Alloc.allocateSmall();
+  ASSERT_TRUE(Frame);
+  Alloc.freeSmall(*Frame);
+  EXPECT_EQ(Alloc.usedBytes(), 0u);
+}
+
+TEST(FrameAllocatorTest, FreeHugeReturnsCapacity) {
+  FrameAllocator Alloc(TierId::Fast, 4ull << 20);
+  auto Base = Alloc.allocateHuge();
+  ASSERT_TRUE(Base);
+  Alloc.freeHuge(*Base);
+  EXPECT_EQ(Alloc.usedBytes(), 0u);
+}
+
+TEST(FrameAllocatorTest, FreedSmallFrameIsReused) {
+  FrameAllocator Alloc(TierId::Fast, 1ull << 20);
+  auto Frame = Alloc.allocateSmall();
+  ASSERT_TRUE(Frame);
+  Alloc.freeSmall(*Frame);
+  auto Again = Alloc.allocateSmall();
+  ASSERT_TRUE(Again);
+  EXPECT_EQ(*Frame, *Again);
+}
+
+TEST(FrameAllocatorTest, FreedHugeBlockIsReused) {
+  FrameAllocator Alloc(TierId::Fast, 2ull << 20);
+  auto Base = Alloc.allocateHuge();
+  ASSERT_TRUE(Base);
+  Alloc.freeHuge(*Base);
+  auto Again = Alloc.allocateHuge();
+  ASSERT_TRUE(Again);
+  EXPECT_EQ(*Base, *Again);
+}
+
+TEST(FrameAllocatorTest, SplitHugeAllowsIndividualFrees) {
+  FrameAllocator Alloc(TierId::Fast, 4ull << 20);
+  auto Base = Alloc.allocateHuge();
+  ASSERT_TRUE(Base);
+  Alloc.splitHuge(*Base);
+  EXPECT_EQ(Alloc.usedBytes(), HugePageBytes);
+  for (uint64_t I = 0; I < FramesPerHugeBlock; ++I)
+    Alloc.freeSmall(*Base + I);
+  EXPECT_EQ(Alloc.usedBytes(), 0u);
+}
+
+TEST(FrameAllocatorTest, SmallAllocationCanCarveFreeHugeBlock) {
+  // Exactly one huge block of capacity: after freeing it, small
+  // allocations must be able to consume its frames.
+  FrameAllocator Alloc(TierId::Fast, HugePageBytes);
+  auto Base = Alloc.allocateHuge();
+  ASSERT_TRUE(Base);
+  Alloc.freeHuge(*Base);
+  for (uint64_t I = 0; I < FramesPerHugeBlock; ++I)
+    ASSERT_TRUE(Alloc.allocateSmall().has_value()) << "frame " << I;
+  EXPECT_FALSE(Alloc.allocateSmall().has_value());
+}
+
+TEST(FrameAllocatorTest, MixedAllocationAccounting) {
+  FrameAllocator Alloc(TierId::Slow, 8ull << 20);
+  auto H = Alloc.allocateHuge();
+  auto S1 = Alloc.allocateSmall();
+  auto S2 = Alloc.allocateSmall();
+  ASSERT_TRUE(H && S1 && S2);
+  EXPECT_EQ(Alloc.usedBytes(), HugePageBytes + 2 * SmallPageBytes);
+  Alloc.freeSmall(*S1);
+  EXPECT_EQ(Alloc.usedBytes(), HugePageBytes + SmallPageBytes);
+}

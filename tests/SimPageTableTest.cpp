@@ -1,0 +1,215 @@
+//===----------------------------------------------------------------------===//
+// Unit tests for the simulated page table: mapping, preferred placement,
+// the ATMem remap path, and the mbind-style page-move path.
+//===----------------------------------------------------------------------===//
+
+#include "sim/PageTable.h"
+
+#include <gtest/gtest.h>
+
+using namespace atmem::sim;
+
+namespace {
+
+class PageTableTest : public ::testing::Test {
+protected:
+  PageTableTest()
+      : Fast(TierId::Fast, 64ull << 20), Slow(TierId::Slow, 256ull << 20),
+        PT(Fast, Slow) {}
+
+  FrameAllocator Fast;
+  FrameAllocator Slow;
+  PageTable PT;
+};
+
+constexpr uint64_t Va = 0x100000000000ull; // 2 MiB aligned.
+
+TEST_F(PageTableTest, MapSmallRegionTranslates) {
+  ASSERT_TRUE(PT.mapRegion(Va, 4 * SmallPageBytes, TierId::Slow,
+                           /*PreferHuge=*/false));
+  Translation T;
+  ASSERT_TRUE(PT.translate(Va + 5000, T));
+  EXPECT_EQ(T.PageBytes, SmallPageBytes);
+  EXPECT_EQ(T.Tier, TierId::Slow);
+  EXPECT_EQ(T.PageVa, Va + SmallPageBytes);
+}
+
+TEST_F(PageTableTest, UnmappedTranslateFails) {
+  Translation T;
+  EXPECT_FALSE(PT.translate(Va, T));
+}
+
+TEST_F(PageTableTest, HugeMappingUsedWhenAligned) {
+  ASSERT_TRUE(PT.mapRegion(Va, 2 * HugePageBytes, TierId::Slow,
+                           /*PreferHuge=*/true));
+  EXPECT_EQ(PT.hugePageCount(), 2u);
+  EXPECT_EQ(PT.smallPageCount(), 0u);
+  Translation T;
+  ASSERT_TRUE(PT.translate(Va + HugePageBytes + 123, T));
+  EXPECT_EQ(T.PageBytes, HugePageBytes);
+}
+
+TEST_F(PageTableTest, UnalignedTailUsesSmallPages) {
+  ASSERT_TRUE(PT.mapRegion(Va, HugePageBytes + 3 * SmallPageBytes,
+                           TierId::Slow, /*PreferHuge=*/true));
+  EXPECT_EQ(PT.hugePageCount(), 1u);
+  EXPECT_EQ(PT.smallPageCount(), 3u);
+}
+
+TEST_F(PageTableTest, PreferHugeFalseMapsSmallOnly) {
+  ASSERT_TRUE(PT.mapRegion(Va, 2 * HugePageBytes, TierId::Fast,
+                           /*PreferHuge=*/false));
+  EXPECT_EQ(PT.hugePageCount(), 0u);
+  EXPECT_EQ(PT.smallPageCount(), 2 * FramesPerHugeBlock);
+}
+
+TEST_F(PageTableTest, MapRegionFailsWithoutCapacity) {
+  FrameAllocator Tiny(TierId::Fast, 2 * SmallPageBytes);
+  FrameAllocator Big(TierId::Slow, 64ull << 20);
+  PageTable Small(Tiny, Big);
+  EXPECT_FALSE(Small.mapRegion(Va, 4 * SmallPageBytes, TierId::Fast, false));
+  // Nothing was mapped on failure.
+  Translation T;
+  EXPECT_FALSE(Small.translate(Va, T));
+  EXPECT_EQ(Tiny.usedBytes(), 0u);
+}
+
+TEST_F(PageTableTest, MappedBytesAccounting) {
+  ASSERT_TRUE(PT.mapRegion(Va, HugePageBytes + SmallPageBytes, TierId::Slow,
+                           true));
+  EXPECT_EQ(PT.mappedBytesOn(TierId::Slow), HugePageBytes + SmallPageBytes);
+  EXPECT_EQ(PT.mappedBytesOn(TierId::Fast), 0u);
+  PT.unmapRegion(Va, HugePageBytes + SmallPageBytes);
+  EXPECT_EQ(PT.mappedBytesOn(TierId::Slow), 0u);
+}
+
+TEST_F(PageTableTest, UnmapReleasesFrames) {
+  ASSERT_TRUE(PT.mapRegion(Va, 4ull << 20, TierId::Slow, true));
+  uint64_t Used = Slow.usedBytes();
+  EXPECT_EQ(Used, 4ull << 20);
+  PT.unmapRegion(Va, 4ull << 20);
+  EXPECT_EQ(Slow.usedBytes(), 0u);
+}
+
+TEST_F(PageTableTest, PreferredPlacementOverflowsToSlow) {
+  FrameAllocator Tiny(TierId::Fast, HugePageBytes);
+  FrameAllocator Big(TierId::Slow, 64ull << 20);
+  PageTable Table(Tiny, Big);
+  uint64_t OnFast =
+      Table.mapRegionPreferred(Va, 3 * HugePageBytes, TierId::Fast, true);
+  EXPECT_EQ(OnFast, HugePageBytes);
+  EXPECT_EQ(Table.tierOf(Va), TierId::Fast);
+  EXPECT_EQ(Table.tierOf(Va + 2 * HugePageBytes), TierId::Slow);
+}
+
+TEST_F(PageTableTest, PreferredPlacementAllFitsOnFast) {
+  uint64_t OnFast =
+      PT.mapRegionPreferred(Va, 2 * HugePageBytes, TierId::Fast, true);
+  EXPECT_EQ(OnFast, 2 * HugePageBytes);
+}
+
+TEST_F(PageTableTest, RemapRangeMovesTier) {
+  ASSERT_TRUE(PT.mapRegion(Va, 2 * HugePageBytes, TierId::Slow, true));
+  uint64_t Ptes = 0;
+  ASSERT_TRUE(PT.remapRange(Va, 2 * HugePageBytes, TierId::Fast, true,
+                            &Ptes));
+  EXPECT_EQ(Ptes, 2u); // Two huge PTEs rewritten.
+  EXPECT_EQ(PT.tierOf(Va), TierId::Fast);
+  EXPECT_EQ(PT.tierOf(Va + HugePageBytes), TierId::Fast);
+  EXPECT_EQ(Slow.usedBytes(), 0u);
+  EXPECT_EQ(Fast.usedBytes(), 2 * HugePageBytes);
+}
+
+TEST_F(PageTableTest, RemapRangeReformsHugePages) {
+  // Map small pages only, then remap with huge preference: the target
+  // mapping must coalesce into huge pages.
+  ASSERT_TRUE(PT.mapRegion(Va, HugePageBytes, TierId::Slow,
+                           /*PreferHuge=*/false));
+  EXPECT_EQ(PT.smallPageCount(), FramesPerHugeBlock);
+  ASSERT_TRUE(PT.remapRange(Va, HugePageBytes, TierId::Fast, true));
+  EXPECT_EQ(PT.hugePageCount(), 1u);
+  EXPECT_EQ(PT.smallPageCount(), 0u);
+}
+
+TEST_F(PageTableTest, RemapPartialRangeSplitsBoundaryHugePages) {
+  ASSERT_TRUE(PT.mapRegion(Va, 2 * HugePageBytes, TierId::Slow, true));
+  // Remap an inner window missing both huge boundaries.
+  uint64_t Window = Va + HugePageBytes / 2;
+  ASSERT_TRUE(PT.remapRange(Window, HugePageBytes, TierId::Fast, true));
+  EXPECT_EQ(PT.tierOf(Window), TierId::Fast);
+  EXPECT_EQ(PT.tierOf(Va), TierId::Slow);
+  EXPECT_EQ(PT.tierOf(Va + 2 * HugePageBytes - 1), TierId::Slow);
+  // Both straddled huge pages split.
+  EXPECT_EQ(PT.hugePageCount(), 0u);
+}
+
+TEST_F(PageTableTest, RemapFailsWithoutTargetCapacity) {
+  FrameAllocator Tiny(TierId::Fast, HugePageBytes);
+  FrameAllocator Big(TierId::Slow, 64ull << 20);
+  PageTable Table(Tiny, Big);
+  ASSERT_TRUE(Table.mapRegion(Va, 2 * HugePageBytes, TierId::Slow, true));
+  EXPECT_FALSE(Table.remapRange(Va, 2 * HugePageBytes, TierId::Fast, true));
+  // Range still on the slow tier.
+  EXPECT_EQ(Table.tierOf(Va), TierId::Slow);
+}
+
+TEST_F(PageTableTest, RemapAlignedRangeWithoutHugePreference) {
+  // A huge-aligned, huge-multiple range remapped with PreferHuge=false
+  // must split the existing huge mappings and land on small pages.
+  ASSERT_TRUE(PT.mapRegion(Va, 2 * HugePageBytes, TierId::Slow, true));
+  ASSERT_TRUE(PT.remapRange(Va, 2 * HugePageBytes, TierId::Fast,
+                            /*PreferHuge=*/false));
+  EXPECT_EQ(PT.hugePageCount(), 0u);
+  EXPECT_EQ(PT.smallPageCount(), 2 * FramesPerHugeBlock);
+  EXPECT_EQ(PT.tierOf(Va), TierId::Fast);
+  EXPECT_EQ(PT.mappedBytesOn(TierId::Fast), 2 * HugePageBytes);
+}
+
+TEST_F(PageTableTest, MovePageChangesTier) {
+  ASSERT_TRUE(PT.mapRegion(Va, 4 * SmallPageBytes, TierId::Slow, false));
+  bool Split = false;
+  ASSERT_TRUE(PT.movePage(Va + SmallPageBytes, TierId::Fast, &Split));
+  EXPECT_FALSE(Split);
+  EXPECT_EQ(PT.tierOf(Va + SmallPageBytes), TierId::Fast);
+  EXPECT_EQ(PT.tierOf(Va), TierId::Slow);
+}
+
+TEST_F(PageTableTest, MovePageSplitsCoveringHugePage) {
+  ASSERT_TRUE(PT.mapRegion(Va, HugePageBytes, TierId::Slow, true));
+  EXPECT_EQ(PT.hugePageCount(), 1u);
+  bool Split = false;
+  ASSERT_TRUE(PT.movePage(Va + 8 * SmallPageBytes, TierId::Fast, &Split));
+  EXPECT_TRUE(Split);
+  EXPECT_EQ(PT.hugePageCount(), 0u);
+  EXPECT_EQ(PT.smallPageCount(), FramesPerHugeBlock);
+  EXPECT_EQ(PT.tierOf(Va + 8 * SmallPageBytes), TierId::Fast);
+  EXPECT_EQ(PT.tierOf(Va), TierId::Slow);
+}
+
+TEST_F(PageTableTest, MovePageToSameTierIsNoop) {
+  ASSERT_TRUE(PT.mapRegion(Va, SmallPageBytes, TierId::Fast, false));
+  uint64_t Used = Fast.usedBytes();
+  ASSERT_TRUE(PT.movePage(Va, TierId::Fast));
+  EXPECT_EQ(Fast.usedBytes(), Used);
+}
+
+TEST_F(PageTableTest, MovePageFailsWhenTargetFull) {
+  FrameAllocator Tiny(TierId::Fast, SmallPageBytes);
+  FrameAllocator Big(TierId::Slow, 64ull << 20);
+  PageTable Table(Tiny, Big);
+  ASSERT_TRUE(Table.mapRegion(Va, 2 * SmallPageBytes, TierId::Slow, false));
+  EXPECT_TRUE(Table.movePage(Va, TierId::Fast));
+  EXPECT_FALSE(Table.movePage(Va + SmallPageBytes, TierId::Fast));
+  EXPECT_EQ(Table.tierOf(Va + SmallPageBytes), TierId::Slow);
+}
+
+TEST_F(PageTableTest, MoveEveryPageOfSplitHugeFreesSlowBytes) {
+  ASSERT_TRUE(PT.mapRegion(Va, HugePageBytes, TierId::Slow, true));
+  for (uint64_t P = 0; P < FramesPerHugeBlock; ++P)
+    ASSERT_TRUE(PT.movePage(Va + P * SmallPageBytes, TierId::Fast));
+  EXPECT_EQ(Slow.usedBytes(), 0u);
+  EXPECT_EQ(Fast.usedBytes(), HugePageBytes);
+  EXPECT_EQ(PT.mappedBytesOn(TierId::Fast), HugePageBytes);
+}
+
+} // namespace

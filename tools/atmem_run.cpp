@@ -1,0 +1,185 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ATMem reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// atmem_run: command-line driver for the framework. Loads a named
+/// synthetic dataset or a user-provided edge list, runs one of the six
+/// kernels under a chosen placement policy on a chosen testbed, and
+/// prints a placement/timing report. This is the "try it on your own
+/// graph" entry point of the repository.
+///
+/// Examples:
+///   atmem_run --kernel=pr --dataset=twitter
+///   atmem_run --kernel=bfs --edge-list=web.txt --testbed=mcdram
+///   atmem_run --kernel=sssp --dataset=rmat27 --policy=atmem-mbind
+///
+//===----------------------------------------------------------------------===//
+
+#include "apps/Kernel.h"
+#include "baseline/Experiment.h"
+#include "graph/Datasets.h"
+#include "graph/EdgeListIO.h"
+#include "support/Options.h"
+#include "support/StringUtils.h"
+#include "support/TablePrinter.h"
+
+#include <cstdio>
+
+using namespace atmem;
+
+namespace {
+
+bool parsePolicy(const std::string &Name, baseline::Policy &Out) {
+  const std::pair<const char *, baseline::Policy> Table[] = {
+      {"all-slow", baseline::Policy::AllSlow},
+      {"all-fast", baseline::Policy::AllFast},
+      {"preferred-fast", baseline::Policy::PreferredFast},
+      {"interleaved", baseline::Policy::Interleaved},
+      {"atmem", baseline::Policy::Atmem},
+      {"atmem-mbind", baseline::Policy::AtmemMbind},
+      {"atmem-sampled-only", baseline::Policy::AtmemSampledOnly},
+      {"coarse-grained", baseline::Policy::CoarseGrained},
+  };
+  for (const auto &[Label, Policy] : Table)
+    if (Name == Label) {
+      Out = Policy;
+      return true;
+    }
+  return false;
+}
+
+} // namespace
+
+int main(int Argc, const char **Argv) {
+  OptionParser Parser(
+      "atmem_run: run a graph kernel under an ATMem placement policy on a "
+      "simulated heterogeneous-memory testbed");
+  Parser.addString("kernel", "pr", "bfs | sssp | pr | bc | cc | spmv | tc | kcore");
+  Parser.addString("dataset", "rmat24",
+                   "named dataset (pokec, rmat24, twitter, rmat27, "
+                   "friendster); ignored when --edge-list is given");
+  Parser.addString("edge-list", "",
+                   "path to a 'src dst' text edge list to load instead of "
+                   "a named dataset");
+  Parser.addString("testbed", "nvm", "nvm (Optane+DRAM) | mcdram (KNL)");
+  Parser.addString("policy", "atmem",
+                   "all-slow | all-fast | preferred-fast | interleaved | atmem | "
+                   "atmem-mbind | atmem-sampled-only | coarse-grained");
+  Parser.addDouble("scale", graph::DefaultScaleDivisor,
+                   "dataset/machine scale divisor for named datasets");
+  Parser.addUnsigned("iterations", 1, "measured iterations to average");
+  Parser.addFlag("compare", "also run the all-slow baseline and the "
+                            "all-fast (or preferred-fast) reference");
+  Parser.addFlag("tlb", "replay the measured iteration through the "
+                        "simulated TLB and report misses");
+  if (!Parser.parse(Argc, Argv))
+    return 1;
+
+  std::string KernelName = Parser.getString("kernel");
+  if (!apps::isKnownKernel(KernelName)) {
+    std::fprintf(stderr, "error: unknown kernel '%s'\n", KernelName.c_str());
+    return 1;
+  }
+  baseline::Policy PolicyKind;
+  if (!parsePolicy(Parser.getString("policy"), PolicyKind)) {
+    std::fprintf(stderr, "error: unknown policy '%s'\n",
+                 Parser.getString("policy").c_str());
+    return 1;
+  }
+  bool Mcdram = Parser.getString("testbed") == "mcdram";
+  if (!Mcdram && Parser.getString("testbed") != "nvm") {
+    std::fprintf(stderr, "error: unknown testbed '%s'\n",
+                 Parser.getString("testbed").c_str());
+    return 1;
+  }
+  double Scale = Parser.getDouble("scale");
+
+  // Load or generate the graph.
+  graph::CsrGraph Graph;
+  std::string GraphName;
+  if (std::string Path = Parser.getString("edge-list"); !Path.empty()) {
+    auto Loaded = graph::readEdgeList(Path);
+    if (!Loaded) {
+      std::fprintf(stderr, "error: cannot read edge list '%s'\n",
+                   Path.c_str());
+      return 1;
+    }
+    Graph = std::move(*Loaded);
+    GraphName = Path;
+  } else {
+    std::string Name = Parser.getString("dataset");
+    if (!graph::isKnownDataset(Name)) {
+      std::fprintf(stderr, "error: unknown dataset '%s'\n", Name.c_str());
+      return 1;
+    }
+    Graph = graph::makeDataset(Name, Scale).Graph;
+    GraphName = Name;
+  }
+  std::printf("graph: %s (%u vertices, %llu edges)\n", GraphName.c_str(),
+              Graph.numVertices(),
+              static_cast<unsigned long long>(Graph.numEdges()));
+
+  sim::MachineConfig Machine = Mcdram
+                                   ? sim::mcdramDramTestbed(1.0 / Scale)
+                                   : sim::nvmDramTestbed(1.0 / Scale);
+  std::printf("testbed: %s (fast %s %s, slow %s %s)\n",
+              Machine.Name.c_str(), Machine.Fast.Name.c_str(),
+              formatBytes(Machine.Fast.CapacityBytes).c_str(),
+              Machine.Slow.Name.c_str(),
+              formatBytes(Machine.Slow.CapacityBytes).c_str());
+
+  auto Run = [&](baseline::Policy P) {
+    baseline::RunConfig Config;
+    Config.KernelName = KernelName;
+    Config.Graph = &Graph;
+    Config.Machine = Machine;
+    Config.PolicyKind = P;
+    Config.MeasuredIterations =
+        static_cast<uint32_t>(Parser.getUnsigned("iterations"));
+    Config.MeasureTlb = Parser.getFlag("tlb");
+    return baseline::runExperiment(Config);
+  };
+
+  TablePrinter Table({"policy", "iteration time", "fast-tier ratio",
+                      "migrated", "migration time", "TLB misses"});
+  auto AddRow = [&](baseline::Policy P, const baseline::RunResult &R) {
+    Table.addRow({baseline::policyName(P),
+                  formatSeconds(R.MeasuredIterSec),
+                  formatPercent(R.FastDataRatio),
+                  formatBytes(R.Migration.BytesMoved),
+                  R.Migration.BytesMoved
+                      ? formatSeconds(R.Migration.SimSeconds)
+                      : "-",
+                  Parser.getFlag("tlb") ? std::to_string(R.TlbMisses)
+                                        : "-"});
+  };
+
+  baseline::RunResult Main = Run(PolicyKind);
+  if (Parser.getFlag("compare")) {
+    baseline::Policy Reference = Mcdram ? baseline::Policy::PreferredFast
+                                        : baseline::Policy::AllFast;
+    baseline::RunResult Slow = Run(baseline::Policy::AllSlow);
+    baseline::RunResult Ref = Run(Reference);
+    AddRow(baseline::Policy::AllSlow, Slow);
+    AddRow(PolicyKind, Main);
+    AddRow(Reference, Ref);
+    Table.print();
+    std::printf("\n%s vs all-slow: %s; vs %s: %s\n",
+                baseline::policyName(PolicyKind),
+                formatSpeedup(Slow.MeasuredIterSec / Main.MeasuredIterSec)
+                    .c_str(),
+                baseline::policyName(Reference),
+                formatSpeedup(Ref.MeasuredIterSec / Main.MeasuredIterSec)
+                    .c_str());
+  } else {
+    AddRow(PolicyKind, Main);
+    Table.print();
+  }
+  std::printf("checksum: %llu\n",
+              static_cast<unsigned long long>(Main.Checksum));
+  return 0;
+}
