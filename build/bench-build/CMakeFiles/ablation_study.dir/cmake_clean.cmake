@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_study"
+  "../bench/ablation_study.pdb"
+  "CMakeFiles/ablation_study.dir/ablation_study.cpp.o"
+  "CMakeFiles/ablation_study.dir/ablation_study.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

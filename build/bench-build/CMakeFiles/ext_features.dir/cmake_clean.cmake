@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_features"
+  "../bench/ext_features.pdb"
+  "CMakeFiles/ext_features.dir/ext_features.cpp.o"
+  "CMakeFiles/ext_features.dir/ext_features.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

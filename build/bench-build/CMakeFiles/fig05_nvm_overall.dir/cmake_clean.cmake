@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig05_nvm_overall"
+  "../bench/fig05_nvm_overall.pdb"
+  "CMakeFiles/fig05_nvm_overall.dir/fig05_nvm_overall.cpp.o"
+  "CMakeFiles/fig05_nvm_overall.dir/fig05_nvm_overall.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_nvm_overall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig06_mcdram_overall"
+  "../bench/fig06_mcdram_overall.pdb"
+  "CMakeFiles/fig06_mcdram_overall.dir/fig06_mcdram_overall.cpp.o"
+  "CMakeFiles/fig06_mcdram_overall.dir/fig06_mcdram_overall.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_mcdram_overall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

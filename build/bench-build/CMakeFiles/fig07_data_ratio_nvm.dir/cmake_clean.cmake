@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_data_ratio_nvm"
+  "../bench/fig07_data_ratio_nvm.pdb"
+  "CMakeFiles/fig07_data_ratio_nvm.dir/fig07_data_ratio_nvm.cpp.o"
+  "CMakeFiles/fig07_data_ratio_nvm.dir/fig07_data_ratio_nvm.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_data_ratio_nvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

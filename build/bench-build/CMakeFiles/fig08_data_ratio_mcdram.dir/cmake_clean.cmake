@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_data_ratio_mcdram"
+  "../bench/fig08_data_ratio_mcdram.pdb"
+  "CMakeFiles/fig08_data_ratio_mcdram.dir/fig08_data_ratio_mcdram.cpp.o"
+  "CMakeFiles/fig08_data_ratio_mcdram.dir/fig08_data_ratio_mcdram.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_data_ratio_mcdram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig08_data_ratio_mcdram.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig08_data_ratio_mcdram.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_sweep_nvm"
+  "../bench/fig09_sweep_nvm.pdb"
+  "CMakeFiles/fig09_sweep_nvm.dir/fig09_sweep_nvm.cpp.o"
+  "CMakeFiles/fig09_sweep_nvm.dir/fig09_sweep_nvm.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_sweep_nvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig10_sweep_mcdram.cpp" "bench-build/CMakeFiles/fig10_sweep_mcdram.dir/fig10_sweep_mcdram.cpp.o" "gcc" "bench-build/CMakeFiles/fig10_sweep_mcdram.dir/fig10_sweep_mcdram.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench-build/CMakeFiles/bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/atmem_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/atmem_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/atmem_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analyzer/CMakeFiles/atmem_analyzer.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiler/CMakeFiles/atmem_profiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/atmem_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/atmem_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/atmem_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/atmem_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_sweep_mcdram"
+  "../bench/fig10_sweep_mcdram.pdb"
+  "CMakeFiles/fig10_sweep_mcdram.dir/fig10_sweep_mcdram.cpp.o"
+  "CMakeFiles/fig10_sweep_mcdram.dir/fig10_sweep_mcdram.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_sweep_mcdram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table4_migration"
+  "../bench/table4_migration.pdb"
+  "CMakeFiles/table4_migration.dir/table4_migration.cpp.o"
+  "CMakeFiles/table4_migration.dir/table4_migration.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_queries.dir/adaptive_queries.cpp.o"
+  "CMakeFiles/adaptive_queries.dir/adaptive_queries.cpp.o.d"
+  "adaptive_queries"
+  "adaptive_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/migration_comparison.dir/migration_comparison.cpp.o"
+  "CMakeFiles/migration_comparison.dir/migration_comparison.cpp.o.d"
+  "migration_comparison"
+  "migration_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/migration_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

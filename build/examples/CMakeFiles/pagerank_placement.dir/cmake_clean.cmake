@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pagerank_placement.dir/pagerank_placement.cpp.o"
+  "CMakeFiles/pagerank_placement.dir/pagerank_placement.cpp.o.d"
+  "pagerank_placement"
+  "pagerank_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pagerank_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

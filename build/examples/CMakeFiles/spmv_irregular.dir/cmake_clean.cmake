@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spmv_irregular.dir/spmv_irregular.cpp.o"
+  "CMakeFiles/spmv_irregular.dir/spmv_irregular.cpp.o.d"
+  "spmv_irregular"
+  "spmv_irregular.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spmv_irregular.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

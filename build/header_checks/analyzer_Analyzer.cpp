@@ -1,0 +1,1 @@
+#include "analyzer/Analyzer.h"

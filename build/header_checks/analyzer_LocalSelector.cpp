@@ -1,0 +1,1 @@
+#include "analyzer/LocalSelector.h"

@@ -1,0 +1,1 @@
+#include "analyzer/MaryTree.h"

@@ -1,0 +1,1 @@
+#include "apps/Reference.h"

@@ -1,0 +1,1 @@
+#include "baseline/Experiment.h"

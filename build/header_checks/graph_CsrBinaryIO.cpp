@@ -1,0 +1,1 @@
+#include "graph/CsrBinaryIO.h"

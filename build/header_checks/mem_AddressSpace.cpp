@@ -1,0 +1,1 @@
+#include "mem/AddressSpace.h"

@@ -1,0 +1,1 @@
+#include "mem/AtmemMigrator.h"

@@ -1,0 +1,1 @@
+#include "mem/DataObjectRegistry.h"

@@ -1,0 +1,1 @@
+#include "profiler/TraceFile.h"

@@ -1,0 +1,1 @@
+#include "sim/Tlb.h"

@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/build/header_checks/analyzer_Analyzer.cpp" "src/CMakeFiles/atmem_header_checks.dir/__/header_checks/analyzer_Analyzer.cpp.o" "gcc" "src/CMakeFiles/atmem_header_checks.dir/__/header_checks/analyzer_Analyzer.cpp.o.d"
+  "/root/repo/build/header_checks/analyzer_GlobalPromoter.cpp" "src/CMakeFiles/atmem_header_checks.dir/__/header_checks/analyzer_GlobalPromoter.cpp.o" "gcc" "src/CMakeFiles/atmem_header_checks.dir/__/header_checks/analyzer_GlobalPromoter.cpp.o.d"
+  "/root/repo/build/header_checks/analyzer_LocalSelector.cpp" "src/CMakeFiles/atmem_header_checks.dir/__/header_checks/analyzer_LocalSelector.cpp.o" "gcc" "src/CMakeFiles/atmem_header_checks.dir/__/header_checks/analyzer_LocalSelector.cpp.o.d"
+  "/root/repo/build/header_checks/analyzer_MaryTree.cpp" "src/CMakeFiles/atmem_header_checks.dir/__/header_checks/analyzer_MaryTree.cpp.o" "gcc" "src/CMakeFiles/atmem_header_checks.dir/__/header_checks/analyzer_MaryTree.cpp.o.d"
+  "/root/repo/build/header_checks/analyzer_PlacementPlan.cpp" "src/CMakeFiles/atmem_header_checks.dir/__/header_checks/analyzer_PlacementPlan.cpp.o" "gcc" "src/CMakeFiles/atmem_header_checks.dir/__/header_checks/analyzer_PlacementPlan.cpp.o.d"
+  "/root/repo/build/header_checks/apps_Kernel.cpp" "src/CMakeFiles/atmem_header_checks.dir/__/header_checks/apps_Kernel.cpp.o" "gcc" "src/CMakeFiles/atmem_header_checks.dir/__/header_checks/apps_Kernel.cpp.o.d"
+  "/root/repo/build/header_checks/apps_Kernels.cpp" "src/CMakeFiles/atmem_header_checks.dir/__/header_checks/apps_Kernels.cpp.o" "gcc" "src/CMakeFiles/atmem_header_checks.dir/__/header_checks/apps_Kernels.cpp.o.d"
+  "/root/repo/build/header_checks/apps_Reference.cpp" "src/CMakeFiles/atmem_header_checks.dir/__/header_checks/apps_Reference.cpp.o" "gcc" "src/CMakeFiles/atmem_header_checks.dir/__/header_checks/apps_Reference.cpp.o.d"
+  "/root/repo/build/header_checks/baseline_Experiment.cpp" "src/CMakeFiles/atmem_header_checks.dir/__/header_checks/baseline_Experiment.cpp.o" "gcc" "src/CMakeFiles/atmem_header_checks.dir/__/header_checks/baseline_Experiment.cpp.o.d"
+  "/root/repo/build/header_checks/core_AtmemApi.cpp" "src/CMakeFiles/atmem_header_checks.dir/__/header_checks/core_AtmemApi.cpp.o" "gcc" "src/CMakeFiles/atmem_header_checks.dir/__/header_checks/core_AtmemApi.cpp.o.d"
+  "/root/repo/build/header_checks/core_AutoTuner.cpp" "src/CMakeFiles/atmem_header_checks.dir/__/header_checks/core_AutoTuner.cpp.o" "gcc" "src/CMakeFiles/atmem_header_checks.dir/__/header_checks/core_AutoTuner.cpp.o.d"
+  "/root/repo/build/header_checks/core_Runtime.cpp" "src/CMakeFiles/atmem_header_checks.dir/__/header_checks/core_Runtime.cpp.o" "gcc" "src/CMakeFiles/atmem_header_checks.dir/__/header_checks/core_Runtime.cpp.o.d"
+  "/root/repo/build/header_checks/graph_CsrBinaryIO.cpp" "src/CMakeFiles/atmem_header_checks.dir/__/header_checks/graph_CsrBinaryIO.cpp.o" "gcc" "src/CMakeFiles/atmem_header_checks.dir/__/header_checks/graph_CsrBinaryIO.cpp.o.d"
+  "/root/repo/build/header_checks/graph_CsrGraph.cpp" "src/CMakeFiles/atmem_header_checks.dir/__/header_checks/graph_CsrGraph.cpp.o" "gcc" "src/CMakeFiles/atmem_header_checks.dir/__/header_checks/graph_CsrGraph.cpp.o.d"
+  "/root/repo/build/header_checks/graph_Datasets.cpp" "src/CMakeFiles/atmem_header_checks.dir/__/header_checks/graph_Datasets.cpp.o" "gcc" "src/CMakeFiles/atmem_header_checks.dir/__/header_checks/graph_Datasets.cpp.o.d"
+  "/root/repo/build/header_checks/graph_EdgeListIO.cpp" "src/CMakeFiles/atmem_header_checks.dir/__/header_checks/graph_EdgeListIO.cpp.o" "gcc" "src/CMakeFiles/atmem_header_checks.dir/__/header_checks/graph_EdgeListIO.cpp.o.d"
+  "/root/repo/build/header_checks/graph_Generators.cpp" "src/CMakeFiles/atmem_header_checks.dir/__/header_checks/graph_Generators.cpp.o" "gcc" "src/CMakeFiles/atmem_header_checks.dir/__/header_checks/graph_Generators.cpp.o.d"
+  "/root/repo/build/header_checks/mem_AddressSpace.cpp" "src/CMakeFiles/atmem_header_checks.dir/__/header_checks/mem_AddressSpace.cpp.o" "gcc" "src/CMakeFiles/atmem_header_checks.dir/__/header_checks/mem_AddressSpace.cpp.o.d"
+  "/root/repo/build/header_checks/mem_AtmemMigrator.cpp" "src/CMakeFiles/atmem_header_checks.dir/__/header_checks/mem_AtmemMigrator.cpp.o" "gcc" "src/CMakeFiles/atmem_header_checks.dir/__/header_checks/mem_AtmemMigrator.cpp.o.d"
+  "/root/repo/build/header_checks/mem_DataObject.cpp" "src/CMakeFiles/atmem_header_checks.dir/__/header_checks/mem_DataObject.cpp.o" "gcc" "src/CMakeFiles/atmem_header_checks.dir/__/header_checks/mem_DataObject.cpp.o.d"
+  "/root/repo/build/header_checks/mem_DataObjectRegistry.cpp" "src/CMakeFiles/atmem_header_checks.dir/__/header_checks/mem_DataObjectRegistry.cpp.o" "gcc" "src/CMakeFiles/atmem_header_checks.dir/__/header_checks/mem_DataObjectRegistry.cpp.o.d"
+  "/root/repo/build/header_checks/mem_MbindMigrator.cpp" "src/CMakeFiles/atmem_header_checks.dir/__/header_checks/mem_MbindMigrator.cpp.o" "gcc" "src/CMakeFiles/atmem_header_checks.dir/__/header_checks/mem_MbindMigrator.cpp.o.d"
+  "/root/repo/build/header_checks/mem_Migrator.cpp" "src/CMakeFiles/atmem_header_checks.dir/__/header_checks/mem_Migrator.cpp.o" "gcc" "src/CMakeFiles/atmem_header_checks.dir/__/header_checks/mem_Migrator.cpp.o.d"
+  "/root/repo/build/header_checks/mem_ThreadPool.cpp" "src/CMakeFiles/atmem_header_checks.dir/__/header_checks/mem_ThreadPool.cpp.o" "gcc" "src/CMakeFiles/atmem_header_checks.dir/__/header_checks/mem_ThreadPool.cpp.o.d"
+  "/root/repo/build/header_checks/profiler_OfflineProfiler.cpp" "src/CMakeFiles/atmem_header_checks.dir/__/header_checks/profiler_OfflineProfiler.cpp.o" "gcc" "src/CMakeFiles/atmem_header_checks.dir/__/header_checks/profiler_OfflineProfiler.cpp.o.d"
+  "/root/repo/build/header_checks/profiler_ProfileSource.cpp" "src/CMakeFiles/atmem_header_checks.dir/__/header_checks/profiler_ProfileSource.cpp.o" "gcc" "src/CMakeFiles/atmem_header_checks.dir/__/header_checks/profiler_ProfileSource.cpp.o.d"
+  "/root/repo/build/header_checks/profiler_SamplingProfiler.cpp" "src/CMakeFiles/atmem_header_checks.dir/__/header_checks/profiler_SamplingProfiler.cpp.o" "gcc" "src/CMakeFiles/atmem_header_checks.dir/__/header_checks/profiler_SamplingProfiler.cpp.o.d"
+  "/root/repo/build/header_checks/profiler_TraceFile.cpp" "src/CMakeFiles/atmem_header_checks.dir/__/header_checks/profiler_TraceFile.cpp.o" "gcc" "src/CMakeFiles/atmem_header_checks.dir/__/header_checks/profiler_TraceFile.cpp.o.d"
+  "/root/repo/build/header_checks/sim_CacheSim.cpp" "src/CMakeFiles/atmem_header_checks.dir/__/header_checks/sim_CacheSim.cpp.o" "gcc" "src/CMakeFiles/atmem_header_checks.dir/__/header_checks/sim_CacheSim.cpp.o.d"
+  "/root/repo/build/header_checks/sim_CostModel.cpp" "src/CMakeFiles/atmem_header_checks.dir/__/header_checks/sim_CostModel.cpp.o" "gcc" "src/CMakeFiles/atmem_header_checks.dir/__/header_checks/sim_CostModel.cpp.o.d"
+  "/root/repo/build/header_checks/sim_FrameAllocator.cpp" "src/CMakeFiles/atmem_header_checks.dir/__/header_checks/sim_FrameAllocator.cpp.o" "gcc" "src/CMakeFiles/atmem_header_checks.dir/__/header_checks/sim_FrameAllocator.cpp.o.d"
+  "/root/repo/build/header_checks/sim_Machine.cpp" "src/CMakeFiles/atmem_header_checks.dir/__/header_checks/sim_Machine.cpp.o" "gcc" "src/CMakeFiles/atmem_header_checks.dir/__/header_checks/sim_Machine.cpp.o.d"
+  "/root/repo/build/header_checks/sim_MachineConfig.cpp" "src/CMakeFiles/atmem_header_checks.dir/__/header_checks/sim_MachineConfig.cpp.o" "gcc" "src/CMakeFiles/atmem_header_checks.dir/__/header_checks/sim_MachineConfig.cpp.o.d"
+  "/root/repo/build/header_checks/sim_MemoryTier.cpp" "src/CMakeFiles/atmem_header_checks.dir/__/header_checks/sim_MemoryTier.cpp.o" "gcc" "src/CMakeFiles/atmem_header_checks.dir/__/header_checks/sim_MemoryTier.cpp.o.d"
+  "/root/repo/build/header_checks/sim_PageTable.cpp" "src/CMakeFiles/atmem_header_checks.dir/__/header_checks/sim_PageTable.cpp.o" "gcc" "src/CMakeFiles/atmem_header_checks.dir/__/header_checks/sim_PageTable.cpp.o.d"
+  "/root/repo/build/header_checks/sim_Tlb.cpp" "src/CMakeFiles/atmem_header_checks.dir/__/header_checks/sim_Tlb.cpp.o" "gcc" "src/CMakeFiles/atmem_header_checks.dir/__/header_checks/sim_Tlb.cpp.o.d"
+  "/root/repo/build/header_checks/support_Error.cpp" "src/CMakeFiles/atmem_header_checks.dir/__/header_checks/support_Error.cpp.o" "gcc" "src/CMakeFiles/atmem_header_checks.dir/__/header_checks/support_Error.cpp.o.d"
+  "/root/repo/build/header_checks/support_Logging.cpp" "src/CMakeFiles/atmem_header_checks.dir/__/header_checks/support_Logging.cpp.o" "gcc" "src/CMakeFiles/atmem_header_checks.dir/__/header_checks/support_Logging.cpp.o.d"
+  "/root/repo/build/header_checks/support_Options.cpp" "src/CMakeFiles/atmem_header_checks.dir/__/header_checks/support_Options.cpp.o" "gcc" "src/CMakeFiles/atmem_header_checks.dir/__/header_checks/support_Options.cpp.o.d"
+  "/root/repo/build/header_checks/support_Prng.cpp" "src/CMakeFiles/atmem_header_checks.dir/__/header_checks/support_Prng.cpp.o" "gcc" "src/CMakeFiles/atmem_header_checks.dir/__/header_checks/support_Prng.cpp.o.d"
+  "/root/repo/build/header_checks/support_Statistics.cpp" "src/CMakeFiles/atmem_header_checks.dir/__/header_checks/support_Statistics.cpp.o" "gcc" "src/CMakeFiles/atmem_header_checks.dir/__/header_checks/support_Statistics.cpp.o.d"
+  "/root/repo/build/header_checks/support_StringUtils.cpp" "src/CMakeFiles/atmem_header_checks.dir/__/header_checks/support_StringUtils.cpp.o" "gcc" "src/CMakeFiles/atmem_header_checks.dir/__/header_checks/support_StringUtils.cpp.o.d"
+  "/root/repo/build/header_checks/support_TablePrinter.cpp" "src/CMakeFiles/atmem_header_checks.dir/__/header_checks/support_TablePrinter.cpp.o" "gcc" "src/CMakeFiles/atmem_header_checks.dir/__/header_checks/support_TablePrinter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

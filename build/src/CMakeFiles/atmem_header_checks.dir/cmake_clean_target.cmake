@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libatmem_header_checks.a"
+)

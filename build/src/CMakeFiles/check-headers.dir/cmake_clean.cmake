@@ -1,0 +1,8 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/check-headers"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang )
+  include(CMakeFiles/check-headers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analyzer/Analyzer.cpp" "src/analyzer/CMakeFiles/atmem_analyzer.dir/Analyzer.cpp.o" "gcc" "src/analyzer/CMakeFiles/atmem_analyzer.dir/Analyzer.cpp.o.d"
+  "/root/repo/src/analyzer/GlobalPromoter.cpp" "src/analyzer/CMakeFiles/atmem_analyzer.dir/GlobalPromoter.cpp.o" "gcc" "src/analyzer/CMakeFiles/atmem_analyzer.dir/GlobalPromoter.cpp.o.d"
+  "/root/repo/src/analyzer/LocalSelector.cpp" "src/analyzer/CMakeFiles/atmem_analyzer.dir/LocalSelector.cpp.o" "gcc" "src/analyzer/CMakeFiles/atmem_analyzer.dir/LocalSelector.cpp.o.d"
+  "/root/repo/src/analyzer/MaryTree.cpp" "src/analyzer/CMakeFiles/atmem_analyzer.dir/MaryTree.cpp.o" "gcc" "src/analyzer/CMakeFiles/atmem_analyzer.dir/MaryTree.cpp.o.d"
+  "/root/repo/src/analyzer/PlacementPlan.cpp" "src/analyzer/CMakeFiles/atmem_analyzer.dir/PlacementPlan.cpp.o" "gcc" "src/analyzer/CMakeFiles/atmem_analyzer.dir/PlacementPlan.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/profiler/CMakeFiles/atmem_profiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/atmem_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/atmem_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/atmem_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

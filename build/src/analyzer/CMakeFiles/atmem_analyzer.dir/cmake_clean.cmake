@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atmem_analyzer.dir/Analyzer.cpp.o"
+  "CMakeFiles/atmem_analyzer.dir/Analyzer.cpp.o.d"
+  "CMakeFiles/atmem_analyzer.dir/GlobalPromoter.cpp.o"
+  "CMakeFiles/atmem_analyzer.dir/GlobalPromoter.cpp.o.d"
+  "CMakeFiles/atmem_analyzer.dir/LocalSelector.cpp.o"
+  "CMakeFiles/atmem_analyzer.dir/LocalSelector.cpp.o.d"
+  "CMakeFiles/atmem_analyzer.dir/MaryTree.cpp.o"
+  "CMakeFiles/atmem_analyzer.dir/MaryTree.cpp.o.d"
+  "CMakeFiles/atmem_analyzer.dir/PlacementPlan.cpp.o"
+  "CMakeFiles/atmem_analyzer.dir/PlacementPlan.cpp.o.d"
+  "libatmem_analyzer.a"
+  "libatmem_analyzer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atmem_analyzer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

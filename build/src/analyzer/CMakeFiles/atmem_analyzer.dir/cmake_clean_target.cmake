@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libatmem_analyzer.a"
+)

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/Kernel.cpp" "src/apps/CMakeFiles/atmem_apps.dir/Kernel.cpp.o" "gcc" "src/apps/CMakeFiles/atmem_apps.dir/Kernel.cpp.o.d"
+  "/root/repo/src/apps/Kernels.cpp" "src/apps/CMakeFiles/atmem_apps.dir/Kernels.cpp.o" "gcc" "src/apps/CMakeFiles/atmem_apps.dir/Kernels.cpp.o.d"
+  "/root/repo/src/apps/Reference.cpp" "src/apps/CMakeFiles/atmem_apps.dir/Reference.cpp.o" "gcc" "src/apps/CMakeFiles/atmem_apps.dir/Reference.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/atmem_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/atmem_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/analyzer/CMakeFiles/atmem_analyzer.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiler/CMakeFiles/atmem_profiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/atmem_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/atmem_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/atmem_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

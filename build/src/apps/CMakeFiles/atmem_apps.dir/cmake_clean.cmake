@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atmem_apps.dir/Kernel.cpp.o"
+  "CMakeFiles/atmem_apps.dir/Kernel.cpp.o.d"
+  "CMakeFiles/atmem_apps.dir/Kernels.cpp.o"
+  "CMakeFiles/atmem_apps.dir/Kernels.cpp.o.d"
+  "CMakeFiles/atmem_apps.dir/Reference.cpp.o"
+  "CMakeFiles/atmem_apps.dir/Reference.cpp.o.d"
+  "libatmem_apps.a"
+  "libatmem_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atmem_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

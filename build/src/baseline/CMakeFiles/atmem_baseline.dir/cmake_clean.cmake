@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atmem_baseline.dir/Experiment.cpp.o"
+  "CMakeFiles/atmem_baseline.dir/Experiment.cpp.o.d"
+  "libatmem_baseline.a"
+  "libatmem_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atmem_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/AtmemApi.cpp" "src/core/CMakeFiles/atmem_core.dir/AtmemApi.cpp.o" "gcc" "src/core/CMakeFiles/atmem_core.dir/AtmemApi.cpp.o.d"
+  "/root/repo/src/core/AutoTuner.cpp" "src/core/CMakeFiles/atmem_core.dir/AutoTuner.cpp.o" "gcc" "src/core/CMakeFiles/atmem_core.dir/AutoTuner.cpp.o.d"
+  "/root/repo/src/core/Runtime.cpp" "src/core/CMakeFiles/atmem_core.dir/Runtime.cpp.o" "gcc" "src/core/CMakeFiles/atmem_core.dir/Runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analyzer/CMakeFiles/atmem_analyzer.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiler/CMakeFiles/atmem_profiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/atmem_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/atmem_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/atmem_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

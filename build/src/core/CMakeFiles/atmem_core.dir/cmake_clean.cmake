@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atmem_core.dir/AtmemApi.cpp.o"
+  "CMakeFiles/atmem_core.dir/AtmemApi.cpp.o.d"
+  "CMakeFiles/atmem_core.dir/AutoTuner.cpp.o"
+  "CMakeFiles/atmem_core.dir/AutoTuner.cpp.o.d"
+  "CMakeFiles/atmem_core.dir/Runtime.cpp.o"
+  "CMakeFiles/atmem_core.dir/Runtime.cpp.o.d"
+  "libatmem_core.a"
+  "libatmem_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atmem_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

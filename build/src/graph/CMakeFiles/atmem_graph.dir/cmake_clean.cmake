@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atmem_graph.dir/CsrBinaryIO.cpp.o"
+  "CMakeFiles/atmem_graph.dir/CsrBinaryIO.cpp.o.d"
+  "CMakeFiles/atmem_graph.dir/CsrGraph.cpp.o"
+  "CMakeFiles/atmem_graph.dir/CsrGraph.cpp.o.d"
+  "CMakeFiles/atmem_graph.dir/Datasets.cpp.o"
+  "CMakeFiles/atmem_graph.dir/Datasets.cpp.o.d"
+  "CMakeFiles/atmem_graph.dir/EdgeListIO.cpp.o"
+  "CMakeFiles/atmem_graph.dir/EdgeListIO.cpp.o.d"
+  "CMakeFiles/atmem_graph.dir/Generators.cpp.o"
+  "CMakeFiles/atmem_graph.dir/Generators.cpp.o.d"
+  "libatmem_graph.a"
+  "libatmem_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atmem_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/AddressSpace.cpp" "src/mem/CMakeFiles/atmem_mem.dir/AddressSpace.cpp.o" "gcc" "src/mem/CMakeFiles/atmem_mem.dir/AddressSpace.cpp.o.d"
+  "/root/repo/src/mem/AtmemMigrator.cpp" "src/mem/CMakeFiles/atmem_mem.dir/AtmemMigrator.cpp.o" "gcc" "src/mem/CMakeFiles/atmem_mem.dir/AtmemMigrator.cpp.o.d"
+  "/root/repo/src/mem/DataObject.cpp" "src/mem/CMakeFiles/atmem_mem.dir/DataObject.cpp.o" "gcc" "src/mem/CMakeFiles/atmem_mem.dir/DataObject.cpp.o.d"
+  "/root/repo/src/mem/DataObjectRegistry.cpp" "src/mem/CMakeFiles/atmem_mem.dir/DataObjectRegistry.cpp.o" "gcc" "src/mem/CMakeFiles/atmem_mem.dir/DataObjectRegistry.cpp.o.d"
+  "/root/repo/src/mem/MbindMigrator.cpp" "src/mem/CMakeFiles/atmem_mem.dir/MbindMigrator.cpp.o" "gcc" "src/mem/CMakeFiles/atmem_mem.dir/MbindMigrator.cpp.o.d"
+  "/root/repo/src/mem/ThreadPool.cpp" "src/mem/CMakeFiles/atmem_mem.dir/ThreadPool.cpp.o" "gcc" "src/mem/CMakeFiles/atmem_mem.dir/ThreadPool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/atmem_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/atmem_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

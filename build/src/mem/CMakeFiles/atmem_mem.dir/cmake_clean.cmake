@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atmem_mem.dir/AddressSpace.cpp.o"
+  "CMakeFiles/atmem_mem.dir/AddressSpace.cpp.o.d"
+  "CMakeFiles/atmem_mem.dir/AtmemMigrator.cpp.o"
+  "CMakeFiles/atmem_mem.dir/AtmemMigrator.cpp.o.d"
+  "CMakeFiles/atmem_mem.dir/DataObject.cpp.o"
+  "CMakeFiles/atmem_mem.dir/DataObject.cpp.o.d"
+  "CMakeFiles/atmem_mem.dir/DataObjectRegistry.cpp.o"
+  "CMakeFiles/atmem_mem.dir/DataObjectRegistry.cpp.o.d"
+  "CMakeFiles/atmem_mem.dir/MbindMigrator.cpp.o"
+  "CMakeFiles/atmem_mem.dir/MbindMigrator.cpp.o.d"
+  "CMakeFiles/atmem_mem.dir/ThreadPool.cpp.o"
+  "CMakeFiles/atmem_mem.dir/ThreadPool.cpp.o.d"
+  "libatmem_mem.a"
+  "libatmem_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atmem_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

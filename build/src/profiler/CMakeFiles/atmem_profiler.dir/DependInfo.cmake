@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/profiler/OfflineProfiler.cpp" "src/profiler/CMakeFiles/atmem_profiler.dir/OfflineProfiler.cpp.o" "gcc" "src/profiler/CMakeFiles/atmem_profiler.dir/OfflineProfiler.cpp.o.d"
+  "/root/repo/src/profiler/SamplingProfiler.cpp" "src/profiler/CMakeFiles/atmem_profiler.dir/SamplingProfiler.cpp.o" "gcc" "src/profiler/CMakeFiles/atmem_profiler.dir/SamplingProfiler.cpp.o.d"
+  "/root/repo/src/profiler/TraceFile.cpp" "src/profiler/CMakeFiles/atmem_profiler.dir/TraceFile.cpp.o" "gcc" "src/profiler/CMakeFiles/atmem_profiler.dir/TraceFile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/atmem_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/atmem_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/atmem_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atmem_profiler.dir/OfflineProfiler.cpp.o"
+  "CMakeFiles/atmem_profiler.dir/OfflineProfiler.cpp.o.d"
+  "CMakeFiles/atmem_profiler.dir/SamplingProfiler.cpp.o"
+  "CMakeFiles/atmem_profiler.dir/SamplingProfiler.cpp.o.d"
+  "CMakeFiles/atmem_profiler.dir/TraceFile.cpp.o"
+  "CMakeFiles/atmem_profiler.dir/TraceFile.cpp.o.d"
+  "libatmem_profiler.a"
+  "libatmem_profiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atmem_profiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

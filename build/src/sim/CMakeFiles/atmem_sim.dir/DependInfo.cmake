@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/CacheSim.cpp" "src/sim/CMakeFiles/atmem_sim.dir/CacheSim.cpp.o" "gcc" "src/sim/CMakeFiles/atmem_sim.dir/CacheSim.cpp.o.d"
+  "/root/repo/src/sim/CostModel.cpp" "src/sim/CMakeFiles/atmem_sim.dir/CostModel.cpp.o" "gcc" "src/sim/CMakeFiles/atmem_sim.dir/CostModel.cpp.o.d"
+  "/root/repo/src/sim/FrameAllocator.cpp" "src/sim/CMakeFiles/atmem_sim.dir/FrameAllocator.cpp.o" "gcc" "src/sim/CMakeFiles/atmem_sim.dir/FrameAllocator.cpp.o.d"
+  "/root/repo/src/sim/Machine.cpp" "src/sim/CMakeFiles/atmem_sim.dir/Machine.cpp.o" "gcc" "src/sim/CMakeFiles/atmem_sim.dir/Machine.cpp.o.d"
+  "/root/repo/src/sim/MachineConfig.cpp" "src/sim/CMakeFiles/atmem_sim.dir/MachineConfig.cpp.o" "gcc" "src/sim/CMakeFiles/atmem_sim.dir/MachineConfig.cpp.o.d"
+  "/root/repo/src/sim/PageTable.cpp" "src/sim/CMakeFiles/atmem_sim.dir/PageTable.cpp.o" "gcc" "src/sim/CMakeFiles/atmem_sim.dir/PageTable.cpp.o.d"
+  "/root/repo/src/sim/Tlb.cpp" "src/sim/CMakeFiles/atmem_sim.dir/Tlb.cpp.o" "gcc" "src/sim/CMakeFiles/atmem_sim.dir/Tlb.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/atmem_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atmem_sim.dir/CacheSim.cpp.o"
+  "CMakeFiles/atmem_sim.dir/CacheSim.cpp.o.d"
+  "CMakeFiles/atmem_sim.dir/CostModel.cpp.o"
+  "CMakeFiles/atmem_sim.dir/CostModel.cpp.o.d"
+  "CMakeFiles/atmem_sim.dir/FrameAllocator.cpp.o"
+  "CMakeFiles/atmem_sim.dir/FrameAllocator.cpp.o.d"
+  "CMakeFiles/atmem_sim.dir/Machine.cpp.o"
+  "CMakeFiles/atmem_sim.dir/Machine.cpp.o.d"
+  "CMakeFiles/atmem_sim.dir/MachineConfig.cpp.o"
+  "CMakeFiles/atmem_sim.dir/MachineConfig.cpp.o.d"
+  "CMakeFiles/atmem_sim.dir/PageTable.cpp.o"
+  "CMakeFiles/atmem_sim.dir/PageTable.cpp.o.d"
+  "CMakeFiles/atmem_sim.dir/Tlb.cpp.o"
+  "CMakeFiles/atmem_sim.dir/Tlb.cpp.o.d"
+  "libatmem_sim.a"
+  "libatmem_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atmem_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atmem_support.dir/Error.cpp.o"
+  "CMakeFiles/atmem_support.dir/Error.cpp.o.d"
+  "CMakeFiles/atmem_support.dir/Logging.cpp.o"
+  "CMakeFiles/atmem_support.dir/Logging.cpp.o.d"
+  "CMakeFiles/atmem_support.dir/Options.cpp.o"
+  "CMakeFiles/atmem_support.dir/Options.cpp.o.d"
+  "CMakeFiles/atmem_support.dir/Prng.cpp.o"
+  "CMakeFiles/atmem_support.dir/Prng.cpp.o.d"
+  "CMakeFiles/atmem_support.dir/Statistics.cpp.o"
+  "CMakeFiles/atmem_support.dir/Statistics.cpp.o.d"
+  "CMakeFiles/atmem_support.dir/StringUtils.cpp.o"
+  "CMakeFiles/atmem_support.dir/StringUtils.cpp.o.d"
+  "CMakeFiles/atmem_support.dir/TablePrinter.cpp.o"
+  "CMakeFiles/atmem_support.dir/TablePrinter.cpp.o.d"
+  "libatmem_support.a"
+  "libatmem_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atmem_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

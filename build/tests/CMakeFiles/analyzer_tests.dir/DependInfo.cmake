@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/AnalyzerLocalTest.cpp" "tests/CMakeFiles/analyzer_tests.dir/AnalyzerLocalTest.cpp.o" "gcc" "tests/CMakeFiles/analyzer_tests.dir/AnalyzerLocalTest.cpp.o.d"
+  "/root/repo/tests/AnalyzerPipelineTest.cpp" "tests/CMakeFiles/analyzer_tests.dir/AnalyzerPipelineTest.cpp.o" "gcc" "tests/CMakeFiles/analyzer_tests.dir/AnalyzerPipelineTest.cpp.o.d"
+  "/root/repo/tests/AnalyzerPromoteTest.cpp" "tests/CMakeFiles/analyzer_tests.dir/AnalyzerPromoteTest.cpp.o" "gcc" "tests/CMakeFiles/analyzer_tests.dir/AnalyzerPromoteTest.cpp.o.d"
+  "/root/repo/tests/AnalyzerTreeTest.cpp" "tests/CMakeFiles/analyzer_tests.dir/AnalyzerTreeTest.cpp.o" "gcc" "tests/CMakeFiles/analyzer_tests.dir/AnalyzerTreeTest.cpp.o.d"
+  "/root/repo/tests/PlanTest.cpp" "tests/CMakeFiles/analyzer_tests.dir/PlanTest.cpp.o" "gcc" "tests/CMakeFiles/analyzer_tests.dir/PlanTest.cpp.o.d"
+  "/root/repo/tests/SensitivityTest.cpp" "tests/CMakeFiles/analyzer_tests.dir/SensitivityTest.cpp.o" "gcc" "tests/CMakeFiles/analyzer_tests.dir/SensitivityTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baseline/CMakeFiles/atmem_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/atmem_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/atmem_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analyzer/CMakeFiles/atmem_analyzer.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiler/CMakeFiles/atmem_profiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/atmem_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/atmem_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/atmem_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/atmem_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analyzer_tests.dir/AnalyzerLocalTest.cpp.o"
+  "CMakeFiles/analyzer_tests.dir/AnalyzerLocalTest.cpp.o.d"
+  "CMakeFiles/analyzer_tests.dir/AnalyzerPipelineTest.cpp.o"
+  "CMakeFiles/analyzer_tests.dir/AnalyzerPipelineTest.cpp.o.d"
+  "CMakeFiles/analyzer_tests.dir/AnalyzerPromoteTest.cpp.o"
+  "CMakeFiles/analyzer_tests.dir/AnalyzerPromoteTest.cpp.o.d"
+  "CMakeFiles/analyzer_tests.dir/AnalyzerTreeTest.cpp.o"
+  "CMakeFiles/analyzer_tests.dir/AnalyzerTreeTest.cpp.o.d"
+  "CMakeFiles/analyzer_tests.dir/PlanTest.cpp.o"
+  "CMakeFiles/analyzer_tests.dir/PlanTest.cpp.o.d"
+  "CMakeFiles/analyzer_tests.dir/SensitivityTest.cpp.o"
+  "CMakeFiles/analyzer_tests.dir/SensitivityTest.cpp.o.d"
+  "analyzer_tests"
+  "analyzer_tests.pdb"
+  "analyzer_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analyzer_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_tests.dir/CrossPolicyTest.cpp.o"
+  "CMakeFiles/integration_tests.dir/CrossPolicyTest.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/ExperimentTest.cpp.o"
+  "CMakeFiles/integration_tests.dir/ExperimentTest.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/PlantedHotSetTest.cpp.o"
+  "CMakeFiles/integration_tests.dir/PlantedHotSetTest.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/PropertyTest.cpp.o"
+  "CMakeFiles/integration_tests.dir/PropertyTest.cpp.o.d"
+  "integration_tests"
+  "integration_tests.pdb"
+  "integration_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profiler_tests.dir/ProfilerTest.cpp.o"
+  "CMakeFiles/profiler_tests.dir/ProfilerTest.cpp.o.d"
+  "CMakeFiles/profiler_tests.dir/TraceOfflineTest.cpp.o"
+  "CMakeFiles/profiler_tests.dir/TraceOfflineTest.cpp.o.d"
+  "profiler_tests"
+  "profiler_tests.pdb"
+  "profiler_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profiler_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

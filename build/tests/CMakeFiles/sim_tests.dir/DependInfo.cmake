@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ModelReferenceTest.cpp" "tests/CMakeFiles/sim_tests.dir/ModelReferenceTest.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/ModelReferenceTest.cpp.o.d"
+  "/root/repo/tests/SimCacheTest.cpp" "tests/CMakeFiles/sim_tests.dir/SimCacheTest.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/SimCacheTest.cpp.o.d"
+  "/root/repo/tests/SimCostModelTest.cpp" "tests/CMakeFiles/sim_tests.dir/SimCostModelTest.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/SimCostModelTest.cpp.o.d"
+  "/root/repo/tests/SimFrameAllocatorTest.cpp" "tests/CMakeFiles/sim_tests.dir/SimFrameAllocatorTest.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/SimFrameAllocatorTest.cpp.o.d"
+  "/root/repo/tests/SimPageTableTest.cpp" "tests/CMakeFiles/sim_tests.dir/SimPageTableTest.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/SimPageTableTest.cpp.o.d"
+  "/root/repo/tests/SimTlbTest.cpp" "tests/CMakeFiles/sim_tests.dir/SimTlbTest.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/SimTlbTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baseline/CMakeFiles/atmem_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/atmem_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/atmem_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analyzer/CMakeFiles/atmem_analyzer.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiler/CMakeFiles/atmem_profiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/atmem_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/atmem_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/atmem_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/atmem_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

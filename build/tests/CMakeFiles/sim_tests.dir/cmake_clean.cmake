@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_tests.dir/ModelReferenceTest.cpp.o"
+  "CMakeFiles/sim_tests.dir/ModelReferenceTest.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/SimCacheTest.cpp.o"
+  "CMakeFiles/sim_tests.dir/SimCacheTest.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/SimCostModelTest.cpp.o"
+  "CMakeFiles/sim_tests.dir/SimCostModelTest.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/SimFrameAllocatorTest.cpp.o"
+  "CMakeFiles/sim_tests.dir/SimFrameAllocatorTest.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/SimPageTableTest.cpp.o"
+  "CMakeFiles/sim_tests.dir/SimPageTableTest.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/SimTlbTest.cpp.o"
+  "CMakeFiles/sim_tests.dir/SimTlbTest.cpp.o.d"
+  "sim_tests"
+  "sim_tests.pdb"
+  "sim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atmem_graphgen.dir/atmem_graphgen.cpp.o"
+  "CMakeFiles/atmem_graphgen.dir/atmem_graphgen.cpp.o.d"
+  "atmem_graphgen"
+  "atmem_graphgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atmem_graphgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atmem_run.dir/atmem_run.cpp.o"
+  "CMakeFiles/atmem_run.dir/atmem_run.cpp.o.d"
+  "atmem_run"
+  "atmem_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atmem_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
