@@ -3,7 +3,11 @@
 #include "apps/Kernel.h"
 #include "support/StringUtils.h"
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <thread>
 
 using namespace atmem;
 using namespace atmem::bench;
@@ -18,11 +22,25 @@ void bench::addCommonOptions(OptionParser &Parser) {
   Parser.addDouble("scale", graph::DefaultScaleDivisor,
                    "dataset scale divisor (paper size / divisor)");
   Parser.addFlag("quick", "restrict to two datasets and two kernels");
+  Parser.addUnsigned("sim-threads", 1,
+                     "tracked-execution engine threads (1 = serial engine)");
+  Parser.addUnsigned("jobs", 1,
+                     "concurrent experiment configurations "
+                     "(0 = one per host hardware thread)");
+  Parser.addString("json", "bench_results.json",
+                   "machine-readable timing output path ('' disables)");
 }
 
 bool bench::readCommonOptions(const OptionParser &Parser, BenchOptions &Out) {
   Out.ScaleDivisor = Parser.getDouble("scale");
   Out.Quick = Parser.getFlag("quick");
+  Out.SimThreads =
+      std::max<uint64_t>(Parser.getUnsigned("sim-threads"), 1);
+  Out.Jobs = static_cast<uint32_t>(Parser.getUnsigned("jobs"));
+  if (Out.Jobs == 0) {
+    Out.Jobs = std::max(1u, std::thread::hardware_concurrency());
+  }
+  Out.JsonPath = Parser.getString("json");
 
   std::string DatasetArg = Parser.getString("datasets");
   if (DatasetArg == "all") {
@@ -75,6 +93,9 @@ void bench::printBanner(const std::string &Title,
   std::printf("scale divisor: %.0f (paper-size graphs / %.0f; machine "
               "capacities scaled to match)\n",
               Options.ScaleDivisor, Options.ScaleDivisor);
+  if (Options.SimThreads > 1 || Options.Jobs > 1)
+    std::printf("engine: %u sim thread(s), %u concurrent job(s)\n",
+                Options.SimThreads, Options.Jobs);
   std::printf("==============================================================="
               "=================\n");
   std::fflush(stdout);
@@ -84,7 +105,8 @@ baseline::RunResult bench::runOne(const std::string &Kernel,
                                   const graph::Dataset &Data,
                                   const sim::MachineConfig &Machine,
                                   baseline::Policy Policy,
-                                  double EpsilonOffset, bool MeasureTlb) {
+                                  double EpsilonOffset, bool MeasureTlb,
+                                  uint32_t SimThreads) {
   baseline::RunConfig Config;
   Config.KernelName = Kernel;
   Config.Graph = &Data.Graph;
@@ -92,5 +114,98 @@ baseline::RunResult bench::runOne(const std::string &Kernel,
   Config.PolicyKind = Policy;
   Config.EpsilonOffset = EpsilonOffset;
   Config.MeasureTlb = MeasureTlb;
+  Config.SimThreads = SimThreads;
   return baseline::runExperiment(Config);
+}
+
+std::vector<BenchRecord> bench::runConcurrent(const std::vector<BenchJob> &Jobs,
+                                              DatasetCache &Cache,
+                                              const sim::MachineConfig &Machine,
+                                              const BenchOptions &Options,
+                                              double *TotalWallMs) {
+  using Clock = std::chrono::steady_clock;
+  // Generate every referenced dataset up front: the cache is not
+  // thread-safe, and sharing one generated graph across jobs is the point.
+  for (const BenchJob &Job : Jobs)
+    Cache.get(Job.Dataset);
+
+  std::vector<BenchRecord> Records(Jobs.size());
+  auto BatchStart = Clock::now();
+  std::atomic<size_t> NextJob{0};
+  auto Work = [&] {
+    for (;;) {
+      size_t I = NextJob.fetch_add(1, std::memory_order_relaxed);
+      if (I >= Jobs.size())
+        return;
+      const BenchJob &Job = Jobs[I];
+      auto JobStart = Clock::now();
+      BenchRecord &Record = Records[I];
+      Record.Job = Job;
+      Record.Result =
+          runOne(Job.Kernel, Cache.get(Job.Dataset), Machine, Job.PolicyKind,
+                 Job.EpsilonOffset, Job.MeasureTlb, Options.SimThreads);
+      Record.WallMs =
+          std::chrono::duration<double, std::milli>(Clock::now() - JobStart)
+              .count();
+    }
+  };
+
+  uint32_t Workers =
+      std::min<size_t>(std::max(Options.Jobs, 1u), Jobs.size());
+  if (Workers <= 1) {
+    Work();
+  } else {
+    std::vector<std::thread> Threads;
+    Threads.reserve(Workers);
+    for (uint32_t W = 0; W < Workers; ++W)
+      Threads.emplace_back(Work);
+    for (std::thread &T : Threads)
+      T.join();
+  }
+  if (TotalWallMs)
+    *TotalWallMs =
+        std::chrono::duration<double, std::milli>(Clock::now() - BatchStart)
+            .count();
+  return Records;
+}
+
+void bench::writeBenchResults(const std::string &BenchName,
+                              const BenchOptions &Options,
+                              const std::vector<BenchRecord> &Records,
+                              double TotalWallMs) {
+  if (Options.JsonPath.empty())
+    return;
+  std::FILE *Out = std::fopen(Options.JsonPath.c_str(), "w");
+  if (!Out) {
+    std::fprintf(stderr, "warning: cannot write '%s'\n",
+                 Options.JsonPath.c_str());
+    return;
+  }
+  std::fprintf(Out, "{\n");
+  std::fprintf(Out, "  \"bench\": \"%s\",\n", BenchName.c_str());
+  std::fprintf(Out, "  \"scale_divisor\": %.0f,\n", Options.ScaleDivisor);
+  std::fprintf(Out, "  \"sim_threads\": %u,\n", Options.SimThreads);
+  std::fprintf(Out, "  \"jobs\": %u,\n", Options.Jobs);
+  std::fprintf(Out, "  \"host_hardware_threads\": %u,\n",
+               std::max(1u, std::thread::hardware_concurrency()));
+  std::fprintf(Out, "  \"total_wall_ms\": %.3f,\n", TotalWallMs);
+  std::fprintf(Out, "  \"runs\": [\n");
+  for (size_t I = 0; I < Records.size(); ++I) {
+    const BenchRecord &R = Records[I];
+    std::fprintf(Out,
+                 "    {\"kernel\": \"%s\", \"dataset\": \"%s\", "
+                 "\"policy\": \"%s\", \"measured_iter_sec\": %.9g, "
+                 "\"first_iter_sec\": %.9g, \"fast_data_ratio\": %.6f, "
+                 "\"checksum\": %llu, \"wall_ms\": %.3f}%s\n",
+                 R.Job.Kernel.c_str(), R.Job.Dataset.c_str(),
+                 baseline::policyName(R.Job.PolicyKind),
+                 R.Result.MeasuredIterSec, R.Result.FirstIterSec,
+                 R.Result.FastDataRatio,
+                 static_cast<unsigned long long>(R.Result.Checksum),
+                 R.WallMs, I + 1 == Records.size() ? "" : ",");
+  }
+  std::fprintf(Out, "  ]\n}\n");
+  std::fclose(Out);
+  std::printf("\ntiming block written to %s (total wall %.0f ms)\n",
+              Options.JsonPath.c_str(), TotalWallMs);
 }

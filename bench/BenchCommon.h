@@ -7,9 +7,11 @@
 ///
 /// \file
 /// Shared scaffolding for the figure/table reproduction benchmarks: common
-/// command-line options (dataset/kernel selection, scale divisor), dataset
-/// caching, and uniform headers so every benchmark's output is directly
-/// comparable with the paper's evaluation section.
+/// command-line options (dataset/kernel selection, scale divisor, engine
+/// threads, bench-level concurrency), dataset caching, a concurrent runner
+/// for independent (dataset x kernel x policy) configurations, and a
+/// machine-readable bench_results.json emitter so successive PRs leave a
+/// perf trajectory behind.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -33,6 +35,13 @@ struct BenchOptions {
   std::vector<std::string> Kernels;
   double ScaleDivisor = graph::DefaultScaleDivisor;
   bool Quick = false;
+  /// Threads for the runtime's tracked-execution engine (1 = serial).
+  uint32_t SimThreads = 1;
+  /// Concurrent experiment configurations (1 = sequential; 0 = one per
+  /// host hardware thread).
+  uint32_t Jobs = 1;
+  /// Path of the machine-readable timing block ("" disables).
+  std::string JsonPath = "bench_results.json";
 };
 
 /// Registers the shared options on \p Parser.
@@ -42,7 +51,8 @@ void addCommonOptions(OptionParser &Parser);
 bool readCommonOptions(const OptionParser &Parser, BenchOptions &Out);
 
 /// Lazily generated, cached datasets so multi-section benchmarks build
-/// each graph once.
+/// each graph once. Lookups are not thread-safe; the concurrent runner
+/// pre-populates the cache before fanning out.
 class DatasetCache {
 public:
   explicit DatasetCache(double ScaleDivisor) : ScaleDivisor(ScaleDivisor) {}
@@ -66,7 +76,43 @@ baseline::RunResult runOne(const std::string &Kernel,
                            const sim::MachineConfig &Machine,
                            baseline::Policy Policy,
                            double EpsilonOffset = 0.0,
-                           bool MeasureTlb = false);
+                           bool MeasureTlb = false,
+                           uint32_t SimThreads = 1);
+
+/// One independent experiment configuration for the concurrent runner.
+struct BenchJob {
+  std::string Kernel;
+  std::string Dataset;
+  baseline::Policy PolicyKind = baseline::Policy::AllSlow;
+  double EpsilonOffset = 0.0;
+  bool MeasureTlb = false;
+};
+
+/// A finished job: its result plus the host wall-clock it took.
+struct BenchRecord {
+  BenchJob Job;
+  baseline::RunResult Result;
+  double WallMs = 0.0;
+};
+
+/// Runs \p Jobs with Options.Jobs worker threads (each job builds its own
+/// runtime, so configurations are independent) and returns records in job
+/// order. Datasets are generated once, before the fan-out. Wall-clock of
+/// the whole batch is returned through \p TotalWallMs when non-null.
+std::vector<BenchRecord> runConcurrent(const std::vector<BenchJob> &Jobs,
+                                       DatasetCache &Cache,
+                                       const sim::MachineConfig &Machine,
+                                       const BenchOptions &Options,
+                                       double *TotalWallMs = nullptr);
+
+/// Writes the batch's timing block as JSON to Options.JsonPath (no-op when
+/// the path is empty). The block records the bench name, engine/runner
+/// knobs, host parallelism, per-run simulated + wall times, and the batch
+/// wall-clock, giving future PRs a perf trajectory to compare against.
+void writeBenchResults(const std::string &BenchName,
+                       const BenchOptions &Options,
+                       const std::vector<BenchRecord> &Records,
+                       double TotalWallMs);
 
 } // namespace bench
 } // namespace atmem

@@ -69,7 +69,8 @@ int main(int Argc, const char **Argv) {
           {"whole-object chunks", Policy::CoarseGrained},
       };
       for (const Variant &V : Variants) {
-        auto Result = runOne(Kernel, Data, Machine, V.PolicyKind);
+        auto Result = runOne(Kernel, Data, Machine, V.PolicyKind, 0.0,
+                             /*MeasureTlb=*/false, Options.SimThreads);
         Table.addRow({Name, V.Label,
                       formatSeconds(Result.MeasuredIterSec),
                       formatPercent(Result.FastDataRatio),

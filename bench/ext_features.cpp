@@ -147,7 +147,8 @@ int main(int Argc, const char **Argv) {
       const graph::Dataset &Data = Cache.get(Name);
       auto Result = runOne("bfs", Data,
                            sim::nvmDramTestbed(1.0 / Options.ScaleDivisor),
-                           baseline::Policy::Atmem);
+                           baseline::Policy::Atmem, 0.0,
+                           /*MeasureTlb=*/false, Options.SimThreads);
       // Overlapping migration with the next (still unoptimized-speed)
       // iteration hides it up to that iteration's duration.
       double Blocking = Result.Migration.SimSeconds;

@@ -50,8 +50,10 @@ int main(int Argc, const char **Argv) {
     for (const std::string &Kernel : Options.Kernels) {
       for (const std::string &Name : Options.Datasets) {
         const graph::Dataset &Data = Cache.get(Name);
-        auto Slow = runOne(Kernel, Data, Machine, Policy::AllSlow);
-        auto Fast = runOne(Kernel, Data, Machine, Policy::AllFast);
+        auto Slow = runOne(Kernel, Data, Machine, Policy::AllSlow, 0.0,
+                           /*MeasureTlb=*/false, Options.SimThreads);
+        auto Fast = runOne(Kernel, Data, Machine, Policy::AllFast, 0.0,
+                           /*MeasureTlb=*/false, Options.SimThreads);
         Table.addRow({Kernel, Name, formatSeconds(Slow.MeasuredIterSec),
                       formatSeconds(Fast.MeasuredIterSec),
                       formatSpeedup(Slow.MeasuredIterSec /
@@ -71,8 +73,10 @@ int main(int Argc, const char **Argv) {
     for (const std::string &Kernel : Options.Kernels) {
       for (const std::string &Name : Options.Datasets) {
         const graph::Dataset &Data = Cache.get(Name);
-        auto Slow = runOne(Kernel, Data, Machine, Policy::AllSlow);
-        auto Pref = runOne(Kernel, Data, Machine, Policy::PreferredFast);
+        auto Slow = runOne(Kernel, Data, Machine, Policy::AllSlow, 0.0,
+                           /*MeasureTlb=*/false, Options.SimThreads);
+        auto Pref = runOne(Kernel, Data, Machine, Policy::PreferredFast, 0.0,
+                           /*MeasureTlb=*/false, Options.SimThreads);
         Table.addRow({Kernel, Name, formatSeconds(Slow.MeasuredIterSec),
                       formatSeconds(Pref.MeasuredIterSec),
                       formatSpeedup(Slow.MeasuredIterSec /

@@ -49,26 +49,35 @@ int main(int Argc, const char **Argv) {
   TablePrinter Table({"app", "dataset", "all-DDR4", "ATMem", "MCDRAM-p",
                       "gain vs DDR4", "ATMem vs MCDRAM-p", "data ratio",
                       "MCDRAM-p ratio"});
-  for (const std::string &Kernel : Options.Kernels) {
-    for (const std::string &Name : Options.Datasets) {
-      const graph::Dataset &Data = Cache.get(Name);
-      auto Slow = runOne(Kernel, Data, Machine, Policy::AllSlow);
-      auto Atmem = runOne(Kernel, Data, Machine, Policy::Atmem);
-      auto Pref = runOne(Kernel, Data, Machine, Policy::PreferredFast);
-      Table.addRow(
-          {Kernel, Name, formatSeconds(Slow.MeasuredIterSec),
-           formatSeconds(Atmem.MeasuredIterSec),
-           formatSeconds(Pref.MeasuredIterSec),
-           formatSpeedup(Slow.MeasuredIterSec / Atmem.MeasuredIterSec),
-           formatSpeedup(Pref.MeasuredIterSec / Atmem.MeasuredIterSec),
-           formatPercent(Atmem.FastDataRatio),
-           formatPercent(Pref.FastDataRatio)});
-    }
+  std::vector<BenchJob> Jobs;
+  for (const std::string &Kernel : Options.Kernels)
+    for (const std::string &Name : Options.Datasets)
+      for (Policy P :
+           {Policy::AllSlow, Policy::Atmem, Policy::PreferredFast})
+        Jobs.push_back({Kernel, Name, P});
+  double TotalWallMs = 0.0;
+  std::vector<BenchRecord> Records =
+      runConcurrent(Jobs, Cache, Machine, Options, &TotalWallMs);
+
+  for (size_t I = 0; I < Records.size(); I += 3) {
+    const baseline::RunResult &Slow = Records[I].Result;
+    const baseline::RunResult &Atmem = Records[I + 1].Result;
+    const baseline::RunResult &Pref = Records[I + 2].Result;
+    Table.addRow(
+        {Records[I].Job.Kernel, Records[I].Job.Dataset,
+         formatSeconds(Slow.MeasuredIterSec),
+         formatSeconds(Atmem.MeasuredIterSec),
+         formatSeconds(Pref.MeasuredIterSec),
+         formatSpeedup(Slow.MeasuredIterSec / Atmem.MeasuredIterSec),
+         formatSpeedup(Pref.MeasuredIterSec / Atmem.MeasuredIterSec),
+         formatPercent(Atmem.FastDataRatio),
+         formatPercent(Pref.FastDataRatio)});
   }
   Table.print();
   std::printf("\nExpected shape: ATMem beats the baseline everywhere with a "
               "small data ratio, and beats MCDRAM-p (ratio > 1x in the "
               "'ATMem vs MCDRAM-p' column) on the datasets whose MCDRAM-p "
               "ratio is well below 100%% (capacity overflow).\n");
+  writeBenchResults("fig06_mcdram_overall", Options, Records, TotalWallMs);
   return 0;
 }

@@ -45,7 +45,8 @@ int main(int Argc, const char **Argv) {
   for (const std::string &Kernel : Options.Kernels) {
     for (const std::string &Name : Options.Datasets) {
       const graph::Dataset &Data = Cache.get(Name);
-      auto Atmem = runOne(Kernel, Data, Machine, Policy::Atmem);
+      auto Atmem = runOne(Kernel, Data, Machine, Policy::Atmem, 0.0,
+                          /*MeasureTlb=*/false, Options.SimThreads);
       Table.addRow({Kernel, Name, formatPercent(Atmem.FastDataRatio),
                     formatBytes(Atmem.Migration.BytesMoved)});
     }

@@ -55,13 +55,15 @@ int main(int Argc, const char **Argv) {
     std::printf("\n[%s]\n", Name.c_str());
     TablePrinter Table({"eps offset", "data ratio", "time", "note"});
     for (double Eps : EpsOffsets) {
-      auto Result = runOne(Kernel, Data, Machine, Policy::Atmem, Eps);
+      auto Result = runOne(Kernel, Data, Machine, Policy::Atmem, Eps,
+                           /*MeasureTlb=*/false, Options.SimThreads);
       Table.addRow({formatDouble(Eps, 3),
                     formatPercent(Result.FastDataRatio),
                     formatSeconds(Result.MeasuredIterSec),
                     Eps == 0.0 ? "* ATMem default" : ""});
     }
-    auto Ideal = runOne(Kernel, Data, Machine, Policy::AllFast);
+    auto Ideal = runOne(Kernel, Data, Machine, Policy::AllFast, 0.0,
+                        /*MeasureTlb=*/false, Options.SimThreads);
     Table.addRow({"(all-DRAM)", "100.0%",
                   formatSeconds(Ideal.MeasuredIterSec), "ideal"});
     Table.print();

@@ -54,14 +54,16 @@ int main(int Argc, const char **Argv) {
     std::printf("\n[%s]\n", Name.c_str());
     TablePrinter Table({"eps offset", "data ratio", "time", "note"});
     for (double Eps : EpsOffsets) {
-      auto Result = runOne(Kernel, Data, Machine, Policy::Atmem, Eps);
+      auto Result = runOne(Kernel, Data, Machine, Policy::Atmem, Eps,
+                           /*MeasureTlb=*/false, Options.SimThreads);
       Table.addRow({formatDouble(Eps, 3),
                     formatPercent(Result.FastDataRatio),
                     formatSeconds(Result.MeasuredIterSec),
                     Eps == 0.0 ? "* ATMem default" : ""});
     }
     // The MCDRAM-p reference replaces an unattainable all-MCDRAM bar.
-    auto Pref = runOne(Kernel, Data, Machine, Policy::PreferredFast);
+    auto Pref = runOne(Kernel, Data, Machine, Policy::PreferredFast, 0.0,
+                       /*MeasureTlb=*/false, Options.SimThreads);
     Table.addRow({"(MCDRAM-p)", formatPercent(Pref.FastDataRatio),
                   formatSeconds(Pref.MeasuredIterSec), "NUMA preferred"});
     Table.print();

@@ -51,8 +51,10 @@ int main(int Argc, const char **Argv) {
   for (const std::string &Kernel : Options.Kernels) {
     for (const std::string &Name : Options.Datasets) {
       const graph::Dataset &Data = Cache.get(Name);
-      auto Baseline = runOne(Kernel, Data, Machine, Policy::AllSlow);
-      auto Atmem = runOne(Kernel, Data, Machine, Policy::Atmem);
+      auto Baseline = runOne(Kernel, Data, Machine, Policy::AllSlow, 0.0,
+                             /*MeasureTlb=*/false, Options.SimThreads);
+      auto Atmem = runOne(Kernel, Data, Machine, Policy::Atmem, 0.0,
+                          /*MeasureTlb=*/false, Options.SimThreads);
 
       double OneTimeCost =
           Atmem.ProfilingOverheadSec + Atmem.Migration.SimSeconds;

@@ -45,9 +45,9 @@ void runTestbed(const std::string &Title, const sim::MachineConfig &Machine,
   for (const std::string &Name : Options.Datasets) {
     const graph::Dataset &Data = Cache.get(Name);
     auto Atmem = runOne(Kernel, Data, Machine, Policy::Atmem, 0.0,
-                        /*MeasureTlb=*/true);
+                        /*MeasureTlb=*/true, Options.SimThreads);
     auto Mbind = runOne(Kernel, Data, Machine, Policy::AtmemMbind, 0.0,
-                        /*MeasureTlb=*/true);
+                        /*MeasureTlb=*/true, Options.SimThreads);
     double TlbRatio = Atmem.TlbMisses == 0
                           ? 1.0
                           : static_cast<double>(Mbind.TlbMisses) /

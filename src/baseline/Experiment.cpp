@@ -48,6 +48,7 @@ static core::RuntimeConfig makeRuntimeConfig(const RunConfig &Config) {
   core::RuntimeConfig RtConfig;
   RtConfig.Machine = Config.Machine;
   RtConfig.Analyzer.SelectivityBias = Config.EpsilonOffset;
+  RtConfig.SimThreads = Config.SimThreads;
   switch (Config.PolicyKind) {
   case Policy::AllSlow:
   case Policy::Atmem:

@@ -71,6 +71,9 @@ struct RunConfig {
   /// Measures post-migration TLB misses by replaying the measured
   /// iteration's accesses through a simulated TLB (Table 4 mode).
   bool MeasureTlb = false;
+  /// Host threads for the parallel tracked-execution engine (see
+  /// core::RuntimeConfig::SimThreads); 1 keeps the serial engine.
+  uint32_t SimThreads = 1;
 };
 
 /// Results of one experiment.

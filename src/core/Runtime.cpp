@@ -7,13 +7,50 @@
 using namespace atmem;
 using namespace atmem::core;
 
+thread_local Runtime::ContextBinding Runtime::Bound;
+
 Runtime::Runtime(RuntimeConfig ConfigIn)
     : Config(std::move(ConfigIn)), M(Config.Machine), Registry(M),
       Pool(Config.Machine.Migration.CopyThreads),
       Profiler(Registry, Config.Profiler), AtmemMig(Registry, Pool),
-      MbindMig(Registry) {}
+      MbindMig(Registry) {
+  if (Config.SimThreads > 1) {
+    // Each thread's shard models its partition of the shared LLC; never
+    // shrink below one fully associative set.
+    sim::CacheConfig Shard = Config.Machine.Cache;
+    Shard.SizeBytes =
+        std::max<uint64_t>(Shard.SizeBytes / Config.SimThreads,
+                           static_cast<uint64_t>(Shard.Ways) * Shard.LineBytes);
+    Contexts.reserve(Config.SimThreads);
+    for (uint32_t T = 0; T < Config.SimThreads; ++T)
+      Contexts.push_back(std::make_unique<SimContext>(Shard));
+    KernelPool = std::make_unique<mem::ThreadPool>(Config.SimThreads);
+  }
+}
 
 Runtime::~Runtime() = default;
+
+void Runtime::parallelTracked(uint64_t Begin, uint64_t End,
+                              const TrackedBody &Body, uint64_t ChunkSize) {
+  if (Begin >= End)
+    return;
+  if (Contexts.empty()) {
+    Body(0, Begin, End);
+    return;
+  }
+  bool BufferMisses = Profiler.isActive() || MissTrace || ReplayTlb;
+  for (auto &Ctx : Contexts)
+    Ctx->setBufferMisses(BufferMisses);
+  if (ChunkSize == 0)
+    ChunkSize = std::max<uint64_t>((End - Begin) / (Contexts.size() * 16), 64);
+  KernelPool->parallelForThreaded(
+      Begin, End, ChunkSize,
+      [&](uint32_t Tid, uint64_t ChunkBegin, uint64_t ChunkEnd) {
+        Bound = {this, Contexts[Tid].get()};
+        Body(Tid, ChunkBegin, ChunkEnd);
+        Bound = {};
+      });
+}
 
 void Runtime::profilingStart() {
   Profiler.start(Config.Machine.Exec.Threads);
@@ -120,10 +157,30 @@ void Runtime::demoteUnselected(mem::Migrator &Mig,
   }
 }
 
-void Runtime::beginIteration() { Stats = sim::AccessStats(); }
+void Runtime::beginIteration() {
+  Stats = sim::AccessStats();
+  for (auto &Ctx : Contexts)
+    Ctx->beginIteration();
+}
 
 double Runtime::endIteration() {
+  mergeContexts();
   return M.kernelModel().estimate(Stats).seconds();
+}
+
+void Runtime::mergeContexts() {
+  for (auto &Ctx : Contexts) {
+    Stats += Ctx->stats();
+    Ctx->stats() = sim::AccessStats();
+    for (uint64_t Va : Ctx->missBuffer()) {
+      Profiler.notifyMiss(Va);
+      if (MissTrace)
+        MissTrace->record(Va);
+      if (ReplayTlb)
+        replayTlbAccess(Va);
+    }
+    Ctx->missBuffer().clear();
+  }
 }
 
 double Runtime::fastDataRatio() const {

@@ -22,6 +22,7 @@
 #define ATMEM_CORE_RUNTIME_H
 
 #include "analyzer/Analyzer.h"
+#include "core/SimContext.h"
 #include "mem/AtmemMigrator.h"
 #include "mem/DataObjectRegistry.h"
 #include "mem/MbindMigrator.h"
@@ -30,8 +31,10 @@
 #include "profiler/TraceFile.h"
 #include "sim/Machine.h"
 
+#include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 namespace atmem {
 namespace core {
@@ -82,15 +85,12 @@ struct RuntimeConfig {
   /// the newly critical chunks move in. Placement thus *adapts* across
   /// queries (the data-driven behaviour of paper Section 2.2).
   bool DemoteUnselected = true;
-};
-
-/// Internal per-object handle embedded in TrackedArray (hot-path data
-/// only).
-struct TrackHandle {
-  uint64_t VaBase = 0;
-  const uint8_t *ChunkTiers = nullptr;
-  uint32_t ChunkShift = 0;
-  mem::ObjectId Object = 0;
+  /// Host threads the tracked-execution engine uses for parallel kernel
+  /// regions (Runtime::parallelTracked). 1 (the default) keeps the serial
+  /// engine and is bit-identical to the pre-sharding runtime; T > 1 gives
+  /// each thread a private LLC shard of SizeBytes / T plus private stats
+  /// and miss buffers, merged deterministically at endIteration().
+  uint32_t SimThreads = 1;
 };
 
 template <typename T> class TrackedArray;
@@ -135,11 +135,17 @@ public:
   /// @}
 
   /// Hot path: one tracked access at byte offset \p Offset of the object
-  /// behind \p Handle. Inline: flag test, LLC probe, per-tier accounting,
+  /// behind \p Handle. Inside a parallelTracked() region the access goes
+  /// to the calling thread's private SimContext shard, lock-free;
+  /// otherwise it is inline: flag test, LLC probe, per-tier accounting,
   /// and a profiler feed on misses.
   void onAccess(const TrackHandle &Handle, uint64_t Offset) {
     if (!TrackingEnabled)
       return;
+    if (Bound.Owner == this) {
+      Bound.Ctx->onAccess(Handle, Offset);
+      return;
+    }
     ++Stats.Accesses;
     uint64_t Va = Handle.VaBase + Offset;
     if (M.llc().access(Va)) {
@@ -153,6 +159,30 @@ public:
     if (ReplayTlb)
       replayTlbAccess(Va);
   }
+
+  /// \name Parallel tracked execution
+  /// @{
+  /// Body of a parallel tracked region: participant index in
+  /// [0, simThreads()), then the chunk's [Begin, End).
+  using TrackedBody = std::function<void(uint32_t, uint64_t, uint64_t)>;
+
+  /// Runs \p Body over [Begin, End) on the kernel thread pool with
+  /// chunked dynamic scheduling, binding each participant's tracked
+  /// accesses to its SimContext shard. With SimThreads <= 1 the body runs
+  /// inline as Body(0, Begin, End) on the serial engine. \p ChunkSize 0
+  /// picks a size aimed at ~16 chunks per thread.
+  void parallelTracked(uint64_t Begin, uint64_t End, const TrackedBody &Body,
+                       uint64_t ChunkSize = 0);
+
+  /// Threads the tracked-execution engine runs kernels with.
+  uint32_t simThreads() const {
+    return Contexts.empty() ? 1
+                            : static_cast<uint32_t>(Contexts.size());
+  }
+
+  /// Shard \p Index's context (tests and diagnostics).
+  SimContext &simContext(uint32_t Index) { return *Contexts[Index]; }
+  /// @}
 
   /// Enables/disables all tracking (e.g. during graph construction).
   void setTrackingEnabled(bool Enabled) { TrackingEnabled = Enabled; }
@@ -191,6 +221,19 @@ private:
   /// to the slow tier (the adaptive re-optimization path).
   void demoteUnselected(mem::Migrator &Mig, mem::MigrationResult &Result);
 
+  /// Merges shard stats into Stats and replays buffered misses through
+  /// the profiler / trace / TLB consumers, in thread-index order.
+  void mergeContexts();
+
+  /// The calling thread's shard binding inside a parallelTracked region.
+  /// Owner disambiguates between runtimes when several coexist (the
+  /// concurrent bench harness runs one runtime per job thread).
+  struct ContextBinding {
+    Runtime *Owner = nullptr;
+    SimContext *Ctx = nullptr;
+  };
+  static thread_local ContextBinding Bound;
+
   RuntimeConfig Config;
   sim::Machine M;
   mem::DataObjectRegistry Registry;
@@ -200,6 +243,10 @@ private:
   mem::MbindMigrator MbindMig;
   analyzer::PlacementPlan LastPlan;
   sim::AccessStats Stats;
+  /// One shard per SimThread when SimThreads > 1 (else empty).
+  std::vector<std::unique_ptr<SimContext>> Contexts;
+  /// Pool sized SimThreads driving parallelTracked (null when serial).
+  std::unique_ptr<mem::ThreadPool> KernelPool;
   sim::Tlb *ReplayTlb = nullptr;
   prof::TraceWriter *MissTrace = nullptr;
   bool TrackingEnabled = true;

@@ -1,6 +1,7 @@
 #include "mem/ThreadPool.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 
 using namespace atmem;
@@ -44,27 +45,50 @@ void ThreadPool::workerLoop() {
   }
 }
 
-void ThreadPool::parallelFor(
-    uint64_t Begin, uint64_t End,
-    const std::function<void(uint64_t, uint64_t)> &Body) {
+void ThreadPool::parallelForThreaded(uint64_t Begin, uint64_t End,
+                                     uint64_t ChunkSize,
+                                     const ThreadedBody &Body) {
   if (Begin >= End)
     return;
   uint64_t Total = End - Begin;
-  uint64_t Slices = std::min<uint64_t>(Workers.size(), Total);
-  uint64_t PerSlice = (Total + Slices - 1) / Slices;
+  if (ChunkSize == 0)
+    ChunkSize = std::max<uint64_t>(Total / (Workers.size() * 8), 1);
+  uint64_t NumChunks = (Total + ChunkSize - 1) / ChunkSize;
+  // One participant task per worker, capped by the chunk count so tiny
+  // ranges don't pay wakeups for participants with nothing to grab.
+  auto Participants = static_cast<uint32_t>(
+      std::min<uint64_t>(Workers.size(), NumChunks));
+
+  // The grab cursor lives on this stack frame; the call blocks until all
+  // participants drain, so the reference captures below stay valid.
+  std::atomic<uint64_t> NextChunk{0};
+  auto Run = [&, ChunkSize](uint32_t Index) {
+    for (;;) {
+      uint64_t Chunk = NextChunk.fetch_add(1, std::memory_order_relaxed);
+      if (Chunk >= NumChunks)
+        return;
+      uint64_t ChunkBegin = Begin + Chunk * ChunkSize;
+      uint64_t ChunkEnd = std::min(ChunkBegin + ChunkSize, End);
+      Body(Index, ChunkBegin, ChunkEnd);
+    }
+  };
 
   {
     std::lock_guard<std::mutex> Lock(Mutex);
-    for (uint64_t S = 0; S < Slices; ++S) {
-      uint64_t SliceBegin = Begin + S * PerSlice;
-      uint64_t SliceEnd = std::min(SliceBegin + PerSlice, End);
-      if (SliceBegin >= SliceEnd)
-        break;
+    for (uint32_t P = 0; P < Participants; ++P) {
       ++Pending;
-      Tasks.push([&Body, SliceBegin, SliceEnd] { Body(SliceBegin, SliceEnd); });
+      Tasks.push([&Run, P] { Run(P); });
     }
   }
   WorkReady.notify_all();
   std::unique_lock<std::mutex> Lock(Mutex);
   WorkDone.wait(Lock, [this] { return Pending == 0; });
+}
+
+void ThreadPool::parallelFor(
+    uint64_t Begin, uint64_t End,
+    const std::function<void(uint64_t, uint64_t)> &Body, uint64_t ChunkSize) {
+  parallelForThreaded(Begin, End, ChunkSize,
+                      [&Body](uint32_t, uint64_t ChunkBegin,
+                              uint64_t ChunkEnd) { Body(ChunkBegin, ChunkEnd); });
 }

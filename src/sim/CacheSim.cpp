@@ -31,10 +31,10 @@ bool CacheSim::access(uint64_t Va) {
   uint64_t Tag = Line >> SetShift;
   size_t Base = static_cast<size_t>(Set) * Ways;
   ++Clock;
-  auto Stamp = static_cast<uint32_t>(Clock);
+  uint64_t Stamp = Clock;
 
   size_t Victim = Base;
-  uint32_t VictimStamp = ~0u;
+  uint64_t VictimStamp = ~0ull;
   for (size_t I = Base; I < Base + Ways; ++I) {
     if (Tags[I] == Tag) {
       Stamps[I] = Stamp;

@@ -51,6 +51,10 @@ public:
     return static_cast<uint64_t>(Sets) * Ways * LineBytes;
   }
 
+  /// Test hook: fast-forwards the LRU clock (e.g. near the old uint32_t
+  /// stamp wraparound) without issuing billions of accesses.
+  void setClockForTesting(uint64_t NewClock) { Clock = NewClock; }
+
 private:
   uint32_t Sets;
   uint32_t SetShift = 0;
@@ -61,7 +65,9 @@ private:
   uint64_t Hits = 0;
   uint64_t Misses = 0;
   std::vector<uint64_t> Tags;   ///< Sets*Ways tags; ~0 means invalid.
-  std::vector<uint32_t> Stamps; ///< LRU stamps parallel to Tags.
+  /// LRU stamps parallel to Tags. Full-width: a uint32_t stamp silently
+  /// wraps after 2^32 accesses, inverting the LRU order for long runs.
+  std::vector<uint64_t> Stamps;
 };
 
 } // namespace sim

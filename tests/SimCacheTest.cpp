@@ -76,6 +76,23 @@ TEST(CacheSimTest, LruKeepsHotLine) {
   EXPECT_FALSE(Cache.access(1 * 64));
 }
 
+TEST(CacheSimTest, LruStampsSurviveClockWraparound) {
+  // Regression: recency stamps were stored as uint32_t, so once the access
+  // clock crossed 2^32 a freshly touched line truncated to stamp 0 and was
+  // treated as the LRU victim, inverting the replacement order.
+  CacheConfig Config;
+  Config.SizeBytes = 2 * 64; // One set, 2 ways.
+  Config.Ways = 2;
+  Config.LineBytes = 64;
+  CacheSim Cache(Config);
+  Cache.setClockForTesting((1ull << 32) - 2);
+  Cache.access(0 * 64); // A: stamp 2^32 - 1 (all ones in 32 bits).
+  Cache.access(1 * 64); // B: stamp 2^32 (truncates to 0 in 32 bits).
+  Cache.access(2 * 64); // C must evict A, the true LRU line, not B.
+  EXPECT_TRUE(Cache.access(1 * 64));
+  EXPECT_FALSE(Cache.access(0 * 64));
+}
+
 TEST(CacheSimTest, FlushAllEmptiesCache) {
   CacheSim Cache(tinyCache());
   Cache.access(0x40);

@@ -72,6 +72,8 @@ int main(int Argc, const char **Argv) {
   Parser.addDouble("scale", graph::DefaultScaleDivisor,
                    "dataset/machine scale divisor for named datasets");
   Parser.addUnsigned("iterations", 1, "measured iterations to average");
+  Parser.addUnsigned("sim-threads", 1,
+                     "tracked-execution engine threads (1 = serial engine)");
   Parser.addFlag("compare", "also run the all-slow baseline and the "
                             "all-fast (or preferred-fast) reference");
   Parser.addFlag("tlb", "replay the measured iteration through the "
@@ -141,6 +143,8 @@ int main(int Argc, const char **Argv) {
     Config.MeasuredIterations =
         static_cast<uint32_t>(Parser.getUnsigned("iterations"));
     Config.MeasureTlb = Parser.getFlag("tlb");
+    Config.SimThreads = static_cast<uint32_t>(
+        std::max<uint64_t>(Parser.getUnsigned("sim-threads"), 1));
     return baseline::runExperiment(Config);
   };
 
