@@ -1,6 +1,8 @@
 #include "BenchCommon.h"
 
 #include "apps/Kernel.h"
+#include "obs/Export.h"
+#include "support/Statistics.h"
 #include "support/StringUtils.h"
 
 #include <algorithm>
@@ -29,6 +31,13 @@ void bench::addCommonOptions(OptionParser &Parser) {
                      "(0 = one per host hardware thread)");
   Parser.addString("json", "bench_results.json",
                    "machine-readable timing output path ('' disables)");
+  Parser.addString("metrics-out", "",
+                   "write a telemetry metrics snapshot (atmem-metrics-v1 "
+                   "JSON) and embed a \"metrics\" block in the timing "
+                   "output; also enables collection");
+  Parser.addString("trace-out", "",
+                   "write a Chrome trace-event JSON of the batch; also "
+                   "enables collection");
 }
 
 bool bench::readCommonOptions(const OptionParser &Parser, BenchOptions &Out) {
@@ -41,6 +50,11 @@ bool bench::readCommonOptions(const OptionParser &Parser, BenchOptions &Out) {
     Out.Jobs = std::max(1u, std::thread::hardware_concurrency());
   }
   Out.JsonPath = Parser.getString("json");
+  Out.Telemetry.MetricsPath = Parser.getString("metrics-out");
+  Out.Telemetry.TracePath = Parser.getString("trace-out");
+  Out.Telemetry.Enabled = Out.Telemetry.anyOutput();
+  if (Out.Telemetry.Enabled)
+    obs::setEnabled(true);
 
   std::string DatasetArg = Parser.getString("datasets");
   if (DatasetArg == "all") {
@@ -204,8 +218,28 @@ void bench::writeBenchResults(const std::string &BenchName,
                  static_cast<unsigned long long>(R.Result.Checksum),
                  R.WallMs, I + 1 == Records.size() ? "" : ",");
   }
-  std::fprintf(Out, "  ]\n}\n");
+  std::fprintf(Out, "  ]");
+  if (obs::enabled()) {
+    // Telemetry was armed for this batch: embed the merged snapshot plus a
+    // wall-clock spread summary of the runs. Emitted only when enabled, so
+    // default bench output stays byte-identical.
+    RunningStat Wall;
+    for (const BenchRecord &R : Records)
+      Wall.add(R.WallMs);
+    std::fprintf(Out, ",\n  \"metrics\": {\n");
+    std::fprintf(Out,
+                 "    \"wall_ms\": {\"count\": %zu, \"mean\": %.3f, "
+                 "\"min\": %.3f, \"max\": %.3f, \"stddev\": %.3f},\n",
+                 Wall.count(), Wall.mean(), Wall.min(), Wall.max(),
+                 Wall.stddev());
+    std::string Snapshot =
+        obs::metricsJson(obs::Registry::instance().snapshot(), "    ");
+    std::fprintf(Out, "    \"snapshot\":\n%s\n  }", Snapshot.c_str());
+  }
+  std::fprintf(Out, "\n}\n");
   std::fclose(Out);
   std::printf("\ntiming block written to %s (total wall %.0f ms)\n",
               Options.JsonPath.c_str(), TotalWallMs);
+  if (!obs::exportIfConfigured(Options.Telemetry))
+    std::fprintf(stderr, "warning: telemetry artifact export failed\n");
 }

@@ -20,6 +20,7 @@
 
 #include "baseline/Experiment.h"
 #include "graph/Datasets.h"
+#include "obs/Telemetry.h"
 #include "support/Options.h"
 
 #include <map>
@@ -42,6 +43,12 @@ struct BenchOptions {
   uint32_t Jobs = 1;
   /// Path of the machine-readable timing block ("" disables).
   std::string JsonPath = "bench_results.json";
+  /// Telemetry collection/export (--metrics-out / --trace-out). When any
+  /// output is requested, collection is armed for the whole batch, the
+  /// artifacts are written next to the timing block, and bench_results.json
+  /// gains a "metrics" block. Off by default, so existing bench output is
+  /// byte-identical.
+  obs::TelemetryConfig Telemetry;
 };
 
 /// Registers the shared options on \p Parser.

@@ -1,5 +1,7 @@
 #include "analyzer/Analyzer.h"
 
+#include "obs/Telemetry.h"
+#include "obs/Trace.h"
 #include "support/Statistics.h"
 
 #include <algorithm>
@@ -8,6 +10,34 @@
 
 using namespace atmem;
 using namespace atmem::analyzer;
+
+namespace {
+
+/// Publishes one object's classification as telemetry gauges: the Eq. 2/3
+/// threshold and its components, the Eq. 4 weight, the Eq. 5 adaptive
+/// tree-ratio threshold, and the sampled-vs-estimated critical split. The
+/// names are dynamic ("analyzer.obj.<object>.<field>"), so the id lookup
+/// goes through the registry's name map — classify runs once per
+/// optimize(), never on the access hot path.
+void publishObjectMetrics(const std::string &ObjName,
+                          const LocalSelection &Sel,
+                          const PromotionResult &Promo) {
+  double PrMax = 0.0;
+  for (double PR : Sel.Priority)
+    PrMax = std::max(PrMax, PR);
+  const std::string Base = "analyzer.obj." + ObjName + ".";
+  obs::Gauge(Base + "pr_max").set(PrMax);
+  obs::Gauge(Base + "theta").set(Sel.Theta);
+  obs::Gauge(Base + "theta_percentile").set(Sel.ThetaPercentile);
+  obs::Gauge(Base + "theta_derivative").set(Sel.ThetaDerivative);
+  obs::Gauge(Base + "theta_noise_floor").set(Sel.ThetaNoiseFloor);
+  obs::Gauge(Base + "weight").set(Promo.Weight);
+  obs::Gauge(Base + "tr_threshold").set(Promo.Threshold);
+  obs::Gauge(Base + "chunks_sampled_critical").set(Sel.CriticalCount);
+  obs::Gauge(Base + "chunks_estimated_critical").set(Promo.PromotedCount);
+}
+
+} // namespace
 
 std::vector<ObjectClassification>
 Analyzer::classify(mem::DataObjectRegistry &Registry,
@@ -20,6 +50,8 @@ Analyzer::classify(mem::DataObjectRegistry &Registry,
       LocalConfig.PercentileN + 40.0 * Config.SelectivityBias, 50.0, 99.5);
   LocalSelector Selector(LocalConfig);
   std::vector<ObjectClassification> Classes;
+
+  obs::SpanScope ClassifySpan("analyzer.classify", "analyzer");
 
   std::vector<LocalSelection> Selections;
   std::vector<const mem::DataObject *> Objects =
@@ -73,8 +105,15 @@ Analyzer::classify(mem::DataObjectRegistry &Registry,
     }
   }
 
+  uint64_t SampledCritical = 0;
+  uint64_t EstimatedCritical = 0;
   Classes.reserve(Objects.size());
   for (size_t I = 0; I < Objects.size(); ++I) {
+    if (obs::enabled()) {
+      publishObjectMetrics(Objects[I]->name(), Selections[I], Promotions[I]);
+      SampledCritical += Selections[I].CriticalCount;
+      EstimatedCritical += Promotions[I].PromotedCount;
+    }
     ObjectClassification Class;
     Class.Object = Objects[I]->id();
     Class.ChunkBytes = Objects[I]->chunkBytes();
@@ -82,6 +121,18 @@ Analyzer::classify(mem::DataObjectRegistry &Registry,
     Class.Local = std::move(Selections[I]);
     Class.Promotion = std::move(Promotions[I]);
     Classes.push_back(std::move(Class));
+  }
+  if (obs::enabled()) {
+    static obs::Counter Runs("analyzer.runs");
+    static obs::Counter Sampled("analyzer.chunks_sampled_critical");
+    static obs::Counter Estimated("analyzer.chunks_estimated_critical");
+    Runs.add(1);
+    Sampled.add(SampledCritical);
+    Estimated.add(EstimatedCritical);
+    ClassifySpan.arg("objects", static_cast<double>(Objects.size()))
+        .arg("chunks_sampled_critical", static_cast<double>(SampledCritical))
+        .arg("chunks_estimated_critical",
+             static_cast<double>(EstimatedCritical));
   }
   return Classes;
 }

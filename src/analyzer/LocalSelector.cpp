@@ -45,15 +45,19 @@ LocalSelection LocalSelector::select(
   // ranking and tree promotion, which can lift a uniformly hot object
   // wholesale.
   double Theta = percentile(Result.Priority, Config.PercentileN);
+  Result.ThetaPercentile = Theta;
   if (Config.UseDerivativeCut && NonZero.size() >= 2) {
     TwoMeansResult Clusters = twoMeansClusters(NonZero);
-    if (Clusters.separation() >= Config.StrongSeparation)
+    if (Clusters.separation() >= Config.StrongSeparation) {
+      Result.ThetaDerivative = Clusters.Threshold;
       Theta = std::max(Theta, Clusters.Threshold);
+    }
   }
   // Noise floor: a chunk estimate below MinSamples * period is
   // indistinguishable from sampling noise (Eq. 2's minPR / F_sample term).
   double Floor =
       Config.MinSamples * static_cast<double>(SamplePeriod) / Bytes;
+  Result.ThetaNoiseFloor = Floor;
   Theta = std::max(Theta, Floor);
 
   Result.Theta = Theta;

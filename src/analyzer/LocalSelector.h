@@ -60,6 +60,15 @@ struct LocalSelection {
   double Theta = 0.0;
   /// Number of critical chunks.
   uint32_t CriticalCount = 0;
+  /// \name Eq. 2 components of Theta (telemetry / diagnostics)
+  /// Theta is the max of the three terms; ThetaDerivative is 0 when the
+  /// 2-means cut was disabled or the distribution was not strongly
+  /// separated.
+  /// @{
+  double ThetaPercentile = 0.0;
+  double ThetaDerivative = 0.0;
+  double ThetaNoiseFloor = 0.0;
+  /// @}
 };
 
 /// Computes Eq. 1-3 for one object.

@@ -49,6 +49,7 @@ static core::RuntimeConfig makeRuntimeConfig(const RunConfig &Config) {
   RtConfig.Machine = Config.Machine;
   RtConfig.Analyzer.SelectivityBias = Config.EpsilonOffset;
   RtConfig.SimThreads = Config.SimThreads;
+  RtConfig.Telemetry = Config.Telemetry;
   switch (Config.PolicyKind) {
   case Policy::AllSlow:
   case Policy::Atmem:
@@ -108,13 +109,14 @@ RunResult baseline::runExperiment(const RunConfig &Config) {
   if (Config.MeasureTlb)
     Rt.setReplayTlb(&ReplayTlb);
   uint32_t Iterations = std::max<uint32_t>(Config.MeasuredIterations, 1);
-  double TotalSec = 0.0;
   for (uint32_t I = 0; I < Iterations; ++I) {
     Rt.beginIteration();
     Kernel->runIteration();
-    TotalSec += Rt.endIteration();
+    Result.IterStats.add(Rt.endIteration());
   }
-  Result.MeasuredIterSec = TotalSec / Iterations;
+  // RunningStat::mean() is Sum/N with the same accumulation order as the
+  // historical TotalSec loop, so reported times are bit-identical.
+  Result.MeasuredIterSec = Result.IterStats.mean();
   if (Config.MeasureTlb) {
     Rt.setReplayTlb(nullptr);
     Result.TlbMisses = ReplayTlb.misses();

@@ -31,6 +31,7 @@
 #include "core/Runtime.h"
 #include "graph/CsrGraph.h"
 #include "mem/Migrator.h"
+#include "support/Statistics.h"
 
 #include <string>
 
@@ -74,6 +75,9 @@ struct RunConfig {
   /// Host threads for the parallel tracked-execution engine (see
   /// core::RuntimeConfig::SimThreads); 1 keeps the serial engine.
   uint32_t SimThreads = 1;
+  /// Telemetry collection/export forwarded into the runtime (see
+  /// core::RuntimeConfig::Telemetry). Disabled by default.
+  obs::TelemetryConfig Telemetry;
 };
 
 /// Results of one experiment.
@@ -83,6 +87,10 @@ struct RunResult {
   double FirstIterSec = 0.0;
   /// Simulated time of the measured iteration(s), the paper's metric.
   double MeasuredIterSec = 0.0;
+  /// Per-iteration simulated times of the measured iterations;
+  /// mean() == MeasuredIterSec, and variance()/stddev() quantify
+  /// iteration-to-iteration spread when MeasuredIterations > 1.
+  RunningStat IterStats;
   /// Fraction of registered bytes on the fast tier when measuring.
   double FastDataRatio = 0.0;
   /// Migration counters (zero for non-ATMem policies).

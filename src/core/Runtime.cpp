@@ -1,5 +1,7 @@
 #include "core/Runtime.h"
 
+#include "obs/Trace.h"
+#include "sim/Tlb.h"
 #include "support/Logging.h"
 
 #include <algorithm>
@@ -26,6 +28,8 @@ Runtime::Runtime(RuntimeConfig ConfigIn)
       Contexts.push_back(std::make_unique<SimContext>(Shard));
     KernelPool = std::make_unique<mem::ThreadPool>(Config.SimThreads);
   }
+  if (Config.Telemetry.Enabled || Config.Telemetry.anyOutput())
+    obs::setEnabled(true);
 }
 
 Runtime::~Runtime() = default;
@@ -61,6 +65,8 @@ void Runtime::profilingStop() { Profiler.stop(); }
 mem::MigrationResult Runtime::optimize() {
   if (Profiler.isActive())
     Profiler.stop();
+
+  obs::SpanScope OptimizeSpan("runtime.optimize", "runtime");
 
   mem::Migrator &Mig =
       Config.Mechanism == MigrationMechanism::Atmem
@@ -114,13 +120,16 @@ mem::MigrationResult Runtime::optimize() {
     if (Pending.empty())
       continue;
     if (!Mig.migrate(Obj, Pending, sim::TierId::Fast, Result))
-      logWarning("migration of object '%s' hit fast-tier capacity",
-                 Obj.name().c_str());
+      logError("migration of object '%s' hit fast-tier capacity",
+               Obj.name().c_str());
   }
   logInfo("optimize: moved %llu bytes in %llu ranges, %.3f ms simulated",
           static_cast<unsigned long long>(Result.BytesMoved),
           static_cast<unsigned long long>(Result.Ranges),
           Result.SimSeconds * 1e3);
+  OptimizeSpan.arg("bytes_moved", static_cast<double>(Result.BytesMoved))
+      .arg("ranges", static_cast<double>(Result.Ranges))
+      .arg("sim_sec", Result.SimSeconds);
   return Result;
 }
 
@@ -152,8 +161,8 @@ void Runtime::demoteUnselected(mem::Migrator &Mig,
     if (Demotions.empty())
       continue;
     if (!Mig.migrate(*Obj, Demotions, sim::TierId::Slow, Result))
-      logWarning("demotion of object '%s' hit slow-tier capacity",
-                 Obj->name().c_str());
+      logError("demotion of object '%s' hit slow-tier capacity",
+               Obj->name().c_str());
   }
 }
 
@@ -161,11 +170,44 @@ void Runtime::beginIteration() {
   Stats = sim::AccessStats();
   for (auto &Ctx : Contexts)
     Ctx->beginIteration();
+  if (obs::enabled() && !IterationSpanOpen) {
+    obs::Tracer::instance().begin("runtime.iteration", "runtime");
+    IterationSpanOpen = true;
+  }
 }
 
 double Runtime::endIteration() {
   mergeContexts();
-  return M.kernelModel().estimate(Stats).seconds();
+  double SimSec = M.kernelModel().estimate(Stats).seconds();
+  if (obs::enabled()) {
+    static obs::Counter Iterations("runtime.iterations");
+    static obs::Counter Accesses("runtime.accesses");
+    static obs::Counter LlcHits("runtime.llc_hits");
+    static obs::Counter MissesFast("runtime.misses_fast");
+    static obs::Counter MissesSlow("runtime.misses_slow");
+    static obs::Histogram IterUs("runtime.iteration_sim_us");
+    Iterations.add(1);
+    Accesses.add(Stats.Accesses);
+    LlcHits.add(Stats.LlcHits);
+    MissesFast.add(Stats.TierMisses[sim::tierIndex(sim::TierId::Fast)]);
+    MissesSlow.add(Stats.TierMisses[sim::tierIndex(sim::TierId::Slow)]);
+    IterUs.recordSeconds(SimSec);
+    if (ReplayTlb) {
+      obs::Gauge("runtime.tlb_hits")
+          .set(static_cast<double>(ReplayTlb->hits()));
+      obs::Gauge("runtime.tlb_misses")
+          .set(static_cast<double>(ReplayTlb->misses()));
+    }
+  }
+  if (IterationSpanOpen) {
+    IterationSpanOpen = false;
+    obs::Tracer::instance().end(
+        "runtime.iteration", "runtime",
+        {{"sim_sec", SimSec},
+         {"accesses", static_cast<double>(Stats.Accesses)},
+         {"llc_hits", static_cast<double>(Stats.LlcHits)}});
+  }
+  return SimSec;
 }
 
 void Runtime::mergeContexts() {

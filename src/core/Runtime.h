@@ -27,6 +27,7 @@
 #include "mem/DataObjectRegistry.h"
 #include "mem/MbindMigrator.h"
 #include "mem/ThreadPool.h"
+#include "obs/Telemetry.h"
 #include "profiler/SamplingProfiler.h"
 #include "profiler/TraceFile.h"
 #include "sim/Machine.h"
@@ -91,6 +92,11 @@ struct RuntimeConfig {
   /// each thread a private LLC shard of SizeBytes / T plus private stats
   /// and miss buffers, merged deterministically at endIteration().
   uint32_t SimThreads = 1;
+  /// Telemetry collection and export. Constructing a Runtime with
+  /// Enabled (or any output path) set arms the process-wide obs switch;
+  /// with the default (disabled) config every instrumentation site costs
+  /// one relaxed atomic load and a branch.
+  obs::TelemetryConfig Telemetry;
 };
 
 template <typename T> class TrackedArray;
@@ -250,6 +256,9 @@ private:
   sim::Tlb *ReplayTlb = nullptr;
   prof::TraceWriter *MissTrace = nullptr;
   bool TrackingEnabled = true;
+  /// True while a "runtime.iteration" trace span is open (beginIteration
+  /// ran with telemetry enabled; endIteration closes it).
+  bool IterationSpanOpen = false;
 };
 
 /// A typed view over a registered data object. Every element access is

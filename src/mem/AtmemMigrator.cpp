@@ -1,5 +1,7 @@
 #include "mem/AtmemMigrator.h"
 
+#include "obs/Telemetry.h"
+#include "obs/Trace.h"
 #include "sim/Machine.h"
 #include "support/Error.h"
 
@@ -8,6 +10,18 @@
 
 using namespace atmem;
 using namespace atmem::mem;
+
+namespace {
+
+/// Counts payload bytes by direction; promotion and demotion traffic have
+/// very different costs on asymmetric tiers, so they get separate counters.
+void countDirection(sim::TierId Target, uint64_t Bytes) {
+  static obs::Counter ToFast("migrator.bytes_to_fast");
+  static obs::Counter ToSlow("migrator.bytes_to_slow");
+  (Target == sim::TierId::Fast ? ToFast : ToSlow).add(Bytes);
+}
+
+} // namespace
 
 Migrator::~Migrator() = default;
 
@@ -40,6 +54,8 @@ bool AtmemMigrator::migrate(DataObject &Obj,
     uint64_t RangeVa = Obj.va() + Begin;
     sim::TierId Source = Obj.chunkTier(Range.FirstChunk);
 
+    obs::SpanScope RangeSpan("migrator.range", "migrator");
+
     // Stage (a): map a staging buffer on the target tier and copy the live
     // bytes into it with the worker pool.
     uint64_t StagingVa = Registry.reserveScratchVa(Len);
@@ -48,21 +64,30 @@ bool AtmemMigrator::migrate(DataObject &Obj,
     auto Staging = std::make_unique<std::byte[]>(Len);
     std::byte *Live = Obj.data() + Begin;
     std::byte *Stage = Staging.get();
-    Pool.parallelFor(0, Len, [&](uint64_t From, uint64_t To) {
-      std::memcpy(Stage + From, Live + From, To - From);
-    });
+    {
+      obs::SpanScope CopyIn("migrator.copy_in", "migrator");
+      Pool.parallelFor(0, Len, [&](uint64_t From, uint64_t To) {
+        std::memcpy(Stage + From, Live + From, To - From);
+      });
+    }
 
     // Stage (b): rebind the virtual range to fresh target frames. Virtual
     // addresses are untouched; huge pages re-form where aligned.
     uint64_t Ptes = 0;
-    if (!PT.remapRange(RangeVa, Len, Target, /*PreferHuge=*/true, &Ptes))
-      reportFatalError("remap failed despite capacity check");
+    {
+      obs::SpanScope Remap("migrator.remap", "migrator");
+      if (!PT.remapRange(RangeVa, Len, Target, /*PreferHuge=*/true, &Ptes))
+        reportFatalError("remap failed despite capacity check");
+    }
 
     // Stage (c): drain the staging buffer back into the range.
-    Pool.parallelFor(0, Len, [&](uint64_t From, uint64_t To) {
-      std::memcpy(Live + From, Stage + From, To - From);
-    });
-    PT.unmapRegion(StagingVa, Len);
+    {
+      obs::SpanScope Drain("migrator.copy_out", "migrator");
+      Pool.parallelFor(0, Len, [&](uint64_t From, uint64_t To) {
+        std::memcpy(Live + From, Stage + From, To - From);
+      });
+      PT.unmapRegion(StagingVa, Len);
+    }
 
     for (uint32_t C = Range.FirstChunk;
          C < Range.FirstChunk + Range.NumChunks; ++C)
@@ -73,11 +98,35 @@ bool AtmemMigrator::migrate(DataObject &Obj,
     Work.PtesTouched = Ptes;
     Work.Source = Source;
     Work.Target = Target;
+    sim::AtmemStageBreakdown Stages = Cost.atmemStages(Work);
     Result.SimSeconds +=
-        Cost.atmemSeconds(Work) + M.config().Migration.AtmemPerRangeSec;
+        Stages.total() + M.config().Migration.AtmemPerRangeSec;
     Result.BytesMoved += Len;
     Result.PtesTouched += Ptes;
     Result.Ranges += 1;
+
+    if (obs::enabled()) {
+      static obs::Counter RangeCount("migrator.ranges");
+      static obs::Counter PteCount("migrator.ptes_touched");
+      static obs::Histogram RangeBytes("migrator.range_bytes");
+      static obs::Histogram CopyInUs("migrator.copy_in_sim_us");
+      static obs::Histogram RemapUs("migrator.remap_sim_us");
+      static obs::Histogram DrainUs("migrator.copy_out_sim_us");
+      RangeCount.add(1);
+      PteCount.add(Ptes);
+      RangeBytes.record(Len);
+      CopyInUs.recordSeconds(Stages.CopyInSec);
+      RemapUs.recordSeconds(Stages.RemapSec);
+      DrainUs.recordSeconds(Stages.DrainSec);
+      countDirection(Target, Len);
+      // Staging buffer and remapped frames coexist at the stage (b) peak.
+      obs::Gauge("migrator.staging_hwm_bytes").max(static_cast<double>(Len));
+      RangeSpan.arg("bytes", static_cast<double>(Len))
+          .arg("ptes", static_cast<double>(Ptes))
+          .arg("copy_in_sim_us", Stages.CopyInSec * 1e6)
+          .arg("remap_sim_us", Stages.RemapSec * 1e6)
+          .arg("copy_out_sim_us", Stages.DrainSec * 1e6);
+    }
   }
   return true;
 }

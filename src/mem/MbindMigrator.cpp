@@ -1,5 +1,6 @@
 #include "mem/MbindMigrator.h"
 
+#include "obs/Telemetry.h"
 #include "sim/Machine.h"
 
 using namespace atmem;
@@ -46,6 +47,16 @@ bool MbindMigrator::migrate(DataObject &Obj,
     Result.PtesTouched += PagesMoved;
     Result.HugePagesSplit += Splits;
     Result.Ranges += 1;
+
+    if (obs::enabled()) {
+      static obs::Counter Pages("mbind.pages_moved");
+      static obs::Counter HugeSplits("mbind.huge_pages_split");
+      static obs::Counter Failures("mbind.move_failures");
+      Pages.add(PagesMoved);
+      HugeSplits.add(Splits);
+      if (Failed)
+        Failures.add(1);
+    }
 
     // Record per-chunk tiers for every fully moved chunk.
     for (uint32_t C = Range.FirstChunk;

@@ -1,0 +1,235 @@
+#include "obs/Export.h"
+
+#include "obs/Trace.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+using namespace atmem;
+using namespace atmem::obs;
+
+namespace {
+
+std::string escapeJson(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    if (static_cast<unsigned char>(C) < 0x20) {
+      char Buf[8];
+      std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+      Out += Buf;
+      continue;
+    }
+    Out += C;
+  }
+  return Out;
+}
+
+std::string formatDoubleJson(double V) {
+  if (!std::isfinite(V))
+    return "0";
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.17g", V);
+  return Buf;
+}
+
+} // namespace
+
+std::string obs::metricsJson(const TelemetrySnapshot &Snap,
+                             const std::string &Indent) {
+  std::string Out;
+  char Buf[160];
+  auto Line = [&](const std::string &S) { Out += Indent + S + "\n"; };
+
+  Line("{");
+  Line("  \"schema\": \"atmem-metrics-v1\",");
+
+  Line("  \"counters\": {");
+  for (size_t I = 0; I < Snap.Counters.size(); ++I) {
+    std::snprintf(Buf, sizeof(Buf), "    \"%s\": %" PRIu64 "%s",
+                  escapeJson(Snap.Counters[I].first).c_str(),
+                  Snap.Counters[I].second,
+                  I + 1 == Snap.Counters.size() ? "" : ",");
+    Line(Buf);
+  }
+  Line("  },");
+
+  Line("  \"gauges\": {");
+  for (size_t I = 0; I < Snap.Gauges.size(); ++I) {
+    std::snprintf(Buf, sizeof(Buf), "    \"%s\": %s%s",
+                  escapeJson(Snap.Gauges[I].first).c_str(),
+                  formatDoubleJson(Snap.Gauges[I].second).c_str(),
+                  I + 1 == Snap.Gauges.size() ? "" : ",");
+    Line(Buf);
+  }
+  Line("  },");
+
+  Line("  \"histograms\": {");
+  for (size_t I = 0; I < Snap.Histograms.size(); ++I) {
+    const auto &[Name, H] = Snap.Histograms[I];
+    Line("    \"" + escapeJson(Name) + "\": {");
+    std::snprintf(Buf, sizeof(Buf),
+                  "      \"count\": %" PRIu64 ", \"sum\": %" PRIu64
+                  ", \"min\": %" PRIu64 ", \"max\": %" PRIu64 ",",
+                  H.Count, H.Sum, H.Min, H.Max);
+    Line(Buf);
+    std::snprintf(Buf, sizeof(Buf),
+                  "      \"p50\": %s, \"p90\": %s, \"p99\": %s,",
+                  formatDoubleJson(H.percentile(50)).c_str(),
+                  formatDoubleJson(H.percentile(90)).c_str(),
+                  formatDoubleJson(H.percentile(99)).c_str());
+    Line(Buf);
+    Out += Indent + "      \"buckets\": [";
+    for (size_t B = 0; B < H.Buckets.size(); ++B) {
+      std::snprintf(Buf, sizeof(Buf), "{\"lo\": %" PRIu64
+                    ", \"count\": %" PRIu64 "}%s",
+                    H.Buckets[B].first, H.Buckets[B].second,
+                    B + 1 == H.Buckets.size() ? "" : ", ");
+      Out += Buf;
+    }
+    Out += "]\n";
+    Line(I + 1 == Snap.Histograms.size() ? "    }" : "    },");
+  }
+  Line("  }");
+  Out += Indent + "}";
+  return Out;
+}
+
+bool obs::writeMetricsJson(const std::string &Path) {
+  std::FILE *Out = std::fopen(Path.c_str(), "w");
+  if (!Out)
+    return false;
+  std::string Json = metricsJson(Registry::instance().snapshot());
+  Json += "\n";
+  size_t Written = std::fwrite(Json.data(), 1, Json.size(), Out);
+  std::fclose(Out);
+  return Written == Json.size();
+}
+
+bool obs::validateMetricsJson(const JsonValue &Doc, std::string *Error) {
+  auto Fail = [&](const std::string &Message) {
+    if (Error)
+      *Error = Message;
+    return false;
+  };
+  if (!Doc.isObject())
+    return Fail("document is not an object");
+  const JsonValue *Schema = Doc.findString("schema");
+  if (!Schema || Schema->StringVal != "atmem-metrics-v1")
+    return Fail("missing or unknown \"schema\" tag");
+
+  const JsonValue *Counters = Doc.find("counters");
+  if (!Counters || !Counters->isObject())
+    return Fail("missing \"counters\" object");
+  for (const auto &[Name, V] : Counters->Object)
+    if (!V.isNumber() || V.NumberVal < 0)
+      return Fail("counter \"" + Name + "\" is not a non-negative number");
+
+  const JsonValue *Gauges = Doc.find("gauges");
+  if (!Gauges || !Gauges->isObject())
+    return Fail("missing \"gauges\" object");
+  for (const auto &[Name, V] : Gauges->Object)
+    if (!V.isNumber())
+      return Fail("gauge \"" + Name + "\" is not a number");
+
+  const JsonValue *Histograms = Doc.find("histograms");
+  if (!Histograms || !Histograms->isObject())
+    return Fail("missing \"histograms\" object");
+  for (const auto &[Name, H] : Histograms->Object) {
+    if (!H.isObject())
+      return Fail("histogram \"" + Name + "\" is not an object");
+    for (const char *Key : {"count", "sum", "min", "max", "p50", "p90", "p99"})
+      if (!H.findNumber(Key))
+        return Fail("histogram \"" + Name + "\" lacks numeric \"" + Key +
+                    "\"");
+    const JsonValue *Buckets = H.find("buckets");
+    if (!Buckets || !Buckets->isArray())
+      return Fail("histogram \"" + Name + "\" lacks \"buckets\" array");
+    double BucketTotal = 0.0;
+    double PrevLo = -1.0;
+    for (const JsonValue &B : Buckets->Array) {
+      const JsonValue *Lo = B.findNumber("lo");
+      const JsonValue *N = B.findNumber("count");
+      if (!Lo || !N)
+        return Fail("histogram \"" + Name + "\" has a malformed bucket");
+      if (Lo->NumberVal <= PrevLo)
+        return Fail("histogram \"" + Name + "\" buckets not ascending");
+      PrevLo = Lo->NumberVal;
+      BucketTotal += N->NumberVal;
+    }
+    if (BucketTotal != H.findNumber("count")->NumberVal)
+      return Fail("histogram \"" + Name +
+                  "\" bucket counts do not sum to \"count\"");
+  }
+  return true;
+}
+
+bool obs::validateTraceJson(const JsonValue &Doc, std::string *Error) {
+  auto Fail = [&](const std::string &Message) {
+    if (Error)
+      *Error = Message;
+    return false;
+  };
+  if (!Doc.isObject())
+    return Fail("document is not an object");
+  const JsonValue *Events = Doc.find("traceEvents");
+  if (!Events || !Events->isArray())
+    return Fail("missing \"traceEvents\" array");
+
+  // Per-tid span stack for nesting, plus per-tid timestamp monotonicity.
+  std::map<double, std::vector<std::string>> Stacks;
+  std::map<double, double> LastTs;
+  for (size_t I = 0; I < Events->Array.size(); ++I) {
+    const JsonValue &E = Events->Array[I];
+    std::string Where = "event " + std::to_string(I);
+    if (!E.isObject())
+      return Fail(Where + " is not an object");
+    const JsonValue *Name = E.findString("name");
+    const JsonValue *Ph = E.findString("ph");
+    const JsonValue *Ts = E.findNumber("ts");
+    const JsonValue *Pid = E.findNumber("pid");
+    const JsonValue *Tid = E.findNumber("tid");
+    if (!Name || !E.findString("cat") || !Ph || !Ts || !Pid || !Tid)
+      return Fail(Where + " lacks a required field");
+    if (Ph->StringVal != "B" && Ph->StringVal != "E")
+      return Fail(Where + " has unknown phase \"" + Ph->StringVal + "\"");
+
+    double TidKey = Tid->NumberVal;
+    auto LastIt = LastTs.find(TidKey);
+    if (LastIt != LastTs.end() && Ts->NumberVal < LastIt->second)
+      return Fail(Where + " timestamp regresses within its tid");
+    LastTs[TidKey] = Ts->NumberVal;
+
+    std::vector<std::string> &Stack = Stacks[TidKey];
+    if (Ph->StringVal == "B") {
+      Stack.push_back(Name->StringVal);
+    } else {
+      if (Stack.empty())
+        return Fail(Where + " ends \"" + Name->StringVal +
+                    "\" with no open span on its tid");
+      if (Stack.back() != Name->StringVal)
+        return Fail(Where + " ends \"" + Name->StringVal +
+                    "\" but the innermost open span is \"" + Stack.back() +
+                    "\"");
+      Stack.pop_back();
+    }
+  }
+  for (const auto &[Tid, Stack] : Stacks)
+    if (!Stack.empty())
+      return Fail("tid " + std::to_string(Tid) + " leaves span \"" +
+                  Stack.back() + "\" unclosed");
+  return true;
+}
+
+bool obs::exportIfConfigured(const TelemetryConfig &Config) {
+  bool Ok = true;
+  if (!Config.MetricsPath.empty())
+    Ok = writeMetricsJson(Config.MetricsPath) && Ok;
+  if (!Config.TracePath.empty())
+    Ok = Tracer::instance().writeChromeTrace(Config.TracePath) && Ok;
+  return Ok;
+}

@@ -1,0 +1,63 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ATMem reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Serialization and validation of the telemetry layer's JSON artifacts:
+///
+///  - the metrics snapshot ("atmem-metrics-v1", see docs/observability.md)
+///    written by --metrics-out and embedded as the "metrics" block of
+///    bench_results.json;
+///  - the Chrome trace-event document ("atmem-trace-v1") written by
+///    --trace-out.
+///
+/// The validators are the single source of truth for the schema: tests,
+/// the CI artifact check (tools/atmem_obs_check), and any future consumer
+/// all call the same functions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ATMEM_OBS_EXPORT_H
+#define ATMEM_OBS_EXPORT_H
+
+#include "obs/Json.h"
+#include "obs/Telemetry.h"
+
+#include <string>
+
+namespace atmem {
+namespace obs {
+
+/// Serializes \p Snap as an "atmem-metrics-v1" JSON document. \p Indent
+/// prefixes every line (used when embedding into bench_results.json).
+std::string metricsJson(const TelemetrySnapshot &Snap,
+                        const std::string &Indent = "");
+
+/// Writes metricsJson() of a fresh registry snapshot to \p Path; false on
+/// I/O failure.
+bool writeMetricsJson(const std::string &Path);
+
+/// Checks that \p Doc is a well-formed "atmem-metrics-v1" snapshot:
+/// schema tag, counters/gauges/histograms objects with numeric members,
+/// and per-histogram count/sum/min/max/buckets consistency (bucket counts
+/// sum to "count"). \p Error names the first violation.
+bool validateMetricsJson(const JsonValue &Doc, std::string *Error = nullptr);
+
+/// Checks that \p Doc is a valid Chrome trace-event document as the
+/// tracer emits it: a "traceEvents" array whose members carry name / cat /
+/// ph / ts / pid / tid, with every 'B' matched by a properly nested 'E' on
+/// the same tid and non-decreasing timestamps per tid.
+bool validateTraceJson(const JsonValue &Doc, std::string *Error = nullptr);
+
+/// Writes the artifacts requested by \p Config (no-op for empty paths;
+/// also a no-op when collection was never enabled). Returns false when any
+/// requested file could not be written.
+bool exportIfConfigured(const TelemetryConfig &Config);
+
+} // namespace obs
+} // namespace atmem
+
+#endif // ATMEM_OBS_EXPORT_H

@@ -1,0 +1,310 @@
+#include "obs/Telemetry.h"
+
+#include "support/Error.h"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <map>
+#include <memory>
+#include <mutex>
+
+using namespace atmem;
+using namespace atmem::obs;
+
+std::atomic<bool> obs::detail::GEnabled{false};
+
+void obs::setEnabled(bool On) {
+  detail::GEnabled.store(On, std::memory_order_relaxed);
+}
+
+uint32_t obs::currentThreadId() {
+  static std::atomic<uint32_t> Next{0};
+  thread_local uint32_t Id = Next.fetch_add(1, std::memory_order_relaxed);
+  return Id;
+}
+
+uint32_t obs::histogramBucketIndex(uint64_t Value) {
+  if (Value < 32)
+    return static_cast<uint32_t>(Value);
+  uint32_t Log = 63 - static_cast<uint32_t>(std::countl_zero(Value));
+  uint32_t Sub = static_cast<uint32_t>((Value >> (Log - 3)) & 7);
+  return 32 + (Log - 5) * 8 + Sub;
+}
+
+uint64_t obs::histogramBucketLowerBound(uint32_t Index) {
+  if (Index < 32)
+    return Index;
+  uint32_t Log = 5 + (Index - 32) / 8;
+  uint32_t Sub = (Index - 32) % 8;
+  return (uint64_t{1} << Log) + (static_cast<uint64_t>(Sub) << (Log - 3));
+}
+
+uint64_t obs::histogramBucketUpperBound(uint32_t Index) {
+  if (Index < 32)
+    return Index + 1;
+  uint32_t Log = 5 + (Index - 32) / 8;
+  uint64_t Lower = histogramBucketLowerBound(Index);
+  uint64_t Width = uint64_t{1} << (Log - 3);
+  return Lower > UINT64_MAX - Width ? UINT64_MAX : Lower + Width;
+}
+
+double HistogramSnapshot::percentile(double Pct) const {
+  if (Count == 0)
+    return 0.0;
+  Pct = std::clamp(Pct, 0.0, 100.0);
+  // Rank among Count values using the same closest-ranks convention as
+  // atmem::percentile over a sorted vector.
+  double Rank = Pct / 100.0 * static_cast<double>(Count - 1);
+  uint64_t Lo = static_cast<uint64_t>(Rank);
+  uint64_t Seen = 0;
+  for (const auto &[Lower, N] : Buckets) {
+    if (Seen + N > Lo) {
+      // Interpolate inside the bucket assuming uniform occupancy.
+      uint32_t Index = histogramBucketIndex(Lower);
+      double Width = static_cast<double>(histogramBucketUpperBound(Index)) -
+                     static_cast<double>(Lower);
+      double Within =
+          (Rank - static_cast<double>(Seen)) / static_cast<double>(N);
+      double Value = static_cast<double>(Lower) + Within * Width;
+      return std::clamp(Value, static_cast<double>(Min),
+                        static_cast<double>(Max));
+    }
+    Seen += N;
+  }
+  return static_cast<double>(Max);
+}
+
+const uint64_t *TelemetrySnapshot::counter(const std::string &Name) const {
+  for (const auto &[N, V] : Counters)
+    if (N == Name)
+      return &V;
+  return nullptr;
+}
+
+const double *TelemetrySnapshot::gauge(const std::string &Name) const {
+  for (const auto &[N, V] : Gauges)
+    if (N == Name)
+      return &V;
+  return nullptr;
+}
+
+const HistogramSnapshot *
+TelemetrySnapshot::histogram(const std::string &Name) const {
+  for (const auto &[N, V] : Histograms)
+    if (N == Name)
+      return &V;
+  return nullptr;
+}
+
+namespace {
+
+// Capacity limits keep per-thread slabs statically sized so the record
+// path is a single indexed fetch_add with no growth checks. The fixed
+// catalogue uses a few dozen names; per-object gauges scale with the
+// object population (~10 per registered object).
+constexpr uint32_t MaxCounters = 256;
+constexpr uint32_t MaxGauges = 4096;
+constexpr uint32_t MaxHistograms = 64;
+
+/// One histogram's per-thread storage (single writer: the owning thread).
+struct HistSlab {
+  std::array<std::atomic<uint64_t>, HistogramBuckets> BucketCounts{};
+  std::atomic<uint64_t> Count{0};
+  std::atomic<uint64_t> Sum{0};
+  std::atomic<uint64_t> Min{UINT64_MAX};
+  std::atomic<uint64_t> Max{0};
+};
+
+/// One thread's private slab set. Allocated on a thread's first record and
+/// kept alive for the process lifetime so late snapshots still see counts
+/// from finished threads.
+struct ThreadSlab {
+  std::array<std::atomic<uint64_t>, MaxCounters> Counters{};
+  /// Lazily allocated per histogram; the owning thread publishes with a
+  /// release store, snapshot readers acquire.
+  std::array<std::atomic<HistSlab *>, MaxHistograms> Histograms{};
+
+  ~ThreadSlab() {
+    for (auto &H : Histograms)
+      delete H.load(std::memory_order_relaxed);
+  }
+};
+
+struct GaugeCell {
+  std::atomic<double> Value{0.0};
+  /// Monotonic variant state for gaugeMax.
+  std::atomic<double> MaxValue{0.0};
+  std::atomic<bool> Touched{false};
+  std::atomic<bool> IsMax{false};
+};
+
+} // namespace
+
+struct Registry::Impl {
+  mutable std::mutex Mutex; // Guards the name maps and the slab list.
+  std::map<std::string, uint32_t> CounterNames;
+  std::map<std::string, uint32_t> GaugeNames;
+  std::map<std::string, uint32_t> HistogramNames;
+  std::vector<std::unique_ptr<ThreadSlab>> Slabs;
+  /// Gauges are set from cold control paths (analyzer, migrator summary),
+  /// so they live centrally with last-writer-wins semantics instead of
+  /// per-thread shards that would need merge tie-breaking.
+  std::array<GaugeCell, MaxGauges> Gauges{};
+
+  ThreadSlab &localSlab() {
+    thread_local ThreadSlab *Slab = nullptr;
+    if (Slab)
+      return *Slab;
+    auto Owned = std::make_unique<ThreadSlab>();
+    Slab = Owned.get();
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Slabs.push_back(std::move(Owned));
+    return *Slab;
+  }
+
+  uint32_t intern(std::map<std::string, uint32_t> &Names,
+                  const std::string &Name, uint32_t Limit, const char *Kind) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    auto It = Names.find(Name);
+    if (It != Names.end())
+      return It->second;
+    if (Names.size() >= Limit)
+      reportFatalError(std::string("telemetry ") + Kind +
+                       " capacity exhausted registering '" + Name + "'");
+    uint32_t Id = static_cast<uint32_t>(Names.size());
+    Names.emplace(Name, Id);
+    return Id;
+  }
+};
+
+Registry::Registry() : I(new Impl) {}
+
+Registry &Registry::instance() {
+  static Registry R;
+  return R;
+}
+
+uint32_t Registry::counterId(const std::string &Name) {
+  return I->intern(I->CounterNames, Name, MaxCounters, "counter");
+}
+
+uint32_t Registry::gaugeId(const std::string &Name) {
+  return I->intern(I->GaugeNames, Name, MaxGauges, "gauge");
+}
+
+uint32_t Registry::histogramId(const std::string &Name) {
+  return I->intern(I->HistogramNames, Name, MaxHistograms, "histogram");
+}
+
+void Registry::counterAdd(uint32_t Id, uint64_t Delta) {
+  I->localSlab().Counters[Id].fetch_add(Delta, std::memory_order_relaxed);
+}
+
+void Registry::gaugeSet(uint32_t Id, double Value) {
+  GaugeCell &Cell = I->Gauges[Id];
+  Cell.Value.store(Value, std::memory_order_relaxed);
+  Cell.Touched.store(true, std::memory_order_release);
+}
+
+void Registry::gaugeMax(uint32_t Id, double Value) {
+  GaugeCell &Cell = I->Gauges[Id];
+  double Cur = Cell.MaxValue.load(std::memory_order_relaxed);
+  while (Value > Cur &&
+         !Cell.MaxValue.compare_exchange_weak(Cur, Value,
+                                              std::memory_order_relaxed))
+    ;
+  Cell.IsMax.store(true, std::memory_order_relaxed);
+  Cell.Touched.store(true, std::memory_order_release);
+}
+
+void Registry::histogramRecord(uint32_t Id, uint64_t Value) {
+  ThreadSlab &Slab = I->localSlab();
+  HistSlab *H = Slab.Histograms[Id].load(std::memory_order_relaxed);
+  if (!H) {
+    H = new HistSlab();
+    Slab.Histograms[Id].store(H, std::memory_order_release);
+  }
+  H->BucketCounts[histogramBucketIndex(Value)].fetch_add(
+      1, std::memory_order_relaxed);
+  H->Count.fetch_add(1, std::memory_order_relaxed);
+  H->Sum.fetch_add(Value, std::memory_order_relaxed);
+  // Single writer per slab: load-compare-store needs no CAS.
+  if (Value < H->Min.load(std::memory_order_relaxed))
+    H->Min.store(Value, std::memory_order_relaxed);
+  if (Value > H->Max.load(std::memory_order_relaxed))
+    H->Max.store(Value, std::memory_order_relaxed);
+}
+
+TelemetrySnapshot Registry::snapshot() const {
+  TelemetrySnapshot Snap;
+  std::lock_guard<std::mutex> Lock(I->Mutex);
+
+  // std::map iteration is name-sorted, which makes snapshots (and the
+  // exported JSON) deterministic across registration interleavings.
+  for (const auto &[Name, Id] : I->CounterNames) {
+    uint64_t Total = 0;
+    for (const auto &Slab : I->Slabs)
+      Total += Slab->Counters[Id].load(std::memory_order_relaxed);
+    Snap.Counters.emplace_back(Name, Total);
+  }
+
+  for (const auto &[Name, Id] : I->GaugeNames) {
+    const GaugeCell &Cell = I->Gauges[Id];
+    if (!Cell.Touched.load(std::memory_order_acquire))
+      continue;
+    double V = Cell.IsMax.load(std::memory_order_relaxed)
+                   ? Cell.MaxValue.load(std::memory_order_relaxed)
+                   : Cell.Value.load(std::memory_order_relaxed);
+    Snap.Gauges.emplace_back(Name, V);
+  }
+
+  for (const auto &[Name, Id] : I->HistogramNames) {
+    HistogramSnapshot H;
+    std::array<uint64_t, HistogramBuckets> Merged{};
+    H.Min = UINT64_MAX;
+    for (const auto &Slab : I->Slabs) {
+      const HistSlab *S = Slab->Histograms[Id].load(std::memory_order_acquire);
+      if (!S)
+        continue;
+      for (uint32_t B = 0; B < HistogramBuckets; ++B)
+        Merged[B] += S->BucketCounts[B].load(std::memory_order_relaxed);
+      H.Count += S->Count.load(std::memory_order_relaxed);
+      H.Sum += S->Sum.load(std::memory_order_relaxed);
+      H.Min = std::min(H.Min, S->Min.load(std::memory_order_relaxed));
+      H.Max = std::max(H.Max, S->Max.load(std::memory_order_relaxed));
+    }
+    if (H.Count == 0)
+      H.Min = 0;
+    for (uint32_t B = 0; B < HistogramBuckets; ++B)
+      if (Merged[B] != 0)
+        H.Buckets.emplace_back(histogramBucketLowerBound(B), Merged[B]);
+    Snap.Histograms.emplace_back(Name, std::move(H));
+  }
+  return Snap;
+}
+
+void Registry::resetValues() {
+  std::lock_guard<std::mutex> Lock(I->Mutex);
+  for (const auto &Slab : I->Slabs) {
+    for (auto &C : Slab->Counters)
+      C.store(0, std::memory_order_relaxed);
+    for (auto &HPtr : Slab->Histograms) {
+      HistSlab *H = HPtr.load(std::memory_order_relaxed);
+      if (!H)
+        continue;
+      for (auto &B : H->BucketCounts)
+        B.store(0, std::memory_order_relaxed);
+      H->Count.store(0, std::memory_order_relaxed);
+      H->Sum.store(0, std::memory_order_relaxed);
+      H->Min.store(UINT64_MAX, std::memory_order_relaxed);
+      H->Max.store(0, std::memory_order_relaxed);
+    }
+  }
+  for (auto &Cell : I->Gauges) {
+    Cell.Value.store(0.0, std::memory_order_relaxed);
+    Cell.MaxValue.store(0.0, std::memory_order_relaxed);
+    Cell.IsMax.store(false, std::memory_order_relaxed);
+    Cell.Touched.store(false, std::memory_order_relaxed);
+  }
+}

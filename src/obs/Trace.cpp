@@ -1,0 +1,153 @@
+#include "obs/Trace.h"
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <mutex>
+
+using namespace atmem;
+using namespace atmem::obs;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// JSON string escaping for names/categories/arg keys.
+std::string escapeJson(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size() + 2);
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+} // namespace
+
+struct Tracer::Impl {
+  mutable std::mutex Mutex;
+  std::vector<TraceEvent> Events;
+  Clock::time_point Epoch = Clock::now();
+
+  double nowUs() const {
+    return std::chrono::duration<double, std::micro>(Clock::now() - Epoch)
+        .count();
+  }
+};
+
+Tracer::Tracer() : I(new Impl) {}
+
+Tracer &Tracer::instance() {
+  static Tracer T;
+  return T;
+}
+
+void Tracer::begin(const char *Name, const char *Category) {
+  TraceEvent E;
+  E.Name = Name;
+  E.Category = Category;
+  E.Phase = 'B';
+  E.Tid = currentThreadId();
+  std::lock_guard<std::mutex> Lock(I->Mutex);
+  E.WallUs = I->nowUs();
+  I->Events.push_back(std::move(E));
+}
+
+void Tracer::end(const char *Name, const char *Category,
+                 std::vector<std::pair<std::string, double>> Args) {
+  TraceEvent E;
+  E.Name = Name;
+  E.Category = Category;
+  E.Phase = 'E';
+  E.Tid = currentThreadId();
+  E.Args = std::move(Args);
+  std::lock_guard<std::mutex> Lock(I->Mutex);
+  E.WallUs = I->nowUs();
+  I->Events.push_back(std::move(E));
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::lock_guard<std::mutex> Lock(I->Mutex);
+  return I->Events;
+}
+
+size_t Tracer::eventCount() const {
+  std::lock_guard<std::mutex> Lock(I->Mutex);
+  return I->Events.size();
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> Lock(I->Mutex);
+  I->Events.clear();
+  I->Epoch = Clock::now();
+}
+
+std::string Tracer::chromeTraceJson() const {
+  std::vector<TraceEvent> Events = events();
+  std::string Out;
+  Out += "{\n  \"traceEvents\": [\n";
+  char Buf[256];
+  for (size_t N = 0; N < Events.size(); ++N) {
+    const TraceEvent &E = Events[N];
+    std::snprintf(Buf, sizeof(Buf),
+                  "    {\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"%c\", "
+                  "\"ts\": %.3f, \"pid\": 1, \"tid\": %" PRIu32,
+                  escapeJson(E.Name).c_str(), escapeJson(E.Category).c_str(),
+                  E.Phase, E.WallUs, E.Tid);
+    Out += Buf;
+    if (!E.Args.empty()) {
+      Out += ", \"args\": {";
+      for (size_t A = 0; A < E.Args.size(); ++A) {
+        std::snprintf(Buf, sizeof(Buf), "%s\"%s\": %.9g",
+                      A == 0 ? "" : ", ", escapeJson(E.Args[A].first).c_str(),
+                      E.Args[A].second);
+        Out += Buf;
+      }
+      Out += "}";
+    }
+    Out += "}";
+    if (N + 1 != Events.size())
+      Out += ",";
+    Out += "\n";
+  }
+  Out += "  ],\n";
+  Out += "  \"displayTimeUnit\": \"ms\",\n";
+  Out += "  \"otherData\": {\"tool\": \"atmem\", "
+         "\"schema\": \"atmem-trace-v1\"}\n";
+  Out += "}\n";
+  return Out;
+}
+
+bool Tracer::writeChromeTrace(const std::string &Path) const {
+  std::FILE *Out = std::fopen(Path.c_str(), "w");
+  if (!Out)
+    return false;
+  std::string Json = chromeTraceJson();
+  size_t Written = std::fwrite(Json.data(), 1, Json.size(), Out);
+  std::fclose(Out);
+  return Written == Json.size();
+}

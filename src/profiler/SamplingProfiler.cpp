@@ -1,5 +1,7 @@
 #include "profiler/SamplingProfiler.h"
 
+#include "obs/Telemetry.h"
+#include "obs/Trace.h"
 #include "support/Logging.h"
 
 #include <algorithm>
@@ -51,15 +53,47 @@ void SamplingProfiler::start(uint32_t ThreadsIn) {
   Period = Config.InitialPeriod != 0
                ? Config.InitialPeriod
                : deriveInitialPeriod(TotalChunks, TotalBytes, Threads);
+  StartPeriod = Period;
   Countdown = Period;
   Active = true;
+  if (obs::enabled()) {
+    obs::Tracer::instance().begin("profiler.window", "profiler");
+    WindowSpanOpen = true;
+  }
   logDebug("profiler armed: period=%llu budget=%llu chunks=%llu",
            static_cast<unsigned long long>(Period),
            static_cast<unsigned long long>(SampleBudget),
            static_cast<unsigned long long>(TotalChunks));
 }
 
-void SamplingProfiler::stop() { Active = false; }
+void SamplingProfiler::stop() {
+  bool WasActive = Active;
+  Active = false;
+  if (WasActive && obs::enabled()) {
+    // Window totals come from the existing aggregates — notifyMiss itself
+    // is never instrumented, keeping the hot path untouched.
+    static obs::Counter Samples("profiler.samples_taken");
+    static obs::Counter Misses("profiler.misses_seen");
+    static obs::Counter Unsampled("profiler.events_unsampled");
+    Samples.add(SamplesTaken);
+    Misses.add(MissesSeen);
+    Unsampled.add(MissesSeen - SamplesTaken);
+    obs::Gauge("profiler.period.initial")
+        .set(static_cast<double>(StartPeriod));
+    obs::Gauge("profiler.period.effective").set(static_cast<double>(Period));
+    obs::Gauge("profiler.sample_budget")
+        .set(static_cast<double>(SampleBudget));
+  }
+  if (WindowSpanOpen) {
+    WindowSpanOpen = false;
+    obs::Tracer::instance().end(
+        "profiler.window", "profiler",
+        {{"samples_taken", static_cast<double>(SamplesTaken)},
+         {"misses_seen", static_cast<double>(MissesSeen)},
+         {"period_initial", static_cast<double>(StartPeriod)},
+         {"period_effective", static_cast<double>(Period)}});
+  }
+}
 
 void SamplingProfiler::recordSample(uint64_t Va) {
   ++SamplesTaken;

@@ -79,6 +79,9 @@ public:
   /// Sampling period currently in force.
   uint64_t period() const override { return Period; }
 
+  /// The period the window started with, before budget-driven doubling.
+  uint64_t initialPeriod() const { return StartPeriod; }
+
   uint64_t sampleCount() const { return SamplesTaken; }
   uint64_t missesSeen() const { return MissesSeen; }
 
@@ -102,7 +105,11 @@ private:
   mem::DataObjectRegistry &Registry;
   ProfilerConfig Config;
   bool Active = false;
+  /// True while a "profiler.window" trace span is open (start() ran with
+  /// telemetry enabled and stop() has not yet closed it).
+  bool WindowSpanOpen = false;
   uint64_t Period = 64;
+  uint64_t StartPeriod = 64;
   uint64_t Countdown = 64;
   uint64_t MissesSeen = 0;
   uint64_t SamplesTaken = 0;

@@ -67,16 +67,22 @@ double MigrationCostModel::mbindSeconds(const MigrationWork &Work) const {
   return CopySec + PageSec;
 }
 
-double MigrationCostModel::atmemSeconds(const MigrationWork &Work) const {
+AtmemStageBreakdown
+MigrationCostModel::atmemStages(const MigrationWork &Work) const {
   uint32_t Threads = Config.Migration.CopyThreads;
+  AtmemStageBreakdown Stages;
   // Stage one: source region -> staging buffer on the target tier.
-  double StageSec = static_cast<double>(Work.Bytes) /
-                    copyBandwidth(Work.Source, Work.Target, Threads);
+  Stages.CopyInSec = static_cast<double>(Work.Bytes) /
+                     copyBandwidth(Work.Source, Work.Target, Threads);
   // Stage two: remap bookkeeping, no data movement.
-  double RemapSec = static_cast<double>(Work.PtesTouched) *
+  Stages.RemapSec = static_cast<double>(Work.PtesTouched) *
                     Config.Migration.RemapPerPageSec;
   // Stage three: staging buffer -> final frames, both on the target tier.
-  double DrainSec = static_cast<double>(Work.Bytes) /
+  Stages.DrainSec = static_cast<double>(Work.Bytes) /
                     copyBandwidth(Work.Target, Work.Target, Threads);
-  return StageSec + RemapSec + DrainSec;
+  return Stages;
+}
+
+double MigrationCostModel::atmemSeconds(const MigrationWork &Work) const {
+  return atmemStages(Work).total();
 }

@@ -86,6 +86,17 @@ struct MigrationWork {
   TierId Target = TierId::Fast;
 };
 
+/// Per-stage timing of one ATMem migration (Section 4.4's three stages).
+/// total() sums in stage order, so it is bit-identical to the historical
+/// single-expression atmemSeconds() result.
+struct AtmemStageBreakdown {
+  double CopyInSec = 0.0; ///< Source tier -> staging buffer on the target.
+  double RemapSec = 0.0;  ///< Page-table rewrite, no data movement.
+  double DrainSec = 0.0;  ///< Staging buffer -> final frames (target tier).
+
+  double total() const { return CopyInSec + RemapSec + DrainSec; }
+};
+
 /// Estimates migration wall time for the two mechanisms.
 class MigrationCostModel {
 public:
@@ -98,8 +109,12 @@ public:
   /// ATMem migration: payload crosses tiers once into the staging buffer
   /// (multi-threaded, bounded by both tiers' peak bandwidth), the range is
   /// remapped (cheap per-page bookkeeping), then payload moves once more
-  /// within the target tier.
+  /// within the target tier. Equals atmemStages(Work).total().
   double atmemSeconds(const MigrationWork &Work) const;
+
+  /// The same estimate with per-stage resolution (migrator telemetry and
+  /// the Table 4 breakdown).
+  AtmemStageBreakdown atmemStages(const MigrationWork &Work) const;
 
   /// Aggregate copy bandwidth \p Threads threads achieve when reading from
   /// \p Source and writing to \p Target.

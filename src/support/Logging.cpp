@@ -61,3 +61,10 @@ void atmem::logWarning(const char *Format, ...) {
   logFormatted(LogLevel::Warning, Format, Args);
   va_end(Args);
 }
+
+void atmem::logError(const char *Format, ...) {
+  va_list Args;
+  va_start(Args, Format);
+  logFormatted(LogLevel::Error, Format, Args);
+  va_end(Args);
+}

@@ -34,6 +34,7 @@ void logMessage(LogLevel Level, std::string_view Message);
 void logInfo(const char *Format, ...) __attribute__((format(printf, 1, 2)));
 void logDebug(const char *Format, ...) __attribute__((format(printf, 1, 2)));
 void logWarning(const char *Format, ...) __attribute__((format(printf, 1, 2)));
+void logError(const char *Format, ...) __attribute__((format(printf, 1, 2)));
 
 } // namespace atmem
 

@@ -130,4 +130,9 @@ void RunningStat::add(double Value) {
   }
   Sum += Value;
   ++N;
+  double Delta = Value - MeanAcc;
+  MeanAcc += Delta / static_cast<double>(N);
+  M2 += Delta * (Value - MeanAcc);
 }
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }

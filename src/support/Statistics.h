@@ -70,7 +70,9 @@ double twoMeansThreshold(const std::vector<double> &Values);
 double largestGapThreshold(const std::vector<double> &Values);
 
 /// Accumulates a stream of doubles and reports summary statistics without
-/// storing the full stream.
+/// storing the full stream. Spread is tracked with Welford's online
+/// algorithm, so variance()/stddev() are numerically stable even for
+/// streams whose mean dwarfs their deviation (repeat-run timings).
 class RunningStat {
 public:
   /// Adds one observation.
@@ -85,11 +87,23 @@ public:
   double min() const { return N == 0 ? 0.0 : Min; }
   double max() const { return N == 0 ? 0.0 : Max; }
 
+  /// Sample variance (n-1 denominator); 0.0 when fewer than two values.
+  double variance() const {
+    return N < 2 ? 0.0 : M2 / static_cast<double>(N - 1);
+  }
+
+  /// Sample standard deviation; matches atmem::stddev over the same
+  /// stream.
+  double stddev() const;
+
 private:
   size_t N = 0;
   double Sum = 0.0;
   double Min = 0.0;
   double Max = 0.0;
+  /// Welford state: running mean and sum of squared deviations.
+  double MeanAcc = 0.0;
+  double M2 = 0.0;
 };
 
 } // namespace atmem

@@ -1,0 +1,239 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ATMem reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests of the telemetry registry: exact concurrent counting over the
+/// per-thread slabs, log-scale histogram bucketing and percentiles against
+/// atmem::percentile, snapshot determinism across recording interleavings,
+/// and the disabled-collection contract.
+///
+//===----------------------------------------------------------------------===//
+
+#include "obs/Export.h"
+#include "obs/Telemetry.h"
+#include "support/Statistics.h"
+
+#include "gtest/gtest.h"
+
+#include <thread>
+#include <vector>
+
+using namespace atmem;
+
+namespace {
+
+/// Arms collection and clears prior values; disarms on exit so other test
+/// suites in the process see the default-off state.
+class ObsTelemetryTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    obs::Registry::instance().resetValues();
+    obs::setEnabled(true);
+  }
+  void TearDown() override {
+    obs::setEnabled(false);
+    obs::Registry::instance().resetValues();
+  }
+};
+
+} // namespace
+
+TEST_F(ObsTelemetryTest, ConcurrentCounterIncrementsSumExactly) {
+  obs::Counter C("test.concurrent_counter");
+  constexpr int Threads = 8;
+  constexpr uint64_t PerThread = 20000;
+  std::vector<std::thread> Workers;
+  for (int T = 0; T < Threads; ++T)
+    Workers.emplace_back([&] {
+      for (uint64_t I = 0; I < PerThread; ++I)
+        C.add(1);
+    });
+  for (std::thread &W : Workers)
+    W.join();
+
+  obs::TelemetrySnapshot Snap = obs::Registry::instance().snapshot();
+  const uint64_t *Total = Snap.counter("test.concurrent_counter");
+  ASSERT_NE(Total, nullptr);
+  EXPECT_EQ(*Total, Threads * PerThread);
+}
+
+TEST_F(ObsTelemetryTest, ConcurrentHistogramCountsExactly) {
+  obs::Histogram H("test.concurrent_hist");
+  constexpr int Threads = 4;
+  constexpr uint64_t PerThread = 5000;
+  std::vector<std::thread> Workers;
+  for (int T = 0; T < Threads; ++T)
+    Workers.emplace_back([&, T] {
+      for (uint64_t I = 0; I < PerThread; ++I)
+        H.record(I + static_cast<uint64_t>(T)); // overlapping value ranges
+    });
+  for (std::thread &W : Workers)
+    W.join();
+
+  obs::TelemetrySnapshot Snap = obs::Registry::instance().snapshot();
+  const obs::HistogramSnapshot *Merged =
+      Snap.histogram("test.concurrent_hist");
+  ASSERT_NE(Merged, nullptr);
+  EXPECT_EQ(Merged->Count, Threads * PerThread);
+  uint64_t BucketTotal = 0;
+  for (const auto &[Lo, N] : Merged->Buckets)
+    BucketTotal += N;
+  EXPECT_EQ(BucketTotal, Merged->Count);
+  EXPECT_EQ(Merged->Min, 0u);
+  EXPECT_EQ(Merged->Max, PerThread - 1 + Threads - 1);
+}
+
+TEST_F(ObsTelemetryTest, BucketBoundsRoundTrip) {
+  // Every value maps to a bucket whose [lower, upper) range contains it,
+  // and bucket bounds are consistent with the index mapping.
+  for (uint64_t V :
+       {uint64_t{0}, uint64_t{1}, uint64_t{31}, uint64_t{32}, uint64_t{33},
+        uint64_t{63}, uint64_t{64}, uint64_t{1000}, uint64_t{1} << 20,
+        (uint64_t{1} << 20) + 12345, uint64_t{1} << 40, UINT64_MAX}) {
+    uint32_t Index = obs::histogramBucketIndex(V);
+    ASSERT_LT(Index, obs::HistogramBuckets);
+    EXPECT_LE(obs::histogramBucketLowerBound(Index), V);
+    // The topmost bucket's upper bound saturates at UINT64_MAX instead of
+    // wrapping past 2^64.
+    uint64_t Upper = obs::histogramBucketUpperBound(Index);
+    EXPECT_TRUE(Upper > V || Upper == UINT64_MAX);
+    EXPECT_EQ(obs::histogramBucketIndex(obs::histogramBucketLowerBound(Index)),
+              Index);
+  }
+  // Small values are exact: one bucket per integer below 32.
+  for (uint64_t V = 0; V < 32; ++V) {
+    uint32_t Index = obs::histogramBucketIndex(V);
+    EXPECT_EQ(obs::histogramBucketLowerBound(Index), V);
+    EXPECT_EQ(obs::histogramBucketUpperBound(Index), V + 1);
+  }
+}
+
+TEST_F(ObsTelemetryTest, PercentileMatchesExactOnSmallValues) {
+  // Consecutive small integers occupy unit-width buckets, so the
+  // closest-ranks interpolation of HistogramSnapshot::percentile is
+  // exactly atmem::percentile over the same values.
+  obs::Histogram H("test.pct_small");
+  std::vector<double> Reference;
+  for (uint64_t V = 0; V < 32; ++V) {
+    H.record(V);
+    Reference.push_back(static_cast<double>(V));
+  }
+  obs::TelemetrySnapshot Snap = obs::Registry::instance().snapshot();
+  const obs::HistogramSnapshot *HS = Snap.histogram("test.pct_small");
+  ASSERT_NE(HS, nullptr);
+  for (double Pct : {0.0, 10.0, 25.0, 50.0, 90.0, 99.0, 100.0})
+    EXPECT_DOUBLE_EQ(HS->percentile(Pct), percentile(Reference, Pct))
+        << "at percentile " << Pct;
+}
+
+TEST_F(ObsTelemetryTest, PercentileWithinQuantizationOnLogRange) {
+  // Log-range values land in sub-bucketed power-of-two buckets. A
+  // histogram quantile cannot reproduce atmem::percentile's between-rank
+  // interpolation (the raw values are gone), but it must bracket the two
+  // ranks the exact percentile interpolates between, give or take one
+  // bucket's quantization (~12.5% relative).
+  obs::Histogram H("test.pct_log");
+  std::vector<double> Sorted;
+  uint64_t V = 1;
+  // 150 steps keeps V * 21 below 2^64; more would wrap and unsort the set.
+  for (int I = 0; I < 150; ++I) {
+    H.record(V);
+    Sorted.push_back(static_cast<double>(V));
+    V = V * 21 / 16 + 1; // ~1.3x growth: several values per octave
+  }
+  obs::TelemetrySnapshot Snap = obs::Registry::instance().snapshot();
+  const obs::HistogramSnapshot *HS = Snap.histogram("test.pct_log");
+  ASSERT_NE(HS, nullptr);
+  for (double Pct : {10.0, 50.0, 90.0, 99.0}) {
+    double Rank = Pct / 100.0 * static_cast<double>(Sorted.size() - 1);
+    double RankLo = Sorted[static_cast<size_t>(Rank)];
+    double RankHi =
+        Sorted[std::min(static_cast<size_t>(Rank) + 1, Sorted.size() - 1)];
+    double Estimate = HS->percentile(Pct);
+    EXPECT_GE(Estimate, RankLo * 0.875 - 1.0) << "at percentile " << Pct;
+    EXPECT_LE(Estimate, RankHi * 1.125 + 1.0) << "at percentile " << Pct;
+  }
+}
+
+TEST_F(ObsTelemetryTest, SnapshotDeterministicAcrossInterleavings) {
+  // The same multiset of recorded values must produce the same snapshot
+  // (and the same exported JSON) regardless of which threads recorded
+  // which values and in what order.
+  auto RecordPartitioned = [](int Threads) {
+    obs::Counter C("test.det_counter");
+    obs::Histogram H("test.det_hist");
+    std::vector<std::thread> Workers;
+    for (int T = 0; T < Threads; ++T)
+      Workers.emplace_back([&, T] {
+        for (uint64_t I = T; I < 4000; I += Threads) {
+          C.add(I % 7);
+          H.record(I);
+        }
+      });
+    for (std::thread &W : Workers)
+      W.join();
+  };
+
+  RecordPartitioned(1);
+  std::string SerialJson =
+      obs::metricsJson(obs::Registry::instance().snapshot());
+
+  obs::Registry::instance().resetValues();
+  RecordPartitioned(5);
+  std::string ShardedJson =
+      obs::metricsJson(obs::Registry::instance().snapshot());
+
+  EXPECT_EQ(SerialJson, ShardedJson);
+}
+
+TEST_F(ObsTelemetryTest, GaugeSetAndMax) {
+  obs::Gauge Last("test.gauge_last");
+  obs::Gauge Hwm("test.gauge_hwm");
+  Last.set(3.0);
+  Last.set(1.5);
+  Hwm.max(10.0);
+  Hwm.max(4.0);
+  Hwm.max(25.0);
+
+  obs::TelemetrySnapshot Snap = obs::Registry::instance().snapshot();
+  const double *LastVal = Snap.gauge("test.gauge_last");
+  const double *HwmVal = Snap.gauge("test.gauge_hwm");
+  ASSERT_NE(LastVal, nullptr);
+  ASSERT_NE(HwmVal, nullptr);
+  EXPECT_DOUBLE_EQ(*LastVal, 1.5);  // last writer wins
+  EXPECT_DOUBLE_EQ(*HwmVal, 25.0); // monotonic high-water mark
+}
+
+TEST_F(ObsTelemetryTest, DisabledCollectionRecordsNothing) {
+  obs::Counter C("test.disabled_counter");
+  obs::Histogram H("test.disabled_hist");
+  obs::Gauge G("test.disabled_gauge");
+  obs::setEnabled(false);
+  C.add(5);
+  H.record(42);
+  G.set(7.0);
+  obs::setEnabled(true);
+
+  obs::TelemetrySnapshot Snap = obs::Registry::instance().snapshot();
+  const uint64_t *Counter = Snap.counter("test.disabled_counter");
+  ASSERT_NE(Counter, nullptr); // name registered at handle construction
+  EXPECT_EQ(*Counter, 0u);     // but nothing recorded while disabled
+  const obs::HistogramSnapshot *Hist = Snap.histogram("test.disabled_hist");
+  ASSERT_NE(Hist, nullptr);
+  EXPECT_EQ(Hist->Count, 0u);
+  EXPECT_EQ(Snap.gauge("test.disabled_gauge"), nullptr); // never touched
+}
+
+TEST_F(ObsTelemetryTest, ResetValuesKeepsNamesZeroesValues) {
+  obs::Counter C("test.reset_counter");
+  C.add(17);
+  obs::Registry::instance().resetValues();
+  obs::TelemetrySnapshot Snap = obs::Registry::instance().snapshot();
+  const uint64_t *Counter = Snap.counter("test.reset_counter");
+  ASSERT_NE(Counter, nullptr);
+  EXPECT_EQ(*Counter, 0u);
+}

@@ -185,6 +185,35 @@ TEST(StatisticsTest, RunningStatNegativeValues) {
   EXPECT_DOUBLE_EQ(S.mean(), 0.0);
 }
 
+TEST(StatisticsTest, RunningStatVarianceMatchesBatchStddev) {
+  std::vector<double> Values = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  RunningStat S;
+  for (double V : Values)
+    S.add(V);
+  EXPECT_NEAR(S.stddev(), stddev(Values), 1e-12);
+  EXPECT_NEAR(S.variance(), stddev(Values) * stddev(Values), 1e-12);
+}
+
+TEST(StatisticsTest, RunningStatVarianceDegenerate) {
+  RunningStat S;
+  EXPECT_DOUBLE_EQ(S.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(S.stddev(), 0.0);
+  S.add(3.0);
+  EXPECT_DOUBLE_EQ(S.variance(), 0.0); // one value: no spread defined
+  S.add(3.0);
+  EXPECT_DOUBLE_EQ(S.variance(), 0.0); // identical values: zero spread
+}
+
+TEST(StatisticsTest, RunningStatWelfordStableForLargeMean) {
+  // Classic catastrophic-cancellation case: tiny spread around a huge
+  // mean. The naive sum-of-squares formula loses all precision here;
+  // Welford keeps it.
+  RunningStat S;
+  for (double Offset : {0.0, 1.0, 2.0})
+    S.add(1e9 + Offset);
+  EXPECT_NEAR(S.variance(), 1.0, 1e-6);
+}
+
 //===----------------------------------------------------------------------===//
 // StringUtils
 //===----------------------------------------------------------------------===//

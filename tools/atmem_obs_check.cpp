@@ -1,0 +1,74 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ATMem reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// atmem_obs_check: validates telemetry artifacts against the schemas the
+/// runtime emits (obs/Export.h is the single source of truth). CI runs it
+/// on the files produced by `atmem_run --metrics-out --trace-out`; exit
+/// status is non-zero on the first violation, with the reason on stderr.
+///
+/// Examples:
+///   atmem_obs_check --metrics m.json
+///   atmem_obs_check --metrics m.json --trace t.json
+///
+//===----------------------------------------------------------------------===//
+
+#include "obs/Export.h"
+#include "obs/Json.h"
+#include "support/Options.h"
+
+#include <cstdio>
+
+using namespace atmem;
+
+namespace {
+
+bool checkFile(const std::string &Path, const char *What,
+               bool (*Validate)(const obs::JsonValue &, std::string *)) {
+  obs::JsonValue Doc;
+  std::string Error;
+  if (!obs::parseJsonFile(Path, Doc, &Error)) {
+    std::fprintf(stderr, "error: %s '%s': %s\n", What, Path.c_str(),
+                 Error.c_str());
+    return false;
+  }
+  if (!Validate(Doc, &Error)) {
+    std::fprintf(stderr, "error: %s '%s': %s\n", What, Path.c_str(),
+                 Error.c_str());
+    return false;
+  }
+  std::printf("%s '%s': ok\n", What, Path.c_str());
+  return true;
+}
+
+} // namespace
+
+int main(int Argc, const char **Argv) {
+  OptionParser Parser("atmem_obs_check: validate telemetry JSON artifacts "
+                      "(metrics snapshots and Chrome trace exports)");
+  Parser.addString("metrics", "",
+                   "atmem-metrics-v1 snapshot to validate ('' skips)");
+  Parser.addString("trace", "",
+                   "Chrome trace-event JSON to validate ('' skips)");
+  if (!Parser.parse(Argc, Argv))
+    return 1;
+
+  std::string MetricsPath = Parser.getString("metrics");
+  std::string TracePath = Parser.getString("trace");
+  if (MetricsPath.empty() && TracePath.empty()) {
+    std::fprintf(stderr, "error: nothing to check (pass --metrics and/or "
+                         "--trace)\n");
+    return 1;
+  }
+
+  bool Ok = true;
+  if (!MetricsPath.empty())
+    Ok = checkFile(MetricsPath, "metrics", obs::validateMetricsJson) && Ok;
+  if (!TracePath.empty())
+    Ok = checkFile(TracePath, "trace", obs::validateTraceJson) && Ok;
+  return Ok ? 0 : 1;
+}

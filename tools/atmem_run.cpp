@@ -23,6 +23,7 @@
 #include "baseline/Experiment.h"
 #include "graph/Datasets.h"
 #include "graph/EdgeListIO.h"
+#include "obs/Export.h"
 #include "support/Options.h"
 #include "support/StringUtils.h"
 #include "support/TablePrinter.h"
@@ -78,6 +79,12 @@ int main(int Argc, const char **Argv) {
                             "all-fast (or preferred-fast) reference");
   Parser.addFlag("tlb", "replay the measured iteration through the "
                         "simulated TLB and report misses");
+  Parser.addString("metrics-out", "",
+                   "write a telemetry metrics snapshot (atmem-metrics-v1 "
+                   "JSON) to this path; also enables collection");
+  Parser.addString("trace-out", "",
+                   "write a Chrome trace-event JSON (open in Perfetto or "
+                   "chrome://tracing) to this path; also enables collection");
   if (!Parser.parse(Argc, Argv))
     return 1;
 
@@ -99,6 +106,11 @@ int main(int Argc, const char **Argv) {
     return 1;
   }
   double Scale = Parser.getDouble("scale");
+
+  obs::TelemetryConfig Telemetry;
+  Telemetry.MetricsPath = Parser.getString("metrics-out");
+  Telemetry.TracePath = Parser.getString("trace-out");
+  Telemetry.Enabled = Telemetry.anyOutput();
 
   // Load or generate the graph.
   graph::CsrGraph Graph;
@@ -145,6 +157,7 @@ int main(int Argc, const char **Argv) {
     Config.MeasureTlb = Parser.getFlag("tlb");
     Config.SimThreads = static_cast<uint32_t>(
         std::max<uint64_t>(Parser.getUnsigned("sim-threads"), 1));
+    Config.Telemetry = Telemetry;
     return baseline::runExperiment(Config);
   };
 
@@ -183,7 +196,17 @@ int main(int Argc, const char **Argv) {
     AddRow(PolicyKind, Main);
     Table.print();
   }
+  if (Main.IterStats.count() > 1)
+    std::printf("iteration spread: stddev %s over %zu iterations\n",
+                formatSeconds(Main.IterStats.stddev()).c_str(),
+                Main.IterStats.count());
   std::printf("checksum: %llu\n",
               static_cast<unsigned long long>(Main.Checksum));
+  if (!obs::exportIfConfigured(Telemetry))
+    return 1;
+  if (!Telemetry.MetricsPath.empty())
+    std::printf("metrics written to %s\n", Telemetry.MetricsPath.c_str());
+  if (!Telemetry.TracePath.empty())
+    std::printf("trace written to %s\n", Telemetry.TracePath.c_str());
   return 0;
 }
