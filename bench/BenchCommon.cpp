@@ -1,6 +1,7 @@
 #include "BenchCommon.h"
 
 #include "apps/Kernel.h"
+#include "fault/FaultInjection.h"
 #include "obs/Export.h"
 #include "support/Statistics.h"
 #include "support/StringUtils.h"
@@ -38,6 +39,7 @@ void bench::addCommonOptions(OptionParser &Parser) {
   Parser.addString("trace-out", "",
                    "write a Chrome trace-event JSON of the batch; also "
                    "enables collection");
+  Parser.addString("fault-spec", "", fault::faultSpecHelp());
 }
 
 bool bench::readCommonOptions(const OptionParser &Parser, BenchOptions &Out) {
@@ -55,6 +57,20 @@ bool bench::readCommonOptions(const OptionParser &Parser, BenchOptions &Out) {
   Out.Telemetry.Enabled = Out.Telemetry.anyOutput();
   if (Out.Telemetry.Enabled)
     obs::setEnabled(true);
+
+  if (std::string SpecError; !fault::armFromEnvironment(&SpecError)) {
+    std::fprintf(stderr, "error: bad ATMEM_FAULT_SPEC: %s\n",
+                 SpecError.c_str());
+    return false;
+  }
+  if (std::string Spec = Parser.getString("fault-spec"); !Spec.empty()) {
+    std::string SpecError;
+    if (!fault::armFromSpec(Spec, &SpecError)) {
+      std::fprintf(stderr, "error: bad --fault-spec: %s\n",
+                   SpecError.c_str());
+      return false;
+    }
+  }
 
   std::string DatasetArg = Parser.getString("datasets");
   if (DatasetArg == "all") {

@@ -57,7 +57,8 @@ Outcome runMechanism(bool UseMbind, uint64_t ObjectBytes) {
   Outcome Out;
   Migrator &Mig = UseMbind ? static_cast<Migrator &>(Mbind)
                            : static_cast<Migrator &>(Atmem);
-  if (!Mig.migrate(Obj, {{0, Obj.numChunks()}}, TierId::Fast, Out.Result))
+  if (Mig.migrate(Obj, {{0, Obj.numChunks()}}, TierId::Fast, Out.Result) !=
+      MigrationStatus::Success)
     reportFatalError("migration unexpectedly refused");
 
   Out.HugePagesAfter = M.pageTable().hugePageCount();

@@ -11,6 +11,140 @@ using namespace atmem::core;
 
 thread_local Runtime::ContextBinding Runtime::Bound;
 
+namespace {
+
+void countRetry() {
+  if (obs::enabled()) {
+    static obs::Counter Retries("migration.retries");
+    Retries.add(1);
+  }
+}
+
+void countDegraded(uint64_t SkippedRanges) {
+  if (obs::enabled()) {
+    static obs::Counter Degraded("migration.degraded");
+    Degraded.add(SkippedRanges);
+  }
+}
+
+/// Sub-ranges of \p Pending whose chunks still sit on \p Source — i.e.
+/// the work a partially completed migrate() left behind. Recomputed from
+/// chunk tiers so it is correct for both whole-range (atmem) and
+/// page-prefix (mbind) partial progress.
+std::vector<mem::ChunkRange>
+remainingOnSource(const mem::DataObject &Obj,
+                  const std::vector<mem::ChunkRange> &Pending,
+                  sim::TierId Source) {
+  std::vector<mem::ChunkRange> Out;
+  for (const mem::ChunkRange &Range : Pending)
+    for (uint32_t C = Range.FirstChunk;
+         C < Range.FirstChunk + Range.NumChunks;) {
+      if (Obj.chunkTier(C) != Source) {
+        ++C;
+        continue;
+      }
+      uint32_t Begin = C;
+      while (C < Range.FirstChunk + Range.NumChunks &&
+             Obj.chunkTier(C) == Source)
+        ++C;
+      Out.push_back({Begin, C - Begin});
+    }
+  return Out;
+}
+
+double rangePriority(const std::vector<double> *Priorities,
+                     const mem::ChunkRange &Range) {
+  if (!Priorities)
+    return 0.0;
+  double Max = 0.0;
+  for (uint32_t C = Range.FirstChunk;
+       C < Range.FirstChunk + Range.NumChunks && C < Priorities->size(); ++C)
+    Max = std::max(Max, (*Priorities)[C]);
+  return Max;
+}
+
+/// Splits \p Remaining into (subset, dropped): the highest-priority
+/// single chunks whose combined footprint fits \p FreeBytes under
+/// \p Mig's capacity model, and everything else. The subset stays
+/// single-chunk ranges so the mechanism's per-range staging peak is one
+/// chunk — smaller granules under pressure.
+std::pair<std::vector<mem::ChunkRange>, std::vector<mem::ChunkRange>>
+highestPriorityFit(const mem::DataObject &Obj,
+                   const std::vector<mem::ChunkRange> &Remaining,
+                   const mem::Migrator &Mig, uint64_t FreeBytes,
+                   const std::vector<double> *Priorities) {
+  struct Candidate {
+    uint32_t Chunk;
+    double Priority;
+    uint64_t Bytes;
+  };
+  std::vector<Candidate> Candidates;
+  for (const mem::ChunkRange &Range : Remaining)
+    for (uint32_t C = Range.FirstChunk;
+         C < Range.FirstChunk + Range.NumChunks; ++C) {
+      auto [Begin, End] = Obj.rangeBytes({C, 1});
+      if (End > Begin)
+        Candidates.push_back({C, rangePriority(Priorities, {C, 1}),
+                              End - Begin});
+    }
+  std::sort(Candidates.begin(), Candidates.end(),
+            [](const Candidate &A, const Candidate &B) {
+              if (A.Priority != B.Priority)
+                return A.Priority > B.Priority;
+              return A.Chunk < B.Chunk;
+            });
+  uint64_t Payload = 0;
+  uint64_t MaxChunk = 0;
+  std::vector<uint8_t> Taken(Obj.numChunks(), 0);
+  bool TookAny = false;
+  for (const Candidate &C : Candidates) {
+    uint64_t NewPayload = Payload + C.Bytes;
+    uint64_t NewMax = std::max(MaxChunk, C.Bytes);
+    if (Mig.capacityNeeded(NewPayload, NewMax) > FreeBytes)
+      continue;
+    Payload = NewPayload;
+    MaxChunk = NewMax;
+    Taken[C.Chunk] = 1;
+    TookAny = true;
+  }
+  std::pair<std::vector<mem::ChunkRange>, std::vector<mem::ChunkRange>> Out;
+  if (!TookAny) {
+    Out.second = Remaining;
+    return Out;
+  }
+  for (const Candidate &C : Candidates)
+    (Taken[C.Chunk] ? Out.first : Out.second).push_back({C.Chunk, 1});
+  std::sort(Out.first.begin(), Out.first.end(),
+            [](const mem::ChunkRange &A, const mem::ChunkRange &B) {
+              return A.FirstChunk < B.FirstChunk;
+            });
+  return Out;
+}
+
+/// Appends the runs of \p Range's chunks that are on the slow tier and
+/// not yet claimed in \p InPending, claiming them.
+void appendSlowRuns(const mem::DataObject &Obj, const mem::ChunkRange &Range,
+                    std::vector<uint8_t> &InPending,
+                    std::vector<mem::ChunkRange> &Pending) {
+  uint32_t Limit =
+      std::min(Range.FirstChunk + Range.NumChunks, Obj.numChunks());
+  for (uint32_t C = Range.FirstChunk; C < Limit;) {
+    if (InPending[C] || Obj.chunkTier(C) != sim::TierId::Slow) {
+      ++C;
+      continue;
+    }
+    uint32_t Begin = C;
+    while (C < Limit && !InPending[C] &&
+           Obj.chunkTier(C) == sim::TierId::Slow) {
+      InPending[C] = 1;
+      ++C;
+    }
+    Pending.push_back({Begin, C - Begin});
+  }
+}
+
+} // namespace
+
 Runtime::Runtime(RuntimeConfig ConfigIn)
     : Config(std::move(ConfigIn)), M(Config.Machine), Registry(M),
       Pool(Config.Machine.Migration.CopyThreads),
@@ -83,7 +217,12 @@ mem::MigrationResult Runtime::optimize() {
                                       Config.FastBudgetFraction);
   if (Config.FastBudgetBytesCap != 0)
     Budget = std::min(Budget, Config.FastBudgetBytesCap);
+  // Classify once; the plan builders and the degraded-mode ranking both
+  // work off the same classification, so partial plans use exactly the
+  // Eq. 1 priorities the full plan was built from.
   analyzer::Analyzer Anal(Config.Analyzer);
+  std::vector<analyzer::ObjectClassification> Classes =
+      Anal.classify(Registry, Profiler);
   if (Config.Strategy == PlacementStrategy::BandwidthBalanced) {
     // Equalize per-tier streaming time: place the share of miss traffic
     // matching the fast tier's share of aggregate bandwidth.
@@ -91,11 +230,24 @@ mem::MigrationResult Runtime::optimize() {
     const sim::TierSpec &Slow = Config.Machine.Slow;
     double Share = Fast.BandwidthBytesPerSec /
                    (Fast.BandwidthBytesPerSec + Slow.BandwidthBytesPerSec);
-    LastPlan = analyzer::PlanBuilder::buildBandwidthBalanced(
-        Anal.classify(Registry, Profiler), Budget, Share);
+    LastPlan = analyzer::PlanBuilder::buildBandwidthBalanced(Classes, Budget,
+                                                             Share);
   } else {
-    LastPlan = Anal.plan(Registry, Profiler, Budget);
+    LastPlan = analyzer::PlanBuilder::build(Classes, Budget);
   }
+  auto priorityOf =
+      [&Classes](mem::ObjectId Id) -> const std::vector<double> * {
+    for (const analyzer::ObjectClassification &Cls : Classes)
+      if (Cls.Object == Id)
+        return &Cls.Local.Priority;
+    return nullptr;
+  };
+
+  // Chunks a previous epoch had to leave behind are re-nominated this
+  // epoch alongside the fresh plan.
+  std::vector<SkippedChunk> PrevSkipped = std::move(Skipped);
+  Skipped.clear();
+  std::vector<uint8_t> Consumed(PrevSkipped.size(), 0);
 
   if (Config.DemoteUnselected)
     demoteUnselected(Mig, Result);
@@ -117,11 +269,55 @@ mem::MigrationResult Runtime::optimize() {
           ++C;
         Pending.push_back({Begin, C - Begin});
       }
+    if (!PrevSkipped.empty()) {
+      std::vector<uint8_t> InPending(Obj.numChunks(), 0);
+      for (const mem::ChunkRange &Range : Pending)
+        for (uint32_t C = Range.FirstChunk;
+             C < Range.FirstChunk + Range.NumChunks; ++C)
+          InPending[C] = 1;
+      for (size_t I = 0; I < PrevSkipped.size(); ++I) {
+        if (Consumed[I] || PrevSkipped[I].Object != Obj.id() ||
+            PrevSkipped[I].Target != sim::TierId::Fast)
+          continue;
+        Consumed[I] = 1;
+        appendSlowRuns(Obj, PrevSkipped[I].Range, InPending, Pending);
+      }
+    }
     if (Pending.empty())
       continue;
-    if (!Mig.migrate(Obj, Pending, sim::TierId::Fast, Result))
-      logError("migration of object '%s' hit fast-tier capacity",
-               Obj.name().c_str());
+    promoteWithRecovery(Mig, Obj, std::move(Pending), priorityOf(Obj.id()),
+                        Result);
+  }
+  // Skipped promotions whose object the fresh plan did not select at all
+  // are still re-nominated (the chunks were worth fast-tier placement one
+  // epoch ago and nothing has placed them since).
+  for (size_t I = 0; I < PrevSkipped.size(); ++I) {
+    if (Consumed[I] || PrevSkipped[I].Target != sim::TierId::Fast)
+      continue;
+    mem::ObjectId Id = PrevSkipped[I].Object;
+    bool Live = false;
+    for (const mem::DataObject *Obj : Registry.liveObjects())
+      if (Obj->id() == Id) {
+        Live = true;
+        break;
+      }
+    if (!Live) {
+      Consumed[I] = 1;
+      continue;
+    }
+    mem::DataObject &Obj = Registry.object(Id);
+    std::vector<mem::ChunkRange> Pending;
+    std::vector<uint8_t> InPending(Obj.numChunks(), 0);
+    for (size_t J = I; J < PrevSkipped.size(); ++J) {
+      if (Consumed[J] || PrevSkipped[J].Object != Id ||
+          PrevSkipped[J].Target != sim::TierId::Fast)
+        continue;
+      Consumed[J] = 1;
+      appendSlowRuns(Obj, PrevSkipped[J].Range, InPending, Pending);
+    }
+    if (!Pending.empty())
+      promoteWithRecovery(Mig, Obj, std::move(Pending), priorityOf(Id),
+                          Result);
   }
   logInfo("optimize: moved %llu bytes in %llu ranges, %.3f ms simulated",
           static_cast<unsigned long long>(Result.BytesMoved),
@@ -160,10 +356,104 @@ void Runtime::demoteUnselected(mem::Migrator &Mig,
     }
     if (Demotions.empty())
       continue;
-    if (!Mig.migrate(*Obj, Demotions, sim::TierId::Slow, Result))
+    // Demotions free capacity rather than consume it, so recovery is
+    // retry-only: the next epoch recomputes unselected chunks from
+    // scratch, which re-nominates anything left behind here.
+    std::vector<mem::ChunkRange> Pending = std::move(Demotions);
+    uint32_t Retries = 0;
+    for (;;) {
+      mem::MigrationStatus Status =
+          Mig.migrate(*Obj, Pending, sim::TierId::Slow, Result);
+      if (Status == mem::MigrationStatus::Success)
+        break;
+      std::vector<mem::ChunkRange> Remaining =
+          remainingOnSource(*Obj, Pending, sim::TierId::Fast);
+      if (Remaining.empty())
+        break;
+      if (Status == mem::MigrationStatus::Retryable &&
+          Retries < Config.MigrationMaxRetries) {
+        ++Retries;
+        Result.SimSeconds += Config.MigrationRetryBackoffSec * Retries;
+        countRetry();
+        Pending = std::move(Remaining);
+        continue;
+      }
+      recordSkipped(*Obj, Remaining, sim::TierId::Slow, nullptr);
+      countDegraded(Remaining.size());
       logError("demotion of object '%s' hit slow-tier capacity",
                Obj->name().c_str());
+      break;
+    }
   }
+}
+
+void Runtime::promoteWithRecovery(mem::Migrator &Mig, mem::DataObject &Obj,
+                                  std::vector<mem::ChunkRange> Pending,
+                                  const std::vector<double> *Priorities,
+                                  mem::MigrationResult &Result) {
+  uint32_t Retries = 0;
+  bool Shrunk = false;
+  // Ranges dropped by a capacity shrink, reported together with whatever
+  // the final attempt leaves behind.
+  std::vector<mem::ChunkRange> Abandoned;
+  for (;;) {
+    mem::MigrationStatus Status =
+        Mig.migrate(Obj, Pending, sim::TierId::Fast, Result);
+    if (Status == mem::MigrationStatus::Success) {
+      if (Abandoned.empty())
+        return;
+      recordSkipped(Obj, Abandoned, sim::TierId::Fast, Priorities);
+      countDegraded(Abandoned.size());
+      logError("migration of object '%s' hit fast-tier capacity",
+               Obj.name().c_str());
+      return;
+    }
+    std::vector<mem::ChunkRange> Remaining =
+        remainingOnSource(Obj, Pending, sim::TierId::Slow);
+    if (Status == mem::MigrationStatus::Retryable &&
+        Retries < Config.MigrationMaxRetries) {
+      ++Retries;
+      Result.SimSeconds += Config.MigrationRetryBackoffSec * Retries;
+      countRetry();
+      Pending = std::move(Remaining);
+      continue;
+    }
+    if (Status == mem::MigrationStatus::Degraded && !Shrunk) {
+      // Capacity-bound: keep the highest-priority chunks that fit the
+      // free bytes under this mechanism's capacity model, as single-chunk
+      // ranges (smaller staging granules under pressure).
+      auto [Subset, Dropped] = highestPriorityFit(
+          Obj, Remaining, Mig, M.allocator(sim::TierId::Fast).freeBytes(),
+          Priorities);
+      if (!Subset.empty()) {
+        Abandoned.insert(Abandoned.end(), Dropped.begin(), Dropped.end());
+        Pending = std::move(Subset);
+        Shrunk = true;
+        continue;
+      }
+    }
+    Abandoned.insert(Abandoned.end(), Remaining.begin(), Remaining.end());
+    if (!Abandoned.empty()) {
+      recordSkipped(Obj, Abandoned, sim::TierId::Fast, Priorities);
+      countDegraded(Abandoned.size());
+    }
+    if (Status == mem::MigrationStatus::Retryable)
+      logError("migration of object '%s' abandoned after %u retries",
+               Obj.name().c_str(), Retries);
+    else
+      logError("migration of object '%s' hit fast-tier capacity",
+               Obj.name().c_str());
+    return;
+  }
+}
+
+void Runtime::recordSkipped(const mem::DataObject &Obj,
+                            const std::vector<mem::ChunkRange> &Ranges,
+                            sim::TierId Target,
+                            const std::vector<double> *Priorities) {
+  for (const mem::ChunkRange &Range : Ranges)
+    Skipped.push_back(
+        {Obj.id(), Range, Target, rangePriority(Priorities, Range)});
 }
 
 void Runtime::beginIteration() {

@@ -86,6 +86,14 @@ struct RuntimeConfig {
   /// the newly critical chunks move in. Placement thus *adapts* across
   /// queries (the data-driven behaviour of paper Section 2.2).
   bool DemoteUnselected = true;
+  /// Transient (Retryable) migration failures are retried up to this many
+  /// times before the affected chunks are left on their source tier and
+  /// recorded for the next epoch. Retries model a real runtime backing
+  /// off and re-issuing the move; each costs MigrationRetryBackoffSec of
+  /// simulated time on top of the migration work itself.
+  uint32_t MigrationMaxRetries = 2;
+  /// Simulated back-off added before the Nth retry (linear: N * this).
+  double MigrationRetryBackoffSec = 100e-6;
   /// Host threads the tracked-execution engine uses for parallel kernel
   /// regions (Runtime::parallelTracked). 1 (the default) keeps the serial
   /// engine and is bit-identical to the pre-sharding runtime; T > 1 gives
@@ -100,6 +108,19 @@ struct RuntimeConfig {
 };
 
 template <typename T> class TrackedArray;
+
+/// One planned chunk range that optimize() could not place (capacity
+/// pressure or an unrecovered fault). The runtime keeps the set from the
+/// most recent epoch so the next optimize() re-nominates the chunks
+/// instead of silently forgetting them.
+struct SkippedChunk {
+  mem::ObjectId Object = 0;
+  mem::ChunkRange Range;
+  /// Tier the chunks were headed for when they were skipped.
+  sim::TierId Target = sim::TierId::Fast;
+  /// Highest per-chunk priority (Eq. 1 PR) in the range at skip time.
+  double Priority = 0.0;
+};
 
 /// The ATMem runtime for one simulated testbed.
 class Runtime {
@@ -213,6 +234,12 @@ public:
   /// The most recent plan applied by optimize().
   const analyzer::PlacementPlan &lastPlan() const { return LastPlan; }
 
+  /// Chunks the most recent optimize() planned but could not place. The
+  /// next optimize() merges still-unplaced entries back into its
+  /// promotion work (re-nomination), so capacity pressure defers chunks
+  /// instead of dropping them.
+  const std::vector<SkippedChunk> &skippedChunks() const { return Skipped; }
+
   sim::Machine &machine() { return M; }
   mem::DataObjectRegistry &registry() { return Registry; }
   prof::SamplingProfiler &profiler() { return Profiler; }
@@ -226,6 +253,22 @@ private:
   /// Migrates fast-resident chunks that LastPlan no longer selects back
   /// to the slow tier (the adaptive re-optimization path).
   void demoteUnselected(mem::Migrator &Mig, mem::MigrationResult &Result);
+
+  /// Promotes \p Pending to the fast tier with graceful degradation:
+  /// transient failures get bounded retry-with-backoff, capacity
+  /// exhaustion shrinks the work to the highest-priority chunks that fit
+  /// (\p Priorities indexes per-chunk Eq. 1 PR; may be null), and
+  /// whatever remains unplaced lands in the skipped set.
+  void promoteWithRecovery(mem::Migrator &Mig, mem::DataObject &Obj,
+                           std::vector<mem::ChunkRange> Pending,
+                           const std::vector<double> *Priorities,
+                           mem::MigrationResult &Result);
+
+  /// Records \p Ranges of \p Obj as skipped on the way to \p Target.
+  void recordSkipped(const mem::DataObject &Obj,
+                     const std::vector<mem::ChunkRange> &Ranges,
+                     sim::TierId Target,
+                     const std::vector<double> *Priorities);
 
   /// Merges shard stats into Stats and replays buffered misses through
   /// the profiler / trace / TLB consumers, in thread-index order.
@@ -248,6 +291,8 @@ private:
   mem::AtmemMigrator AtmemMig;
   mem::MbindMigrator MbindMig;
   analyzer::PlacementPlan LastPlan;
+  /// Planned-but-unplaced chunks from the most recent optimize().
+  std::vector<SkippedChunk> Skipped;
   sim::AccessStats Stats;
   /// One shard per SimThread when SimThreads > 1 (else empty).
   std::vector<std::unique_ptr<SimContext>> Contexts;

@@ -1,0 +1,149 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ATMem reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Process-wide deterministic fault injection. Named *sites* mark failure
+/// points in library code (a staging allocation, a page-table remap, a
+/// worker-thread spawn); test code or a `--fault-spec` string *arms* a site
+/// with a trigger plan, and the site then reports "fail now" on the matching
+/// hits. The design mirrors atmem::obs: when nothing is armed — the default
+/// in every production run — a site check costs exactly one relaxed atomic
+/// load and a branch, so instrumented code paths stay byte-identical in
+/// behaviour and essentially free.
+///
+/// Site names form a stable dotted catalogue (`migrator.staging_alloc`,
+/// `migrator.remap`, `mbind.move_page`, `addrspace.alloc`,
+/// `threadpool.spawn`, `io.read`, ...) documented in
+/// docs/fault-injection.md together with the `--fault-spec` grammar:
+///
+///   spec    := entry (',' entry)*
+///   entry   := site '=' trigger
+///   trigger := 'nth:' N            fire exactly on the Nth hit (1-based)
+///            | 'every:' K          fire on every Kth hit
+///            | 'prob:' P [':' S]   fire with probability P (seeded PRNG)
+///
+/// All triggers are deterministic: the probability mode draws from a
+/// per-site Xoshiro256 stream seeded by S (default 1), so a failing
+/// schedule replays exactly from the spec alone.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ATMEM_FAULT_FAULTINJECTION_H
+#define ATMEM_FAULT_FAULTINJECTION_H
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace atmem {
+namespace fault {
+
+namespace detail {
+extern std::atomic<bool> GArmed;
+} // namespace detail
+
+/// True when at least one site is armed. Inline so the disarmed fast path
+/// compiles to one relaxed load plus a branch.
+inline bool anyArmed() {
+  return detail::GArmed.load(std::memory_order_relaxed);
+}
+
+/// How an armed site decides which hits fail.
+enum class Trigger {
+  Nth,         ///< Fire exactly on the Nth hit since arming, once.
+  EveryKth,    ///< Fire on every Kth hit since arming.
+  Probability, ///< Fire on each hit with probability P (seeded PRNG).
+};
+
+/// One site's armed trigger plan.
+struct FaultPlan {
+  Trigger Mode = Trigger::Nth;
+  /// The N of Nth / the K of EveryKth (1-based; 1 = first hit / every hit).
+  uint64_t N = 1;
+  /// The P of Probability, in [0, 1].
+  double P = 0.0;
+  /// PRNG seed for Probability (a spec replays exactly from site + plan).
+  uint64_t Seed = 1;
+};
+
+/// The process-wide site registry. Instrumentation points use the Site
+/// handle below; tests and the spec parser arm and inspect sites by name.
+/// Arming/inspection is mutex-protected; hit evaluation takes the same
+/// mutex but only ever runs when something is armed.
+class FaultRegistry {
+public:
+  static FaultRegistry &instance();
+
+  /// Registers \p Name (idempotent) and returns its dense id.
+  uint32_t siteId(const std::string &Name);
+
+  /// Records a hit on site \p Id and returns true when the armed plan says
+  /// this hit fails. Always false for unarmed sites (the hit still counts).
+  bool shouldFail(uint32_t Id);
+
+  /// Arms \p SiteName (registering it if needed) with \p Plan. Hit and
+  /// fire counts reset so trigger positions are relative to arming.
+  void arm(const std::string &SiteName, const FaultPlan &Plan);
+
+  /// Disarms one site (its counts stay readable until the next arm).
+  void disarm(const std::string &SiteName);
+
+  /// Disarms every site and clears the process-wide armed flag.
+  void disarmAll();
+
+  /// Hits recorded on \p SiteName since it was last armed (0 if never hit
+  /// or unknown). Hits are only recorded while anyArmed() is true.
+  uint64_t hits(const std::string &SiteName) const;
+
+  /// Injected failures fired by \p SiteName since it was last armed.
+  uint64_t fires(const std::string &SiteName) const;
+
+  /// Every registered site name, sorted (the runtime catalogue).
+  std::vector<std::string> registeredSites() const;
+
+private:
+  FaultRegistry();
+  struct Impl;
+  Impl *I;
+};
+
+/// A named fault-injection point. Construction registers the name once;
+/// shouldFail() is the hot-path check.
+class Site {
+public:
+  explicit Site(const char *Name)
+      : Id(FaultRegistry::instance().siteId(Name)) {}
+
+  /// True when the site is armed and the current hit must fail.
+  bool shouldFail() const {
+    if (!anyArmed())
+      return false;
+    return FaultRegistry::instance().shouldFail(Id);
+  }
+
+private:
+  uint32_t Id;
+};
+
+/// Parses a `--fault-spec` string (grammar above) and arms every listed
+/// site. Returns false without arming anything when \p Spec is malformed,
+/// storing a diagnostic in \p Error when non-null.
+bool armFromSpec(std::string_view Spec, std::string *Error = nullptr);
+
+/// Arms from the ATMEM_FAULT_SPEC environment variable when it is set and
+/// non-empty. Returns false only on a malformed spec.
+bool armFromEnvironment(std::string *Error = nullptr);
+
+/// One-line grammar reminder for --help text.
+const char *faultSpecHelp();
+
+} // namespace fault
+} // namespace atmem
+
+#endif // ATMEM_FAULT_FAULTINJECTION_H

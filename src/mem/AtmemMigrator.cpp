@@ -1,9 +1,9 @@
 #include "mem/AtmemMigrator.h"
 
+#include "fault/FaultInjection.h"
 #include "obs/Telemetry.h"
 #include "obs/Trace.h"
 #include "sim/Machine.h"
-#include "support/Error.h"
 
 #include <cstring>
 #include <memory>
@@ -21,13 +21,49 @@ void countDirection(sim::TierId Target, uint64_t Bytes) {
   (Target == sim::TierId::Fast ? ToFast : ToSlow).add(Bytes);
 }
 
+void countRollback() {
+  if (obs::enabled()) {
+    static obs::Counter RolledBack("migration.rolled_back");
+    RolledBack.add(1);
+  }
+}
+
+fault::Site StagingAllocFault("migrator.staging_alloc");
+fault::Site RemapFault("migrator.remap");
+
 } // namespace
 
 Migrator::~Migrator() = default;
 
-bool AtmemMigrator::migrate(DataObject &Obj,
-                            const std::vector<ChunkRange> &Ranges,
-                            sim::TierId Target, MigrationResult &Result) {
+const char *mem::migrationStatusName(MigrationStatus Status) {
+  switch (Status) {
+  case MigrationStatus::Success:
+    return "success";
+  case MigrationStatus::Retryable:
+    return "retryable";
+  case MigrationStatus::Degraded:
+    return "degraded";
+  case MigrationStatus::Failed:
+    return "failed";
+  }
+  return "unknown";
+}
+
+uint64_t Migrator::capacityNeeded(uint64_t PayloadBytes, uint64_t) const {
+  return PayloadBytes;
+}
+
+uint64_t AtmemMigrator::capacityNeeded(uint64_t PayloadBytes,
+                                       uint64_t MaxRangeBytes) const {
+  // The staging buffer and the remapped frames coexist at the stage (b)
+  // peak; ranges are processed one at a time, so the peak is per-range.
+  return PayloadBytes + MaxRangeBytes;
+}
+
+MigrationStatus AtmemMigrator::migrate(DataObject &Obj,
+                                       const std::vector<ChunkRange> &Ranges,
+                                       sim::TierId Target,
+                                       MigrationResult &Result) {
   sim::Machine &M = Registry.machine();
   sim::PageTable &PT = M.pageTable();
   const sim::MigrationCostModel &Cost = M.migrationModel();
@@ -43,8 +79,9 @@ bool AtmemMigrator::migrate(DataObject &Obj,
     MaxRangeBytes = std::max(MaxRangeBytes, Len);
     IncomingBytes += Len;
   }
-  if (M.allocator(Target).freeBytes() < IncomingBytes + MaxRangeBytes)
-    return false;
+  if (M.allocator(Target).freeBytes() < capacityNeeded(IncomingBytes,
+                                                       MaxRangeBytes))
+    return MigrationStatus::Degraded;
 
   for (const ChunkRange &Range : Ranges) {
     auto [Begin, End] = Obj.rangeBytes(Range);
@@ -57,10 +94,15 @@ bool AtmemMigrator::migrate(DataObject &Obj,
     obs::SpanScope RangeSpan("migrator.range", "migrator");
 
     // Stage (a): map a staging buffer on the target tier and copy the live
-    // bytes into it with the worker pool.
+    // bytes into it with the worker pool. A failure here needs no rollback:
+    // nothing was mapped, the source range is untouched, and every range
+    // committed before this one stays committed.
     uint64_t StagingVa = Registry.reserveScratchVa(Len);
-    if (!PT.mapRegion(StagingVa, Len, Target, /*PreferHuge=*/true))
-      reportFatalError("staging allocation failed despite capacity check");
+    if (StagingAllocFault.shouldFail() ||
+        !PT.mapRegion(StagingVa, Len, Target, /*PreferHuge=*/true)) {
+      countRollback();
+      return MigrationStatus::Retryable;
+    }
     auto Staging = std::make_unique<std::byte[]>(Len);
     std::byte *Live = Obj.data() + Begin;
     std::byte *Stage = Staging.get();
@@ -72,12 +114,18 @@ bool AtmemMigrator::migrate(DataObject &Obj,
     }
 
     // Stage (b): rebind the virtual range to fresh target frames. Virtual
-    // addresses are untouched; huge pages re-form where aligned.
+    // addresses are untouched; huge pages re-form where aligned. On failure
+    // remapRange leaves the source mapping in place, so rolling back means
+    // just unmapping the staging buffer.
     uint64_t Ptes = 0;
     {
       obs::SpanScope Remap("migrator.remap", "migrator");
-      if (!PT.remapRange(RangeVa, Len, Target, /*PreferHuge=*/true, &Ptes))
-        reportFatalError("remap failed despite capacity check");
+      if (RemapFault.shouldFail() ||
+          !PT.remapRange(RangeVa, Len, Target, /*PreferHuge=*/true, &Ptes)) {
+        PT.unmapRegion(StagingVa, Len);
+        countRollback();
+        return MigrationStatus::Retryable;
+      }
     }
 
     // Stage (c): drain the staging buffer back into the range.
@@ -128,5 +176,5 @@ bool AtmemMigrator::migrate(DataObject &Obj,
           .arg("copy_out_sim_us", Stages.DrainSec * 1e6);
     }
   }
-  return true;
+  return MigrationStatus::Success;
 }

@@ -38,8 +38,13 @@ public:
 
   std::string name() const override { return "atmem"; }
 
-  bool migrate(DataObject &Obj, const std::vector<ChunkRange> &Ranges,
-               sim::TierId Target, MigrationResult &Result) override;
+  MigrationStatus migrate(DataObject &Obj,
+                          const std::vector<ChunkRange> &Ranges,
+                          sim::TierId Target,
+                          MigrationResult &Result) override;
+
+  uint64_t capacityNeeded(uint64_t PayloadBytes,
+                          uint64_t MaxRangeBytes) const override;
 
 private:
   DataObjectRegistry &Registry;

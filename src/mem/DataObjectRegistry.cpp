@@ -1,14 +1,33 @@
 #include "mem/DataObjectRegistry.h"
 
+#include "fault/FaultInjection.h"
 #include "support/Error.h"
 
 using namespace atmem;
 using namespace atmem::mem;
 
+namespace {
+
+fault::Site AllocFault("addrspace.alloc");
+
+} // namespace
+
 DataObject &DataObjectRegistry::create(const std::string &Name,
                                        uint64_t SizeBytes,
                                        InitialPlacement Placement,
                                        uint64_t ChunkBytesOverride) {
+  DataObject *Obj = tryCreate(Name, SizeBytes, Placement, ChunkBytesOverride);
+  if (!Obj)
+    reportFatalError("initial tier exhausted while registering " + Name);
+  return *Obj;
+}
+
+DataObject *DataObjectRegistry::tryCreate(const std::string &Name,
+                                          uint64_t SizeBytes,
+                                          InitialPlacement Placement,
+                                          uint64_t ChunkBytesOverride) {
+  if (AllocFault.shouldFail())
+    return nullptr;
   uint64_t ChunkBytes = ChunkBytesOverride != 0
                             ? ChunkBytesOverride
                             : adaptiveChunkBytes(SizeBytes);
@@ -22,13 +41,13 @@ DataObject &DataObjectRegistry::create(const std::string &Name,
   case InitialPlacement::Slow:
     if (!PT.mapRegion(Va, Obj->mappedBytes(), sim::TierId::Slow,
                       /*PreferHuge=*/true))
-      reportFatalError("slow tier exhausted while registering " + Name);
+      return nullptr;
     Obj->setAllChunkTiers(sim::TierId::Slow);
     break;
   case InitialPlacement::Fast:
     if (!PT.mapRegion(Va, Obj->mappedBytes(), sim::TierId::Fast,
                       /*PreferHuge=*/true))
-      reportFatalError("fast tier exhausted while registering " + Name);
+      return nullptr;
     Obj->setAllChunkTiers(sim::TierId::Fast);
     break;
   case InitialPlacement::PreferredFast:
@@ -51,7 +70,7 @@ DataObject &DataObjectRegistry::create(const std::string &Name,
     break;
   }
   }
-  DataObject &Ref = *Obj;
+  DataObject *Ref = Obj.get();
   Objects.push_back(std::move(Obj));
   return Ref;
 }

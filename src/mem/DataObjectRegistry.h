@@ -48,10 +48,19 @@ public:
 
   /// Registers an object of \p SizeBytes named \p Name. Chunk size is
   /// chosen adaptively unless \p ChunkBytesOverride is non-zero. The
-  /// backing pages are mapped per \p Placement. Returns the new object.
+  /// backing pages are mapped per \p Placement. Aborts when the initial
+  /// tier cannot hold the object; use tryCreate() to handle that case.
   DataObject &create(const std::string &Name, uint64_t SizeBytes,
                      InitialPlacement Placement,
                      uint64_t ChunkBytesOverride = 0);
+
+  /// Like create(), but returns nullptr (registering nothing) when the
+  /// initial tier lacks capacity or the `addrspace.alloc` fault site
+  /// fires. The Slow/Fast placements are all-or-nothing; the Preferred/
+  /// Interleaved policies overflow instead of failing.
+  DataObject *tryCreate(const std::string &Name, uint64_t SizeBytes,
+                        InitialPlacement Placement,
+                        uint64_t ChunkBytesOverride = 0);
 
   /// Unmaps and destroys the object identified by \p Id.
   void destroy(ObjectId Id);
@@ -74,6 +83,7 @@ public:
   uint64_t totalBytesOn(sim::TierId Tier) const;
 
   sim::Machine &machine() { return M; }
+  const sim::Machine &machine() const { return M; }
 
   /// Reserves a scratch virtual range (e.g. for a migration staging
   /// buffer) from the same address space as the data objects, so scratch

@@ -1,18 +1,27 @@
 #include "mem/MbindMigrator.h"
 
+#include "fault/FaultInjection.h"
 #include "obs/Telemetry.h"
 #include "sim/Machine.h"
 
 using namespace atmem;
 using namespace atmem::mem;
 
-bool MbindMigrator::migrate(DataObject &Obj,
-                            const std::vector<ChunkRange> &Ranges,
-                            sim::TierId Target, MigrationResult &Result) {
+namespace {
+
+fault::Site MovePageFault("mbind.move_page");
+
+} // namespace
+
+MigrationStatus MbindMigrator::migrate(DataObject &Obj,
+                                       const std::vector<ChunkRange> &Ranges,
+                                       sim::TierId Target,
+                                       MigrationResult &Result) {
   sim::Machine &M = Registry.machine();
   sim::PageTable &PT = M.pageTable();
   const sim::MigrationCostModel &Cost = M.migrationModel();
 
+  uint64_t TotalBytesMoved = 0;
   for (const ChunkRange &Range : Ranges) {
     auto [Begin, End] = Obj.rangeBytes(Range);
     if (Begin >= End)
@@ -24,7 +33,8 @@ bool MbindMigrator::migrate(DataObject &Obj,
     bool Failed = false;
     for (uint64_t Off = Begin; Off < End; Off += sim::SmallPageBytes) {
       bool Split = false;
-      if (!PT.movePage(Obj.va() + Off, Target, &Split)) {
+      if (MovePageFault.shouldFail() ||
+          !PT.movePage(Obj.va() + Off, Target, &Split)) {
         Failed = true;
         break;
       }
@@ -36,6 +46,7 @@ bool MbindMigrator::migrate(DataObject &Obj,
     // physical move); only the mapping and the cost change.
 
     uint64_t BytesMoved = PagesMoved * sim::SmallPageBytes;
+    TotalBytesMoved += BytesMoved;
     sim::MigrationWork Work;
     Work.Bytes = BytesMoved;
     Work.PtesTouched = PagesMoved;
@@ -65,8 +76,11 @@ bool MbindMigrator::migrate(DataObject &Obj,
       if (CEnd <= Begin + BytesMoved)
         Obj.setChunkTier(C, Target);
     }
+    // The real service stops at the first page it cannot move; progress up
+    // to here is kept (pages do not move back).
     if (Failed)
-      return false;
+      return TotalBytesMoved > 0 ? MigrationStatus::Degraded
+                                 : MigrationStatus::Failed;
   }
-  return true;
+  return MigrationStatus::Success;
 }

@@ -31,8 +31,10 @@ public:
 
   std::string name() const override { return "mbind"; }
 
-  bool migrate(DataObject &Obj, const std::vector<ChunkRange> &Ranges,
-               sim::TierId Target, MigrationResult &Result) override;
+  MigrationStatus migrate(DataObject &Obj,
+                          const std::vector<ChunkRange> &Ranges,
+                          sim::TierId Target,
+                          MigrationResult &Result) override;
 
 private:
   DataObjectRegistry &Registry;

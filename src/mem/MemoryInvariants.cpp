@@ -1,0 +1,128 @@
+#include "mem/MemoryInvariants.h"
+
+#include "mem/DataObjectRegistry.h"
+#include "sim/Machine.h"
+
+#include <unordered_set>
+
+using namespace atmem;
+using namespace atmem::mem;
+
+namespace {
+
+bool fail(std::string *Why, const std::string &Message) {
+  if (Why)
+    *Why = Message;
+  return false;
+}
+
+const char *tierLabel(sim::TierId Tier) {
+  return Tier == sim::TierId::Fast ? "fast" : "slow";
+}
+
+/// Frame exactness for one tier: allocator self-consistency, then the
+/// page-table-mapped frames and the free-list frames must partition
+/// [0, nextFrame()) with no overlap and no gap.
+bool checkTierFrames(const sim::PageTable &PT, sim::TierId Tier,
+                     std::string *Why) {
+  const sim::FrameAllocator &Alloc = PT.allocator(Tier);
+  std::string AllocWhy;
+  if (!Alloc.selfCheck(&AllocWhy))
+    return fail(Why, "allocator self-check: " + AllocWhy);
+
+  std::unordered_set<uint64_t> Owned;
+  uint64_t MappedBytes = 0;
+  bool Ok = true;
+  std::string Local;
+  PT.forEachMapping([&](const sim::Translation &T) {
+    if (!Ok || T.Tier != Tier)
+      return;
+    MappedBytes += T.PageBytes;
+    for (uint64_t F = T.FrameBase;
+         F < T.FrameBase + T.PageBytes / sim::SmallPageBytes; ++F) {
+      if (F >= Alloc.nextFrame()) {
+        Local = "mapped frame beyond bump pointer on tier " +
+                std::string(tierLabel(Tier));
+        Ok = false;
+        return;
+      }
+      if (!Owned.insert(F).second) {
+        Local = "frame " + std::to_string(F) + " mapped twice on tier " +
+                std::string(tierLabel(Tier));
+        Ok = false;
+        return;
+      }
+    }
+  });
+  if (!Ok)
+    return fail(Why, Local);
+
+  if (MappedBytes != Alloc.usedBytes())
+    return fail(Why, "tier " + std::string(tierLabel(Tier)) + ": page table "
+                "maps " + std::to_string(MappedBytes) + " bytes but "
+                "allocator has " + std::to_string(Alloc.usedBytes()) +
+                " in use (leaked or double-freed frames)");
+  if (MappedBytes != PT.mappedBytesOn(Tier))
+    return fail(Why, "tier " + std::string(tierLabel(Tier)) +
+                ": MappedBytes accounting drifted from live mappings");
+
+  for (uint64_t F : Alloc.freeSmallFrames())
+    if (!Owned.insert(F).second)
+      return fail(Why, "frame " + std::to_string(F) + " both mapped and "
+                  "free on tier " + tierLabel(Tier));
+  for (uint64_t Base : Alloc.freeHugeFrames())
+    for (uint64_t I = 0; I < sim::FramesPerHugeBlock; ++I)
+      if (!Owned.insert(Base + I).second)
+        return fail(Why, "frame " + std::to_string(Base + I) + " both "
+                    "mapped and free on tier " + tierLabel(Tier));
+  if (Owned.size() != Alloc.nextFrame())
+    return fail(Why, "tier " + std::string(tierLabel(Tier)) + ": " +
+                std::to_string(Alloc.nextFrame() - Owned.size()) +
+                " touched frames neither mapped nor free (leak)");
+  return true;
+}
+
+/// ATMem chunk alignment: every page of every chunk is mapped on the
+/// chunk's recorded tier.
+bool checkChunkTiers(const DataObjectRegistry &Registry, std::string *Why) {
+  const sim::PageTable &PT = Registry.machine().pageTable();
+  for (const DataObject *Obj : Registry.liveObjects()) {
+    for (uint32_t C = 0; C < Obj->numChunks(); ++C) {
+      auto [Begin, End] = Obj->rangeBytes({C, 1});
+      sim::TierId Expect = Obj->chunkTier(C);
+      for (uint64_t Off = Begin; Off < End; Off += sim::SmallPageBytes) {
+        sim::Translation T;
+        if (!PT.translate(Obj->va() + Off, T))
+          return fail(Why, "object '" + Obj->name() + "' chunk " +
+                      std::to_string(C) + " has an unmapped page");
+        if (T.Tier != Expect)
+          return fail(Why, "object '" + Obj->name() + "' chunk " +
+                      std::to_string(C) + " recorded on " +
+                      tierLabel(Expect) + " but a page sits on " +
+                      tierLabel(T.Tier));
+      }
+    }
+  }
+  for (sim::TierId Tier : {sim::TierId::Fast, sim::TierId::Slow}) {
+    uint64_t ObjectBytes = Registry.totalBytesOn(Tier);
+    uint64_t TableBytes = PT.mappedBytesOn(Tier);
+    if (ObjectBytes != TableBytes)
+      return fail(Why, "tier " + std::string(tierLabel(Tier)) + ": objects "
+                  "account " + std::to_string(ObjectBytes) + " bytes but "
+                  "the page table maps " + std::to_string(TableBytes));
+  }
+  return true;
+}
+
+} // namespace
+
+bool mem::checkMemoryInvariants(const DataObjectRegistry &Registry,
+                                InvariantLevel Level, std::string *Why) {
+  const sim::PageTable &PT = Registry.machine().pageTable();
+  for (sim::TierId Tier : {sim::TierId::Fast, sim::TierId::Slow})
+    if (!checkTierFrames(PT, Tier, Why))
+      return false;
+  if (Level == InvariantLevel::Full && !checkChunkTiers(Registry, Why))
+    return false;
+  return true;
+}

@@ -1,0 +1,56 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ATMem reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cross-layer consistency checker over the simulated memory system. After
+/// any sequence of migrations — including ones that failed, rolled back,
+/// or were injected with faults — the PageTable, the per-tier
+/// FrameAllocators, and the DataObject tier accounting must still agree.
+/// The fault-injection tests call this after every faulted pipeline run to
+/// prove that graceful degradation never leaks or double-frees a simulated
+/// frame.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ATMEM_MEM_MEMORYINVARIANTS_H
+#define ATMEM_MEM_MEMORYINVARIANTS_H
+
+#include <string>
+
+namespace atmem {
+namespace mem {
+
+class DataObjectRegistry;
+
+/// How deep the consistency check goes.
+enum class InvariantLevel {
+  /// Frame exactness only: each allocator's internal identity holds, and
+  /// per tier the page-table-mapped frames plus the free-list frames
+  /// partition the touched frame range exactly — no frame leaked, none
+  /// owned twice. Valid in every state, including after partial
+  /// mbind-style moves.
+  Frames,
+  /// Frames plus ATMem's chunk alignment invariant: every page of every
+  /// chunk sits on the chunk's recorded tier, and per-tier object byte
+  /// totals equal the page table's mapped bytes. Only meaningful when all
+  /// placements are whole-chunk (Slow/Fast initial placement plus
+  /// atmem-mechanism migrations); partial mbind moves legitimately leave
+  /// mixed chunks, so use Frames there.
+  Full,
+};
+
+/// Verifies the invariants of \p Level over \p Registry's machine and live
+/// objects. Returns false on the first violation, describing it in \p Why
+/// when non-null. Expects a quiescent system (no staging buffer mapped).
+bool checkMemoryInvariants(const DataObjectRegistry &Registry,
+                           InvariantLevel Level = InvariantLevel::Full,
+                           std::string *Why = nullptr);
+
+} // namespace mem
+} // namespace atmem
+
+#endif // ATMEM_MEM_MEMORYINVARIANTS_H

@@ -33,6 +33,23 @@
 namespace atmem {
 namespace mem {
 
+/// How a migrate() call ended. Anything other than Success means some
+/// requested chunks stayed on their source tier; the counters in
+/// MigrationResult say how far the call got.
+enum class MigrationStatus {
+  Success,   ///< Every requested range committed to the target tier.
+  Retryable, ///< A transient mid-stage failure was rolled back; earlier
+             ///< ranges committed, the faulted range is intact on its
+             ///< source tier, and an immediate retry may succeed.
+  Degraded,  ///< Target capacity was insufficient; the mechanism moved
+             ///< what it could (possibly nothing) and retrying without
+             ///< freeing capacity will not help.
+  Failed,    ///< No progress was made and none is possible.
+};
+
+/// Lower-case status name for logs and test diagnostics.
+const char *migrationStatusName(MigrationStatus Status);
+
 /// Outcome of one migrate() call.
 struct MigrationResult {
   uint64_t BytesMoved = 0;     ///< Payload bytes relocated across tiers.
@@ -60,12 +77,22 @@ public:
   virtual std::string name() const = 0;
 
   /// Moves the chunks of \p Obj covered by \p Ranges onto \p Target.
-  /// Returns false when target capacity was insufficient; AtmemMigrator
-  /// leaves the object untouched in that case, MbindMigrator may have
-  /// moved a prefix (mirroring the partial semantics of the real service).
-  /// \p Result accumulates (does not reset) counters.
-  virtual bool migrate(DataObject &Obj, const std::vector<ChunkRange> &Ranges,
-                       sim::TierId Target, MigrationResult &Result) = 0;
+  /// Never aborts: capacity exhaustion and injected faults surface as a
+  /// non-Success status. AtmemMigrator commits whole ranges atomically
+  /// (a failed range rolls back to its source tier); MbindMigrator may
+  /// leave a moved prefix (mirroring the partial semantics of the real
+  /// service). \p Result accumulates (does not reset) counters.
+  virtual MigrationStatus migrate(DataObject &Obj,
+                                  const std::vector<ChunkRange> &Ranges,
+                                  sim::TierId Target,
+                                  MigrationResult &Result) = 0;
+
+  /// Free bytes the mechanism needs on the target tier to migrate a plan
+  /// of \p PayloadBytes total whose largest single range is
+  /// \p MaxRangeBytes. The default assumes in-place page moves (payload
+  /// only); AtmemMigrator adds staging headroom.
+  virtual uint64_t capacityNeeded(uint64_t PayloadBytes,
+                                  uint64_t MaxRangeBytes) const;
 };
 
 } // namespace mem

@@ -1,17 +1,36 @@
 #include "mem/ThreadPool.h"
 
+#include "fault/FaultInjection.h"
+
 #include <algorithm>
 #include <atomic>
 #include <cassert>
+#include <system_error>
 
 using namespace atmem;
 using namespace atmem::mem;
 
+namespace {
+
+fault::Site SpawnFault("threadpool.spawn");
+
+} // namespace
+
 ThreadPool::ThreadPool(uint32_t Threads) {
   uint32_t Count = std::max<uint32_t>(Threads, 1);
   Workers.reserve(Count);
-  for (uint32_t I = 0; I < Count; ++I)
-    Workers.emplace_back([this] { workerLoop(); });
+  for (uint32_t I = 0; I < Count; ++I) {
+    // A failed spawn (injected, or real resource exhaustion) degrades the
+    // pool rather than killing the process; parallelFor falls back to
+    // inline execution when no worker came up at all.
+    if (SpawnFault.shouldFail())
+      continue;
+    try {
+      Workers.emplace_back([this] { workerLoop(); });
+    } catch (const std::system_error &) {
+      break;
+    }
+  }
 }
 
 ThreadPool::~ThreadPool() {
@@ -50,6 +69,10 @@ void ThreadPool::parallelForThreaded(uint64_t Begin, uint64_t End,
                                      const ThreadedBody &Body) {
   if (Begin >= End)
     return;
+  if (Workers.empty()) {
+    Body(0, Begin, End);
+    return;
+  }
   uint64_t Total = End - Begin;
   if (ChunkSize == 0)
     ChunkSize = std::max<uint64_t>(Total / (Workers.size() * 8), 1);

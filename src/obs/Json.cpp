@@ -1,5 +1,7 @@
 #include "obs/Json.h"
 
+#include "fault/FaultInjection.h"
+
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
@@ -28,6 +30,14 @@ const JsonValue *JsonValue::findString(std::string_view Key) const {
 
 namespace {
 
+fault::Site ReadFault("io.read");
+
+/// Containers deeper than this are rejected rather than parsed: the
+/// recursive-descent parser (and the parsed tree's destructor) consume
+/// stack proportional to nesting depth, so adversarial input must be cut
+/// off long before the stack is.
+constexpr size_t MaxDepth = 256;
+
 class Parser {
 public:
   Parser(std::string_view Text, std::string *Error)
@@ -47,6 +57,7 @@ private:
   std::string_view Text;
   std::string *Error;
   size_t Pos = 0;
+  size_t Depth = 0;
 
   bool fail(const std::string &Message) {
     if (Error)
@@ -211,11 +222,15 @@ private:
   }
 
   bool parseArray(JsonValue &Out) {
+    if (++Depth > MaxDepth)
+      return fail("nesting too deep");
     Out.K = JsonValue::Kind::Array;
     ++Pos; // '['
     skipWs();
-    if (consume(']'))
+    if (consume(']')) {
+      --Depth;
       return true;
+    }
     for (;;) {
       JsonValue Element;
       skipWs();
@@ -223,19 +238,25 @@ private:
         return false;
       Out.Array.push_back(std::move(Element));
       skipWs();
-      if (consume(']'))
+      if (consume(']')) {
+        --Depth;
         return true;
+      }
       if (!consume(','))
         return fail("expected ',' or ']' in array");
     }
   }
 
   bool parseObject(JsonValue &Out) {
+    if (++Depth > MaxDepth)
+      return fail("nesting too deep");
     Out.K = JsonValue::Kind::Object;
     ++Pos; // '{'
     skipWs();
-    if (consume('}'))
+    if (consume('}')) {
+      --Depth;
       return true;
+    }
     for (;;) {
       skipWs();
       std::string Key;
@@ -250,8 +271,10 @@ private:
         return false;
       Out.Object.emplace_back(std::move(Key), std::move(Value));
       skipWs();
-      if (consume('}'))
+      if (consume('}')) {
+        --Depth;
         return true;
+      }
       if (!consume(','))
         return fail("expected ',' or '}' in object");
     }
@@ -277,8 +300,21 @@ bool obs::parseJsonFile(const std::string &Path, JsonValue &Out,
   std::string Text;
   char Buf[4096];
   size_t N;
-  while ((N = std::fread(Buf, 1, sizeof(Buf), In)) > 0)
+  while ((N = std::fread(Buf, 1, sizeof(Buf), In)) > 0) {
+    if (ReadFault.shouldFail()) {
+      std::fclose(In);
+      if (Error)
+        *Error = "read error on '" + Path + "' (injected)";
+      return false;
+    }
     Text.append(Buf, N);
+  }
+  bool ReadError = std::ferror(In) != 0;
   std::fclose(In);
+  if (ReadError) {
+    if (Error)
+      *Error = "read error on '" + Path + "'";
+    return false;
+  }
   return parseJson(Text, Out, Error);
 }

@@ -1,6 +1,7 @@
 #include "sim/FrameAllocator.h"
 
 #include <cassert>
+#include <unordered_set>
 
 using namespace atmem;
 using namespace atmem::sim;
@@ -59,6 +60,47 @@ void FrameAllocator::freeHuge(uint64_t BaseFrame) {
   assert(UsedBytes >= HugePageBytes && "double free on tier");
   UsedBytes -= HugePageBytes;
   FreeHuge.push_back(BaseFrame);
+}
+
+bool FrameAllocator::selfCheck(std::string *Why) const {
+  auto Fail = [&](const std::string &Message) {
+    if (Why)
+      *Why = std::string("tier ") + (Tier == TierId::Fast ? "fast" : "slow") +
+             ": " + Message;
+    return false;
+  };
+  if (UsedBytes > CapacityBytes)
+    return Fail("used " + std::to_string(UsedBytes) + " exceeds capacity " +
+                std::to_string(CapacityBytes));
+  if (NextFrame % FramesPerHugeBlock != 0)
+    return Fail("bump pointer not huge-aligned");
+  // Every free frame must be unique and inside the touched region, and
+  // free bytes + used bytes must exactly cover what the bump pointer
+  // handed out — anything else is a leak or a double free.
+  std::unordered_set<uint64_t> Seen;
+  for (uint64_t Frame : FreeSmall) {
+    if (Frame >= NextFrame)
+      return Fail("free small frame beyond bump pointer");
+    if (!Seen.insert(Frame).second)
+      return Fail("frame " + std::to_string(Frame) + " on free list twice");
+  }
+  for (uint64_t Base : FreeHuge) {
+    if (Base % FramesPerHugeBlock != 0)
+      return Fail("misaligned free huge block");
+    if (Base + FramesPerHugeBlock > NextFrame)
+      return Fail("free huge block beyond bump pointer");
+    for (uint64_t I = 0; I < FramesPerHugeBlock; ++I)
+      if (!Seen.insert(Base + I).second)
+        return Fail("frame " + std::to_string(Base + I) +
+                    " on free list twice");
+  }
+  uint64_t FreeListBytes = static_cast<uint64_t>(Seen.size()) * SmallPageBytes;
+  uint64_t TouchedBytes = NextFrame * SmallPageBytes;
+  if (UsedBytes + FreeListBytes != TouchedBytes)
+    return Fail("used " + std::to_string(UsedBytes) + " + free " +
+                std::to_string(FreeListBytes) + " != touched " +
+                std::to_string(TouchedBytes));
+  return true;
 }
 
 void FrameAllocator::splitHuge(uint64_t BaseFrame) {

@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 namespace atmem {
@@ -63,6 +64,18 @@ public:
   uint64_t capacityBytes() const { return CapacityBytes; }
   uint64_t usedBytes() const { return UsedBytes; }
   uint64_t freeBytes() const { return CapacityBytes - UsedBytes; }
+
+  /// Bump pointer: frames in [0, nextFrame()) have been touched at least
+  /// once; everything beyond is pristine.
+  uint64_t nextFrame() const { return NextFrame; }
+  const std::vector<uint64_t> &freeSmallFrames() const { return FreeSmall; }
+  const std::vector<uint64_t> &freeHugeFrames() const { return FreeHuge; }
+
+  /// Verifies the allocator's internal identity: every touched frame is
+  /// either free or accounted in UsedBytes, nothing is free twice, and
+  /// occupancy never exceeds capacity. Returns false and explains in
+  /// \p Why (when non-null) on violation.
+  bool selfCheck(std::string *Why = nullptr) const;
 
 private:
   TierId Tier;

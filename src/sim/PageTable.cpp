@@ -292,6 +292,25 @@ bool PageTable::translate(uint64_t Va, Translation &Out) const {
   return true;
 }
 
+void PageTable::forEachMapping(
+    const std::function<void(const Translation &)> &Fn) const {
+  Translation T;
+  for (const auto &[Key, Entry] : HugePages) {
+    T.PageVa = Key << HugeShift;
+    T.PageBytes = HugePageBytes;
+    T.FrameBase = Entry.FrameBase;
+    T.Tier = Entry.Tier;
+    Fn(T);
+  }
+  for (const auto &[Key, Entry] : SmallPages) {
+    T.PageVa = Key << SmallShift;
+    T.PageBytes = SmallPageBytes;
+    T.FrameBase = Entry.FrameBase;
+    T.Tier = Entry.Tier;
+    Fn(T);
+  }
+}
+
 TierId PageTable::tierOf(uint64_t Va) const {
   Translation T;
   if (!translate(Va, T))

@@ -26,6 +26,7 @@
 #include "sim/MemoryTier.h"
 
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
 
 namespace atmem {
@@ -95,7 +96,16 @@ public:
   uint64_t smallPageCount() const { return SmallPages.size(); }
   uint64_t hugePageCount() const { return HugePages.size(); }
 
+  /// Invokes \p Fn once per live mapping (both page sizes, unspecified
+  /// order). Used by the cross-layer invariant checker to reconcile
+  /// page-table state against allocator free lists.
+  void forEachMapping(
+      const std::function<void(const Translation &)> &Fn) const;
+
   FrameAllocator &allocator(TierId Tier) {
+    return Tier == TierId::Fast ? FastAlloc : SlowAlloc;
+  }
+  const FrameAllocator &allocator(TierId Tier) const {
     return Tier == TierId::Fast ? FastAlloc : SlowAlloc;
   }
 

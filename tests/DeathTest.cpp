@@ -1,6 +1,12 @@
 //===----------------------------------------------------------------------===//
 // Death tests for the library's programmatic-error contracts: invariant
 // violations must abort with a diagnostic rather than corrupt state.
+//
+// Only genuine invariant violations belong here. Conditions a caller can
+// legitimately hit with user input (unknown dataset/kernel names, tier
+// capacity, migration refusal) have query/result APIs — isKnownDataset(),
+// isKnownKernel(), DataObjectRegistry::tryCreate(), MigrationStatus — and
+// are tested below and in the migrator/fault suites as error results.
 //===----------------------------------------------------------------------===//
 
 #include "apps/Kernel.h"
@@ -29,12 +35,20 @@ TEST(DeathTest, TableRowWidthMismatchAborts) {
   EXPECT_DEATH(Table.addRow({"only-one"}), "row width");
 }
 
-TEST(DeathTest, UnknownDatasetAborts) {
-  EXPECT_DEATH((void)graph::makeDataset("orkut"), "unknown dataset");
+// Unknown dataset/kernel names arrive from user input (CLI flags), so the
+// contract is a queryable predicate, not an abort: callers check
+// isKnown*() and report an error result. makeDataset()/makeKernel() then
+// only ever see validated names.
+TEST(ErrorResultTest, UnknownDatasetIsReportedNotFatal) {
+  EXPECT_FALSE(graph::isKnownDataset("orkut"));
+  EXPECT_FALSE(graph::isKnownDataset(""));
+  EXPECT_TRUE(graph::isKnownDataset("pokec"));
 }
 
-TEST(DeathTest, UnknownKernelAborts) {
-  EXPECT_DEATH((void)apps::makeKernel("gnn"), "unknown kernel");
+TEST(ErrorResultTest, UnknownKernelIsReportedNotFatal) {
+  EXPECT_FALSE(apps::isKnownKernel("gnn"));
+  EXPECT_FALSE(apps::isKnownKernel(""));
+  EXPECT_TRUE(apps::isKnownKernel("pr"));
 }
 
 TEST(DeathTest, NonPowerOfTwoChunkAborts) {

@@ -1,0 +1,174 @@
+//===----------------------------------------------------------------------===//
+// Fuzz-style robustness tests for the telemetry JSON parser: malformed,
+// truncated, deeply nested, and randomly generated inputs must produce a
+// clean error result — never a crash, an abort, or unbounded recursion.
+//===----------------------------------------------------------------------===//
+
+#include "obs/Json.h"
+#include "support/Prng.h"
+
+#include <gtest/gtest.h>
+
+#include <iterator>
+#include <string>
+
+using namespace atmem;
+using namespace atmem::obs;
+
+namespace {
+
+/// Parses \p Text expecting a clean failure with a diagnostic.
+void expectParseError(const std::string &Text) {
+  JsonValue Doc;
+  std::string Error;
+  EXPECT_FALSE(parseJson(Text, Doc, &Error)) << Text;
+  EXPECT_FALSE(Error.empty()) << Text;
+}
+
+TEST(JsonFuzzTest, ValidDocumentsParse) {
+  const char *Good[] = {
+      "null",
+      "true",
+      "false",
+      "0",
+      "-12.5e3",
+      "\"text with \\\" escape\"",
+      "[]",
+      "{}",
+      "[1, 2, [3, {\"k\": null}]]",
+      "{\"a\": {\"b\": [true, 1e-9, \"\\u0041\"]}}",
+  };
+  for (const char *Text : Good) {
+    JsonValue Doc;
+    std::string Error;
+    EXPECT_TRUE(parseJson(Text, Doc, &Error)) << Text << ": " << Error;
+  }
+}
+
+TEST(JsonFuzzTest, MalformedCorpusErrorsCleanly) {
+  const char *Bad[] = {
+      "",
+      "   ",
+      "nul",
+      "truth",
+      "+1",
+      "01",
+      "1.",
+      "1e",
+      "1e+",
+      "-",
+      "\"unterminated",
+      "\"bad \\q escape\"",
+      "\"trunc \\u00",
+      "[1, 2",
+      "[1 2]",
+      "[,]",
+      "{\"a\"}",
+      "{\"a\":}",
+      "{\"a\": 1,}",
+      "{a: 1}",
+      "{\"a\": 1 \"b\": 2}",
+      "[]]",
+      "{}{}",
+      "42 trailing",
+      "\x01\x02\x03",
+  };
+  for (const char *Text : Bad)
+    expectParseError(Text);
+}
+
+TEST(JsonFuzzTest, EveryTruncationErrorsCleanly) {
+  // The document starts with '{', so every strict prefix is invalid; each
+  // must fail with a diagnostic and without crashing.
+  std::string Doc = "{\"metrics\": [{\"name\": \"migration.retries\", "
+                    "\"value\": 12}, {\"name\": \"llc.hits\", \"value\": "
+                    "-3.5e2}], \"ok\": true, \"note\": \"a\\nb\\u0041\"}";
+  JsonValue Parsed;
+  std::string Error;
+  ASSERT_TRUE(parseJson(Doc, Parsed, &Error)) << Error;
+  for (size_t Len = 0; Len < Doc.size(); ++Len)
+    expectParseError(Doc.substr(0, Len));
+}
+
+TEST(JsonFuzzTest, NestingDepthLimitIsExact) {
+  auto Nested = [](size_t Depth) {
+    return std::string(Depth, '[') + std::string(Depth, ']');
+  };
+  JsonValue Doc;
+  std::string Error;
+  EXPECT_TRUE(parseJson(Nested(256), Doc, &Error)) << Error;
+  EXPECT_FALSE(parseJson(Nested(257), Doc, &Error));
+  EXPECT_NE(Error.find("nesting too deep"), std::string::npos) << Error;
+}
+
+TEST(JsonFuzzTest, PathologicalNestingNeverOverflowsTheStack) {
+  // Without the depth limit each of these would recurse ~100k frames.
+  JsonValue Doc;
+  std::string Error;
+  EXPECT_FALSE(parseJson(std::string(100000, '['), Doc, &Error));
+  EXPECT_NE(Error.find("nesting too deep"), std::string::npos);
+
+  std::string Objects;
+  for (int I = 0; I < 100000; ++I)
+    Objects += "{\"k\":";
+  EXPECT_FALSE(parseJson(Objects, Doc, &Error));
+  EXPECT_NE(Error.find("nesting too deep"), std::string::npos);
+
+  // Sibling containers do not accumulate depth: a wide-but-shallow
+  // document parses fine.
+  std::string Wide = "[";
+  for (int I = 0; I < 1000; ++I)
+    Wide += "[1],";
+  Wide += "[2]]";
+  EXPECT_TRUE(parseJson(Wide, Doc, &Error)) << Error;
+}
+
+TEST(JsonFuzzTest, RandomTokenSoupNeverCrashes) {
+  const char *Tokens[] = {"{", "}",     "[",     "]",    ",",    ":",
+                          "\"", "true", "false", "null", "0",    "-1",
+                          "2.5", "1e9", "\\",    " ",    "\"k\"", "\n"};
+  Xoshiro256 Rng(97);
+  for (int Iter = 0; Iter < 500; ++Iter) {
+    std::string Text;
+    uint64_t Parts = Rng.nextBounded(24);
+    for (uint64_t P = 0; P < Parts; ++P)
+      Text += Tokens[Rng.nextBounded(std::size(Tokens))];
+    JsonValue Doc;
+    std::string Error;
+    if (!parseJson(Text, Doc, &Error)) {
+      EXPECT_FALSE(Error.empty()) << Text;
+    }
+  }
+}
+
+TEST(JsonFuzzTest, RandomBytesNeverCrash) {
+  Xoshiro256 Rng(1009);
+  for (int Iter = 0; Iter < 500; ++Iter) {
+    std::string Text;
+    uint64_t Len = Rng.nextBounded(64);
+    for (uint64_t I = 0; I < Len; ++I)
+      Text += static_cast<char>(Rng.nextBounded(256));
+    JsonValue Doc;
+    std::string Error;
+    if (!parseJson(Text, Doc, &Error)) {
+      EXPECT_FALSE(Error.empty()) << "len " << Len;
+    }
+  }
+}
+
+TEST(JsonFuzzTest, ErrorsReportByteOffsets) {
+  JsonValue Doc;
+  std::string Error;
+  EXPECT_FALSE(parseJson("[1, 2, x]", Doc, &Error));
+  EXPECT_NE(Error.find("at byte 7"), std::string::npos) << Error;
+}
+
+TEST(JsonFuzzTest, MissingFileIsAnError) {
+  JsonValue Doc;
+  std::string Error;
+  EXPECT_FALSE(
+      parseJsonFile("/nonexistent/atmem-json-fuzz.json", Doc, &Error));
+  EXPECT_FALSE(Error.empty());
+}
+
+} // namespace

@@ -50,14 +50,14 @@ protected:
 TEST_F(MigratorTest, AtmemPreservesData) {
   DataObject &Obj = makeObject(8 << 20, 1 << 20);
   MigrationResult Result;
-  ASSERT_TRUE(Atmem.migrate(Obj, {{1, 3}}, TierId::Fast, Result));
+  ASSERT_EQ(Atmem.migrate(Obj, {{1, 3}}, TierId::Fast, Result), MigrationStatus::Success);
   EXPECT_TRUE(patternIntact(Obj));
 }
 
 TEST_F(MigratorTest, AtmemMovesMappingAndChunkTiers) {
   DataObject &Obj = makeObject(8 << 20, 1 << 20);
   MigrationResult Result;
-  ASSERT_TRUE(Atmem.migrate(Obj, {{2, 2}}, TierId::Fast, Result));
+  ASSERT_EQ(Atmem.migrate(Obj, {{2, 2}}, TierId::Fast, Result), MigrationStatus::Success);
   auto [Begin, End] = Obj.rangeBytes({2, 2});
   for (uint64_t Off = Begin; Off < End; Off += SmallPageBytes)
     ASSERT_EQ(M.pageTable().tierOf(Obj.va() + Off), TierId::Fast);
@@ -73,7 +73,7 @@ TEST_F(MigratorTest, AtmemReleasesStagingAfterMigration) {
   DataObject &Obj = makeObject(4 << 20, 1 << 20);
   uint64_t FastUsedBefore = M.allocator(TierId::Fast).usedBytes();
   MigrationResult Result;
-  ASSERT_TRUE(Atmem.migrate(Obj, {{0, 4}}, TierId::Fast, Result));
+  ASSERT_EQ(Atmem.migrate(Obj, {{0, 4}}, TierId::Fast, Result), MigrationStatus::Success);
   // Only the migrated payload remains on the fast tier (no staging leak).
   EXPECT_EQ(M.allocator(TierId::Fast).usedBytes(),
             FastUsedBefore + Obj.mappedBytes());
@@ -83,7 +83,7 @@ TEST_F(MigratorTest, AtmemFormsHugePagesOnTarget) {
   DataObject &Obj = makeObject(4 << 20, 1 << 20);
   uint64_t HugeBefore = M.pageTable().hugePageCount();
   MigrationResult Result;
-  ASSERT_TRUE(Atmem.migrate(Obj, {{0, 4}}, TierId::Fast, Result));
+  ASSERT_EQ(Atmem.migrate(Obj, {{0, 4}}, TierId::Fast, Result), MigrationStatus::Success);
   // The object's region was huge-mapped on the slow tier and stays huge
   // on the fast tier; PTE count stays tiny.
   EXPECT_EQ(M.pageTable().hugePageCount(), HugeBefore);
@@ -95,8 +95,8 @@ TEST_F(MigratorTest, AtmemRefusesWithoutCapacity) {
   // half (staging + payload need 2x).
   DataObject &Obj = makeObject(80 << 20, 8 << 20);
   MigrationResult Result;
-  EXPECT_FALSE(Atmem.migrate(Obj, {{0, Obj.numChunks()}}, TierId::Fast,
-                             Result));
+  EXPECT_EQ(Atmem.migrate(Obj, {{0, Obj.numChunks()}}, TierId::Fast,
+                             Result), MigrationStatus::Degraded);
   // Untouched on refusal.
   EXPECT_EQ(Obj.bytesOn(TierId::Fast), 0u);
   EXPECT_EQ(Result.BytesMoved, 0u);
@@ -106,8 +106,8 @@ TEST_F(MigratorTest, AtmemRefusesWithoutCapacity) {
 TEST_F(MigratorTest, AtmemMultipleRangesCounted) {
   DataObject &Obj = makeObject(8 << 20, 1 << 20);
   MigrationResult Result;
-  ASSERT_TRUE(
-      Atmem.migrate(Obj, {{0, 1}, {3, 2}, {7, 1}}, TierId::Fast, Result));
+  ASSERT_EQ(
+      Atmem.migrate(Obj, {{0, 1}, {3, 2}, {7, 1}}, TierId::Fast, Result), MigrationStatus::Success);
   EXPECT_EQ(Result.Ranges, 3u);
   EXPECT_EQ(Result.BytesMoved, 4u << 20);
   EXPECT_TRUE(patternIntact(Obj));
@@ -116,8 +116,8 @@ TEST_F(MigratorTest, AtmemMultipleRangesCounted) {
 TEST_F(MigratorTest, AtmemSimTimePositiveAndScalesWithBytes) {
   DataObject &Obj = makeObject(16 << 20, 1 << 20);
   MigrationResult Small, Large;
-  ASSERT_TRUE(Atmem.migrate(Obj, {{0, 1}}, TierId::Fast, Small));
-  ASSERT_TRUE(Atmem.migrate(Obj, {{1, 8}}, TierId::Fast, Large));
+  ASSERT_EQ(Atmem.migrate(Obj, {{0, 1}}, TierId::Fast, Small), MigrationStatus::Success);
+  ASSERT_EQ(Atmem.migrate(Obj, {{1, 8}}, TierId::Fast, Large), MigrationStatus::Success);
   EXPECT_GT(Small.SimSeconds, 0.0);
   EXPECT_GT(Large.SimSeconds, Small.SimSeconds);
 }
@@ -125,7 +125,7 @@ TEST_F(MigratorTest, AtmemSimTimePositiveAndScalesWithBytes) {
 TEST_F(MigratorTest, MbindMovesPagesAndSplitsHugePages) {
   DataObject &Obj = makeObject(4 << 20, 1 << 20);
   MigrationResult Result;
-  ASSERT_TRUE(Mbind.migrate(Obj, {{0, 2}}, TierId::Fast, Result));
+  ASSERT_EQ(Mbind.migrate(Obj, {{0, 2}}, TierId::Fast, Result), MigrationStatus::Success);
   EXPECT_EQ(Result.BytesMoved, 2u << 20);
   EXPECT_EQ(Result.PtesTouched, (2u << 20) / SmallPageBytes);
   EXPECT_EQ(Result.HugePagesSplit, 1u); // One 2 MiB page covered chunks 0-1.
@@ -137,7 +137,7 @@ TEST_F(MigratorTest, MbindLeavesFragmentedMapping) {
   DataObject &Obj = makeObject(4 << 20, 1 << 20);
   uint64_t HugeBefore = M.pageTable().hugePageCount();
   MigrationResult Result;
-  ASSERT_TRUE(Mbind.migrate(Obj, {{0, 4}}, TierId::Fast, Result));
+  ASSERT_EQ(Mbind.migrate(Obj, {{0, 4}}, TierId::Fast, Result), MigrationStatus::Success);
   // All the object's huge pages are gone; ATMem would have kept them.
   EXPECT_EQ(M.pageTable().hugePageCount(),
             HugeBefore - (4ull << 20) / HugePageBytes);
@@ -147,7 +147,7 @@ TEST_F(MigratorTest, MbindLeavesFragmentedMapping) {
 TEST_F(MigratorTest, MbindDataUntouched) {
   DataObject &Obj = makeObject(4 << 20, 1 << 20);
   MigrationResult Result;
-  ASSERT_TRUE(Mbind.migrate(Obj, {{0, 4}}, TierId::Fast, Result));
+  ASSERT_EQ(Mbind.migrate(Obj, {{0, 4}}, TierId::Fast, Result), MigrationStatus::Success);
   EXPECT_TRUE(patternIntact(Obj));
 }
 
@@ -159,7 +159,7 @@ TEST_F(MigratorTest, MbindPartialOnCapacityExhaustion) {
   DataObject &Obj =
       Reg.create("obj", 4 << 20, InitialPlacement::Slow, 1 << 20);
   MigrationResult Result;
-  EXPECT_FALSE(Migrator.migrate(Obj, {{0, 4}}, TierId::Fast, Result));
+  EXPECT_EQ(Migrator.migrate(Obj, {{0, 4}}, TierId::Fast, Result), MigrationStatus::Degraded);
   // A prefix moved before the failure.
   EXPECT_GT(Result.BytesMoved, 0u);
   EXPECT_LT(Result.BytesMoved, 4u << 20);
@@ -168,12 +168,12 @@ TEST_F(MigratorTest, MbindPartialOnCapacityExhaustion) {
 TEST_F(MigratorTest, AtmemBeatsMbindOnTime) {
   DataObject &A = makeObject(32 << 20, 4 << 20);
   MigrationResult AtmemResult;
-  ASSERT_TRUE(Atmem.migrate(A, {{0, 8}}, TierId::Fast, AtmemResult));
+  ASSERT_EQ(Atmem.migrate(A, {{0, 8}}, TierId::Fast, AtmemResult), MigrationStatus::Success);
 
   DataObject &B =
       Registry.create("obj2", 32 << 20, InitialPlacement::Slow, 4 << 20);
   MigrationResult MbindResult;
-  ASSERT_TRUE(Mbind.migrate(B, {{0, 8}}, TierId::Fast, MbindResult));
+  ASSERT_EQ(Mbind.migrate(B, {{0, 8}}, TierId::Fast, MbindResult), MigrationStatus::Success);
 
   EXPECT_LT(AtmemResult.SimSeconds, MbindResult.SimSeconds);
 }
@@ -183,27 +183,27 @@ TEST_F(MigratorTest, MergedRangeCheaperThanFragments) {
   // migrations costs more than one contiguous one (paper Section 4.3).
   DataObject &A = makeObject(16 << 20, 1 << 20);
   MigrationResult Merged;
-  ASSERT_TRUE(Atmem.migrate(A, {{0, 8}}, TierId::Fast, Merged));
+  ASSERT_EQ(Atmem.migrate(A, {{0, 8}}, TierId::Fast, Merged), MigrationStatus::Success);
 
   DataObject &B =
       Registry.create("objB", 16 << 20, InitialPlacement::Slow, 1 << 20);
   MigrationResult Fragmented;
-  ASSERT_TRUE(Mbind.migrate(B, {{0, 1}}, TierId::Fast, Fragmented));
+  ASSERT_EQ(Mbind.migrate(B, {{0, 1}}, TierId::Fast, Fragmented), MigrationStatus::Success);
   std::vector<ChunkRange> EveryOther;
   for (uint32_t C = 0; C < 8; ++C)
     EveryOther.push_back({C, 1});
   MigrationResult Fragments;
   AtmemMigrator Second(Registry, Pool);
-  ASSERT_TRUE(Second.migrate(B, EveryOther, TierId::Fast, Fragments));
+  ASSERT_EQ(Second.migrate(B, EveryOther, TierId::Fast, Fragments), MigrationStatus::Success);
   EXPECT_GT(Fragments.SimSeconds, Merged.SimSeconds);
 }
 
 TEST_F(MigratorTest, ResultAccumulatesAcrossCalls) {
   DataObject &Obj = makeObject(8 << 20, 1 << 20);
   MigrationResult Result;
-  ASSERT_TRUE(Atmem.migrate(Obj, {{0, 1}}, TierId::Fast, Result));
+  ASSERT_EQ(Atmem.migrate(Obj, {{0, 1}}, TierId::Fast, Result), MigrationStatus::Success);
   uint64_t After1 = Result.BytesMoved;
-  ASSERT_TRUE(Atmem.migrate(Obj, {{1, 1}}, TierId::Fast, Result));
+  ASSERT_EQ(Atmem.migrate(Obj, {{1, 1}}, TierId::Fast, Result), MigrationStatus::Success);
   EXPECT_EQ(Result.BytesMoved, 2 * After1);
   EXPECT_EQ(Result.Ranges, 2u);
 }

@@ -252,7 +252,7 @@ TEST_P(MigrationInvariantTest, RandomRangesPreserveEverything) {
     Ranges.push_back({0, 1});
 
   MigrationResult Result;
-  ASSERT_TRUE(Mig.migrate(Obj, Ranges, TierId::Fast, Result));
+  ASSERT_EQ(Mig.migrate(Obj, Ranges, TierId::Fast, Result), MigrationStatus::Success);
 
   // Data intact.
   for (uint64_t I = 0; I < Obj.mappedBytes(); ++I)

@@ -21,6 +21,7 @@
 
 #include "apps/Kernel.h"
 #include "baseline/Experiment.h"
+#include "fault/FaultInjection.h"
 #include "graph/Datasets.h"
 #include "graph/EdgeListIO.h"
 #include "obs/Export.h"
@@ -85,8 +86,24 @@ int main(int Argc, const char **Argv) {
   Parser.addString("trace-out", "",
                    "write a Chrome trace-event JSON (open in Perfetto or "
                    "chrome://tracing) to this path; also enables collection");
+  Parser.addString("fault-spec", "", fault::faultSpecHelp());
   if (!Parser.parse(Argc, Argv))
     return 1;
+
+  if (std::string SpecError;
+      !fault::armFromEnvironment(&SpecError)) {
+    std::fprintf(stderr, "error: bad ATMEM_FAULT_SPEC: %s\n",
+                 SpecError.c_str());
+    return 1;
+  }
+  if (std::string Spec = Parser.getString("fault-spec"); !Spec.empty()) {
+    std::string SpecError;
+    if (!fault::armFromSpec(Spec, &SpecError)) {
+      std::fprintf(stderr, "error: bad --fault-spec: %s\n",
+                   SpecError.c_str());
+      return 1;
+    }
+  }
 
   std::string KernelName = Parser.getString("kernel");
   if (!apps::isKnownKernel(KernelName)) {
