@@ -1,0 +1,234 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ATMem reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Microbenchmark of the two runtime hot paths this PR series optimizes:
+///
+///   tracked_access — the inline per-access path (LLC probe + per-tier
+///       accounting) driven by a pseudo-random gather whose footprint
+///       exceeds the simulated LLC, so the probe's miss side is exercised
+///       as hard as its hit side;
+///   miss_drain — the end-of-iteration drain of buffered shard misses
+///       into the profiler, miss trace, and TLB replay. Both drains are
+///       measured from one binary: the reference per-miss pipeline
+///       (RuntimeConfig::BatchedDrain = false, the pre-optimization
+///       behaviour preserved verbatim) and the batched pipeline, giving a
+///       self-contained before/after pair plus their speedup.
+///
+/// Results are appended as JSON (default micro_hotpath.json) so successive
+/// PRs leave a perf trajectory behind, in the spirit of the figure
+/// benches' bench_results.json.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Runtime.h"
+#include "profiler/TraceFile.h"
+#include "sim/Machine.h"
+#include "sim/Tlb.h"
+#include "support/Options.h"
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+
+using namespace atmem;
+
+namespace {
+
+double nowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Machine whose LLC is far smaller than the bench arrays, so the gather
+/// below is miss-dominated (the interesting regime for both paths).
+sim::MachineConfig benchMachine() {
+  sim::MachineConfig Config = sim::nvmDramTestbed(1.0 / 256);
+  Config.Cache.SizeBytes = 1 << 20;
+  return Config;
+}
+
+constexpr uint64_t LcgMul = 6364136223846793005ull;
+constexpr uint64_t LcgAdd = 1442695040888963407ull;
+
+struct SectionResult {
+  uint64_t Events = 0;
+  double WallMs = 0.0;
+
+  double perSec() const {
+    return WallMs > 0.0 ? static_cast<double>(Events) / (WallMs / 1000.0)
+                        : 0.0;
+  }
+};
+
+/// Times \p Accesses tracked gathers over a 32 MiB array on the serial
+/// engine with no miss consumers attached — the bare inline hot path.
+SectionResult benchTrackedAccess(uint64_t Accesses) {
+  core::RuntimeConfig Config;
+  Config.Machine = benchMachine();
+  core::Runtime Rt(Config);
+  constexpr uint64_t Elems = 1u << 22;
+  core::TrackedArray<uint64_t> Arr = Rt.allocate<uint64_t>("gather", Elems);
+  for (uint64_t I = 0; I < Elems; ++I)
+    Arr.raw()[I] = I * LcgMul;
+
+  Rt.beginIteration();
+  uint64_t State = 0x243f6a8885a308d3ull;
+  uint64_t Sink = 0;
+  double Begin = nowMs();
+  for (uint64_t I = 0; I < Accesses; ++I) {
+    State = State * LcgMul + LcgAdd;
+    Sink ^= Arr[(State >> 11) & (Elems - 1)];
+  }
+  double WallMs = nowMs() - Begin;
+  Rt.endIteration();
+  // Keep the gather alive past the optimizer.
+  if (Sink == 0x5ca1ab1e)
+    std::fprintf(stderr, "sink\n");
+  return {Accesses, WallMs};
+}
+
+/// Times the end-of-iteration drain (profiler + miss trace + TLB replay
+/// over every buffered miss) for one drain implementation. The kernel
+/// fill is untimed; only endIteration() — the drain — is on the clock.
+SectionResult benchMissDrain(bool Batched, uint32_t SimThreads,
+                             uint32_t Iterations, uint64_t AccessesPerIter,
+                             const std::string &TracePath) {
+  core::RuntimeConfig Config;
+  Config.Machine = benchMachine();
+  Config.SimThreads = SimThreads;
+  Config.BatchedDrain = Batched;
+  core::Runtime Rt(Config);
+  constexpr uint64_t Elems = 1u << 22;
+  core::TrackedArray<uint64_t> Arr = Rt.allocate<uint64_t>("gather", Elems);
+
+  sim::Tlb Tlb = Rt.machine().makeTlb();
+  Rt.setReplayTlb(&Tlb);
+  prof::TraceWriter Trace;
+  if (!Trace.open(TracePath)) {
+    std::fprintf(stderr, "micro_hotpath: cannot open %s\n",
+                 TracePath.c_str());
+    return {};
+  }
+  Rt.setMissTrace(&Trace);
+  Rt.profilingStart();
+
+  SectionResult Result;
+  for (uint32_t Iter = 0; Iter < Iterations; ++Iter) {
+    Rt.beginIteration();
+    Rt.parallelTracked(
+        0, AccessesPerIter, [&](uint32_t, uint64_t B, uint64_t E) {
+          uint64_t State = 0x9e3779b97f4a7c15ull + B;
+          for (uint64_t I = B; I < E; ++I) {
+            State = State * LcgMul + LcgAdd;
+            Arr[(State >> 11) & (Elems - 1)] = State;
+          }
+        });
+    for (uint32_t T = 0; T < Rt.simThreads(); ++T)
+      Result.Events += Rt.simContext(T).missBuffer().size();
+    double Begin = nowMs();
+    Rt.endIteration();
+    Result.WallMs += nowMs() - Begin;
+  }
+  Rt.profilingStop();
+  Trace.finish();
+  std::remove(TracePath.c_str());
+  return Result;
+}
+
+} // namespace
+
+int main(int Argc, const char **Argv) {
+  OptionParser Parser(
+      "micro_hotpath: tracked-access and miss-drain throughput, with the "
+      "reference (pre-batching) drain as an in-binary baseline");
+  Parser.addFlag("quick", "Cut workload sizes for CI smoke runs");
+  Parser.addUnsigned("sim-threads", 2,
+                     "Engine threads for the miss-drain section");
+  Parser.addString("json", "micro_hotpath.json",
+                   "Machine-readable results path (\"\" disables)");
+  Parser.addString("trace-tmp", "micro_hotpath.mtrace",
+                   "Scratch path for the drain section's miss trace");
+  if (!Parser.parse(Argc, Argv))
+    return 1;
+
+  bool Quick = Parser.getFlag("quick");
+  auto SimThreads =
+      static_cast<uint32_t>(Parser.getUnsigned("sim-threads"));
+  uint64_t TrackedAccesses = Quick ? 4u << 20 : 32u << 20;
+  uint32_t DrainIters = Quick ? 3 : 8;
+  uint64_t DrainAccesses = Quick ? 2u << 20 : 8u << 20;
+
+  std::printf("[micro_hotpath] quick=%d sim-threads=%u host-threads=%u\n",
+              Quick ? 1 : 0, SimThreads,
+              std::thread::hardware_concurrency());
+
+  SectionResult Tracked = benchTrackedAccess(TrackedAccesses);
+  std::printf("tracked_access   %12llu accesses  %9.2f ms  %12.0f /s\n",
+              static_cast<unsigned long long>(Tracked.Events),
+              Tracked.WallMs, Tracked.perSec());
+
+  std::string TracePath = Parser.getString("trace-tmp");
+  SectionResult Reference = benchMissDrain(
+      /*Batched=*/false, SimThreads, DrainIters, DrainAccesses, TracePath);
+  std::printf("drain_reference  %12llu misses    %9.2f ms  %12.0f /s\n",
+              static_cast<unsigned long long>(Reference.Events),
+              Reference.WallMs, Reference.perSec());
+  SectionResult Batched = benchMissDrain(
+      /*Batched=*/true, SimThreads, DrainIters, DrainAccesses, TracePath);
+  std::printf("drain_batched    %12llu misses    %9.2f ms  %12.0f /s\n",
+              static_cast<unsigned long long>(Batched.Events),
+              Batched.WallMs, Batched.perSec());
+
+  double Speedup =
+      Reference.WallMs > 0.0 && Batched.WallMs > 0.0
+          ? Batched.perSec() / Reference.perSec()
+          : 0.0;
+  std::printf("drain speedup (batched / reference): %.2fx\n", Speedup);
+
+  std::string JsonPath = Parser.getString("json");
+  if (!JsonPath.empty()) {
+    std::FILE *Out = std::fopen(JsonPath.c_str(), "w");
+    if (!Out) {
+      std::fprintf(stderr, "micro_hotpath: cannot write %s\n",
+                   JsonPath.c_str());
+      return 1;
+    }
+    std::fprintf(Out,
+                 "{\n"
+                 "  \"bench\": \"micro_hotpath\",\n"
+                 "  \"quick\": %s,\n"
+                 "  \"sim_threads\": %u,\n"
+                 "  \"host_hardware_threads\": %u,\n"
+                 "  \"tracked_access\": {\n"
+                 "    \"accesses\": %llu,\n"
+                 "    \"wall_ms\": %.3f,\n"
+                 "    \"accesses_per_sec\": %.0f\n"
+                 "  },\n"
+                 "  \"miss_drain\": {\n"
+                 "    \"reference\": {\"misses\": %llu, \"wall_ms\": %.3f, "
+                 "\"misses_per_sec\": %.0f},\n"
+                 "    \"batched\": {\"misses\": %llu, \"wall_ms\": %.3f, "
+                 "\"misses_per_sec\": %.0f},\n"
+                 "    \"speedup\": %.3f\n"
+                 "  }\n"
+                 "}\n",
+                 Quick ? "true" : "false", SimThreads,
+                 std::thread::hardware_concurrency(),
+                 static_cast<unsigned long long>(Tracked.Events),
+                 Tracked.WallMs, Tracked.perSec(),
+                 static_cast<unsigned long long>(Reference.Events),
+                 Reference.WallMs, Reference.perSec(),
+                 static_cast<unsigned long long>(Batched.Events),
+                 Batched.WallMs, Batched.perSec(), Speedup);
+    std::fclose(Out);
+    std::printf("results written to %s\n", JsonPath.c_str());
+  }
+  return 0;
+}

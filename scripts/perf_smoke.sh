@@ -1,0 +1,24 @@
+#!/usr/bin/env sh
+# Runs the hot-path microbenchmark in quick mode and leaves its JSON
+# trajectory point at the repository root as BENCH_hotpath.json, so
+# successive PRs (and the CI artifact) accumulate comparable numbers.
+#
+# Usage: scripts/perf_smoke.sh [build-dir]   (default: build)
+set -eu
+
+BUILD_DIR="${1:-build}"
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BENCH="$REPO_ROOT/$BUILD_DIR/bench/micro_hotpath"
+
+if [ ! -x "$BENCH" ]; then
+  echo "perf_smoke: $BENCH not built (cmake --build $BUILD_DIR --target micro_hotpath)" >&2
+  exit 1
+fi
+
+OUT="$REPO_ROOT/BENCH_hotpath.json"
+"$BENCH" --quick --json "$OUT" --trace-tmp "$REPO_ROOT/$BUILD_DIR/micro_hotpath.mtrace"
+
+# Fail on malformed output, not on any perf number: CI runners are too
+# noisy for thresholds, the artifact is for offline comparison.
+python3 -m json.tool "$OUT" > /dev/null
+echo "perf_smoke: wrote $OUT"

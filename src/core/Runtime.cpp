@@ -5,6 +5,7 @@
 #include "support/Logging.h"
 
 #include <algorithm>
+#include <thread>
 
 using namespace atmem;
 using namespace atmem::core;
@@ -483,10 +484,12 @@ double Runtime::endIteration() {
     MissesSlow.add(Stats.TierMisses[sim::tierIndex(sim::TierId::Slow)]);
     IterUs.recordSeconds(SimSec);
     if (ReplayTlb) {
-      obs::Gauge("runtime.tlb_hits")
-          .set(static_cast<double>(ReplayTlb->hits()));
-      obs::Gauge("runtime.tlb_misses")
-          .set(static_cast<double>(ReplayTlb->misses()));
+      // Hoisted like the counters above: constructing a Gauge by name is
+      // a registry lookup that has no place in the per-iteration path.
+      static obs::Gauge TlbHits("runtime.tlb_hits");
+      static obs::Gauge TlbMisses("runtime.tlb_misses");
+      TlbHits.set(static_cast<double>(ReplayTlb->hits()));
+      TlbMisses.set(static_cast<double>(ReplayTlb->misses()));
     }
   }
   if (IterationSpanOpen) {
@@ -501,18 +504,103 @@ double Runtime::endIteration() {
 }
 
 void Runtime::mergeContexts() {
+  if (Contexts.empty())
+    return;
+  if (Config.BatchedDrain)
+    drainBatched();
+  else
+    drainReference();
+}
+
+void Runtime::drainReference() {
+  // Pre-optimization drain, preserved verbatim: one profiler countdown
+  // step, one trace append, and one uncached page-table walk per miss.
   for (auto &Ctx : Contexts) {
     Stats += Ctx->stats();
     Ctx->stats() = sim::AccessStats();
     for (uint64_t Va : Ctx->missBuffer()) {
-      Profiler.notifyMiss(Va);
+      Profiler.notifyMissReference(Va);
       if (MissTrace)
         MissTrace->record(Va);
       if (ReplayTlb)
-        replayTlbAccess(Va);
+        replayTlbAccessUncached(Va);
     }
-    Ctx->missBuffer().clear();
+    Ctx->recycleMissBuffer();
   }
+}
+
+void Runtime::drainBatched() {
+  // Stage 1 — serial, in thread-index order: merge shard stats, advance
+  // the sampling countdown arithmetically over each buffer, and bulk-feed
+  // the miss trace. Sample *selection* depends only on the miss order
+  // (attribution never feeds back into it), so the buffers' concatenation
+  // order fully determines which misses are chosen.
+  PendingScratch.clear();
+  for (auto &Ctx : Contexts) {
+    Stats += Ctx->stats();
+    Ctx->stats() = sim::AccessStats();
+    const std::vector<uint64_t> &Buf = Ctx->missBuffer();
+    Profiler.selectSamples(Buf.data(), Buf.size(), PendingScratch);
+    if (MissTrace)
+      MissTrace->recordBatch(Buf.data(), Buf.size());
+  }
+
+  // Stage 2 — attribute the selected samples to (object, chunk). Each
+  // sample's result is a pure function of its address, so fanning the
+  // lookups across the kernel pool cannot change any outcome; below the
+  // threshold (or on a single-core host, where pool dispatch just
+  // context-switches) the serial loop is cheaper than the fan-out.
+  constexpr size_t ParallelAttributionThreshold = 8192;
+  AttrScratch.assign(PendingScratch.size(), AttributedSample{});
+  if (KernelPool && std::thread::hardware_concurrency() > 1 &&
+      PendingScratch.size() >= ParallelAttributionThreshold) {
+    std::vector<mem::AttributionHint> Hints(KernelPool->threadCount());
+    uint64_t Chunk =
+        std::max<uint64_t>(PendingScratch.size() / Hints.size() / 4, 256);
+    KernelPool->parallelForThreaded(
+        0, PendingScratch.size(), Chunk,
+        [&](uint32_t Tid, uint64_t Begin, uint64_t End) {
+          mem::AttributionHint &Hint = Hints[Tid];
+          for (uint64_t I = Begin; I < End; ++I)
+            AttrScratch[I].Ok = Registry.attributeIndexed(
+                PendingScratch[I].Va, AttrScratch[I].Attr, Hint);
+        });
+  } else {
+    mem::AttributionHint Hint;
+    for (size_t I = 0; I < PendingScratch.size(); ++I)
+      AttrScratch[I].Ok = Registry.attributeIndexed(
+          PendingScratch[I].Va, AttrScratch[I].Attr, Hint);
+  }
+
+  // Stage 3 — serial commit in selection order. Floating-point profile
+  // accumulation happens in exactly the per-miss order, keeping results
+  // bit-identical to the reference drain.
+  for (size_t I = 0; I < PendingScratch.size(); ++I)
+    Profiler.commitSample(PendingScratch[I], AttrScratch[I].Ok != 0,
+                          AttrScratch[I].Attr);
+
+  // Stage 4 — TLB replay. Inherently serial (LRU state), but the
+  // translation cache absorbs the page-table walks. The cache and TLB
+  // references are hoisted so the per-miss loop is probe + access only.
+  if (ReplayTlb) {
+    if (!ReplayCache)
+      ReplayCache = std::make_unique<sim::TranslationCache>(M.pageTable());
+    sim::TranslationCache &Cache = *ReplayCache;
+    sim::Tlb &Tlb = *ReplayTlb;
+    // The page table cannot mutate while we replay, so the epoch check
+    // runs once here instead of per miss, and the loop needs only the
+    // page size — not the reconstructed frame — from the cache.
+    Cache.revalidate();
+    for (auto &Ctx : Contexts)
+      for (uint64_t Va : Ctx->missBuffer()) {
+        uint64_t PageBytes;
+        if (Cache.translatePageBytes(Va, PageBytes))
+          Tlb.access(Va, PageBytes);
+      }
+  }
+
+  for (auto &Ctx : Contexts)
+    Ctx->recycleMissBuffer();
 }
 
 double Runtime::fastDataRatio() const {
@@ -524,6 +612,14 @@ double Runtime::fastDataRatio() const {
 }
 
 void Runtime::replayTlbAccess(uint64_t Va) {
+  if (!ReplayCache)
+    ReplayCache = std::make_unique<sim::TranslationCache>(M.pageTable());
+  sim::Translation T;
+  if (ReplayCache->translate(Va, T))
+    ReplayTlb->access(Va, T.PageBytes);
+}
+
+void Runtime::replayTlbAccessUncached(uint64_t Va) {
   sim::Translation T;
   if (M.pageTable().translate(Va, T))
     ReplayTlb->access(Va, T.PageBytes);

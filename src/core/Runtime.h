@@ -31,6 +31,7 @@
 #include "profiler/SamplingProfiler.h"
 #include "profiler/TraceFile.h"
 #include "sim/Machine.h"
+#include "sim/TranslationCache.h"
 
 #include <functional>
 #include <memory>
@@ -100,6 +101,13 @@ struct RuntimeConfig {
   /// each thread a private LLC shard of SizeBytes / T plus private stats
   /// and miss buffers, merged deterministically at endIteration().
   uint32_t SimThreads = 1;
+  /// Drains buffered shard misses through the batched pipeline: arithmetic
+  /// sample pre-selection, bulk trace append, parallel indexed attribution,
+  /// and cached TLB-replay translation. false selects the reference
+  /// per-miss drain (per-event countdown, linear attribution walk, uncached
+  /// page-table translation) — observably identical results, kept as the
+  /// equivalence-suite oracle and the perf baseline.
+  bool BatchedDrain = true;
   /// Telemetry collection and export. Constructing a Runtime with
   /// Enabled (or any output path) set arms the process-wide obs switch;
   /// with the default (disabled) config every instrumentation site costs
@@ -248,7 +256,13 @@ public:
   analyzer::AnalyzerConfig &analyzerConfig() { return Config.Analyzer; }
 
 private:
+  /// Replays \p Va against the TLB through the epoch-validated translation
+  /// cache (identical verdicts to a direct page-table walk).
   void replayTlbAccess(uint64_t Va);
+
+  /// Reference replay path: a direct page-table walk per miss, as the
+  /// pre-batching runtime did. Used by the BatchedDrain=false drain.
+  void replayTlbAccessUncached(uint64_t Va);
 
   /// Migrates fast-resident chunks that LastPlan no longer selects back
   /// to the slow tier (the adaptive re-optimization path).
@@ -271,8 +285,16 @@ private:
                      const std::vector<double> *Priorities);
 
   /// Merges shard stats into Stats and replays buffered misses through
-  /// the profiler / trace / TLB consumers, in thread-index order.
+  /// the profiler / trace / TLB consumers, in thread-index order. With
+  /// Config.BatchedDrain this runs the staged pipeline (select →
+  /// attribute in parallel → commit in order); otherwise the reference
+  /// per-miss loop.
   void mergeContexts();
+
+  /// Batched drain stages over the per-context miss buffers.
+  void drainBatched();
+  /// Reference per-miss drain (pre-optimization behaviour).
+  void drainReference();
 
   /// The calling thread's shard binding inside a parallelTracked region.
   /// Owner disambiguates between runtimes when several coexist (the
@@ -300,6 +322,17 @@ private:
   std::unique_ptr<mem::ThreadPool> KernelPool;
   sim::Tlb *ReplayTlb = nullptr;
   prof::TraceWriter *MissTrace = nullptr;
+  /// Direct-mapped translation cache for TLB replay, built lazily on
+  /// first use (only when a replay TLB is attached).
+  std::unique_ptr<sim::TranslationCache> ReplayCache;
+  /// One sample's parallel attribution result, committed serially.
+  struct AttributedSample {
+    mem::Attribution Attr;
+    uint8_t Ok = 0;
+  };
+  /// Reused drain scratch (selection and attribution stages).
+  std::vector<prof::PendingSample> PendingScratch;
+  std::vector<AttributedSample> AttrScratch;
   bool TrackingEnabled = true;
   /// True while a "runtime.iteration" trace span is open (beginIteration
   /// ran with telemetry enabled; endIteration closes it).

@@ -77,9 +77,22 @@ public:
 
   /// Resets per-iteration state (stats and buffered misses). The shard's
   /// cache contents persist across iterations, matching the serial LLC's
-  /// warm behaviour.
+  /// warm behaviour. The miss buffer's capacity is re-reserved from the
+  /// high-water mark recorded by recycleMissBuffer(), so a profiling
+  /// window never regrows the buffer through doubling reallocations.
   void beginIteration() {
     Stats = sim::AccessStats();
+    MissBuffer.clear();
+    if (MissBuffer.capacity() < MissHighWater)
+      MissBuffer.reserve(MissHighWater);
+  }
+
+  /// Called after the end-of-iteration drain: records the drained volume
+  /// as the next iteration's reserve target and empties the buffer
+  /// (capacity is retained).
+  void recycleMissBuffer() {
+    if (MissBuffer.size() > MissHighWater)
+      MissHighWater = MissBuffer.size();
     MissBuffer.clear();
   }
 
@@ -87,6 +100,7 @@ private:
   sim::CacheSim Shard;
   sim::AccessStats Stats;
   std::vector<uint64_t> MissBuffer;
+  size_t MissHighWater = 0;
   bool BufferMisses = false;
 };
 

@@ -3,6 +3,8 @@
 #include "fault/FaultInjection.h"
 #include "support/Error.h"
 
+#include <algorithm>
+
 using namespace atmem;
 using namespace atmem::mem;
 
@@ -72,6 +74,7 @@ DataObject *DataObjectRegistry::tryCreate(const std::string &Name,
   }
   DataObject *Ref = Obj.get();
   Objects.push_back(std::move(Obj));
+  rebuildAttributionIndex();
   return Ref;
 }
 
@@ -81,6 +84,47 @@ void DataObjectRegistry::destroy(ObjectId Id) {
   DataObject &Obj = *Objects[Id];
   M.pageTable().unmapRegion(Obj.va(), Obj.mappedBytes());
   Objects[Id].reset();
+  rebuildAttributionIndex();
+}
+
+void DataObjectRegistry::rebuildAttributionIndex() {
+  AttrIndex.clear();
+  for (const auto &Obj : Objects)
+    if (Obj)
+      AttrIndex.push_back({Obj->va(), Obj->va() + Obj->mappedBytes(),
+                           Obj->id(), Obj->chunkShift()});
+  // The bump allocator hands out ascending, disjoint ranges, so the
+  // registration-order walk above is already sorted; keep the sort as a
+  // guard for any future address-space policy.
+  std::sort(AttrIndex.begin(), AttrIndex.end(),
+            [](const AttrInterval &A, const AttrInterval &B) {
+              return A.Begin < B.Begin;
+            });
+}
+
+bool DataObjectRegistry::attributeIndexed(uint64_t Va, Attribution &Out,
+                                          AttributionHint &Hint) const {
+  const AttrInterval *Iv = nullptr;
+  if (Hint.Slot < AttrIndex.size()) {
+    const AttrInterval &Cand = AttrIndex[Hint.Slot];
+    if (Va >= Cand.Begin && Va < Cand.End)
+      Iv = &Cand;
+  }
+  if (!Iv) {
+    auto It = std::upper_bound(
+        AttrIndex.begin(), AttrIndex.end(), Va,
+        [](uint64_t V, const AttrInterval &I) { return V < I.Begin; });
+    if (It == AttrIndex.begin())
+      return false;
+    --It;
+    if (Va >= It->End)
+      return false;
+    Iv = &*It;
+    Hint.Slot = static_cast<uint32_t>(It - AttrIndex.begin());
+  }
+  Out.Object = Iv->Object;
+  Out.Chunk = static_cast<uint32_t>((Va - Iv->Begin) >> Iv->ChunkShift);
+  return true;
 }
 
 bool DataObjectRegistry::attribute(uint64_t Va, Attribution &Out) const {

@@ -33,6 +33,16 @@ struct Attribution {
   uint32_t Chunk = 0;
 };
 
+/// Caller-owned memo for attributeIndexed(): remembers which interval the
+/// last address landed in. Sampled misses are heavily clustered by object,
+/// so the memo turns most attributions into a bounds check. Each
+/// attributing thread owns its own hint — the registry never writes shared
+/// state on lookups. Padded to a cache line so per-thread hints packed in
+/// an array don't false-share.
+struct alignas(64) AttributionHint {
+  uint32_t Slot = ~0u;
+};
+
 /// Initial placement policy for a new registration.
 enum class InitialPlacement {
   Slow,          ///< Everything on the large-capacity tier (baseline).
@@ -66,8 +76,17 @@ public:
   void destroy(ObjectId Id);
 
   /// Resolves a simulated virtual address to its object and chunk.
-  /// Returns false for addresses outside every live object.
+  /// Returns false for addresses outside every live object. This is the
+  /// linear reference walk; the batched pipeline uses attributeIndexed(),
+  /// which returns identical results (objects never overlap).
   bool attribute(uint64_t Va, Attribution &Out) const;
+
+  /// O(log objects) attribution over a sorted interval index that is
+  /// rebuilt on create/destroy, with an O(1) last-hit fast path through
+  /// \p Hint. Safe to call concurrently from many threads (each with its
+  /// own hint) as long as no object is created or destroyed meanwhile.
+  bool attributeIndexed(uint64_t Va, Attribution &Out,
+                        AttributionHint &Hint) const;
 
   DataObject &object(ObjectId Id);
   const DataObject &object(ObjectId Id) const;
@@ -93,10 +112,23 @@ public:
   }
 
 private:
+  /// One live object's address range, denormalized for attribution.
+  struct AttrInterval {
+    uint64_t Begin = 0; ///< Object VA.
+    uint64_t End = 0;   ///< Object VA + mapped bytes.
+    ObjectId Object = 0;
+    uint32_t ChunkShift = 0;
+  };
+
+  void rebuildAttributionIndex();
+
   sim::Machine &M;
   AddressSpace Space;
   /// Index = ObjectId; nullptr for destroyed objects.
   std::vector<std::unique_ptr<DataObject>> Objects;
+  /// Live-object ranges sorted by Begin (ranges are disjoint — the
+  /// address space never reuses or overlaps allocations).
+  std::vector<AttrInterval> AttrIndex;
 };
 
 } // namespace mem

@@ -7,8 +7,10 @@ ProfileSource::~ProfileSource() = default;
 
 void OfflineProfiler::notifyMiss(uint64_t Va) {
   ++Misses;
+  // Offline replay touches every trace event (no sampling), so the
+  // hinted interval index matters even more here than in the sampler.
   mem::Attribution Attr;
-  if (!Registry.attribute(Va, Attr))
+  if (!Registry.attributeIndexed(Va, Attr, Hint))
     return;
   if (Profiles.size() <= Attr.Object)
     Profiles.resize(Attr.Object + 1);

@@ -53,6 +53,7 @@ public:
 private:
   mem::DataObjectRegistry &Registry;
   std::vector<ObjectProfile> Profiles;
+  mem::AttributionHint Hint;
   uint64_t Misses = 0;
 };
 

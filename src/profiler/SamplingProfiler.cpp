@@ -96,6 +96,28 @@ void SamplingProfiler::stop() {
 }
 
 void SamplingProfiler::recordSample(uint64_t Va) {
+  // The sample is weighted by the period in force when it was taken, so
+  // capture it before the budget check below may double it.
+  PendingSample S{Va, Period};
+  ++SamplesTaken;
+  // Budget control: once the budget is consumed, halve the sampling rate.
+  // Estimates stay unbiased because each sample is weighted by the period
+  // in force when it was taken.
+  if (SamplesTaken % SampleBudget == 0)
+    Period *= 2;
+  mem::Attribution Attr;
+  bool Attributed = Registry.attributeIndexed(Va, Attr, Hint);
+  commitSample(S, Attributed, Attr);
+}
+
+void SamplingProfiler::notifyMissReference(uint64_t Va) {
+  if (!Active)
+    return;
+  ++MissesSeen;
+  if (--Countdown != 0)
+    return;
+  // Original per-sample body: linear registry walk, accumulate at the
+  // pre-doubling period, then adapt.
   ++SamplesTaken;
   mem::Attribution Attr;
   if (Registry.attribute(Va, Attr)) {
@@ -110,11 +132,59 @@ void SamplingProfiler::recordSample(uint64_t Va) {
     ++Profile.Samples[Attr.Chunk];
     Profile.EstimatedMisses[Attr.Chunk] += static_cast<double>(Period);
   }
-  // Budget control: once the budget is consumed, halve the sampling rate.
-  // Estimates stay unbiased because each sample is weighted by the period
-  // in force when it was taken.
   if (SamplesTaken % SampleBudget == 0)
     Period *= 2;
+  Countdown = Period;
+}
+
+void SamplingProfiler::selectSamples(const uint64_t *Vas, size_t N,
+                                     std::vector<PendingSample> &Out) {
+  if (!Active)
+    return;
+  // Equivalent to N ordered notifyMiss() calls: with Countdown events left
+  // before the next sample, a span of R remaining misses contains a sample
+  // iff R >= Countdown, and it is the (Countdown-1)-th of them. Everything
+  // between samples is skipped in one arithmetic stride.
+  size_t I = 0;
+  while (N - I >= Countdown) {
+    I += static_cast<size_t>(Countdown) - 1;
+    Out.push_back({Vas[I], Period});
+    ++I;
+    ++SamplesTaken;
+    if (SamplesTaken % SampleBudget == 0)
+      Period *= 2;
+    Countdown = Period;
+  }
+  Countdown -= N - I;
+  MissesSeen += N;
+}
+
+void SamplingProfiler::commitSample(const PendingSample &S, bool Attributed,
+                                    const mem::Attribution &Attr) {
+  if (!Attributed)
+    return;
+  if (Profiles.size() <= Attr.Object)
+    Profiles.resize(Attr.Object + 1);
+  ObjectProfile &Profile = Profiles[Attr.Object];
+  if (Profile.Samples.empty()) {
+    uint32_t Chunks = Registry.object(Attr.Object).numChunks();
+    Profile.Samples.assign(Chunks, 0);
+    Profile.EstimatedMisses.assign(Chunks, 0.0);
+  }
+  ++Profile.Samples[Attr.Chunk];
+  Profile.EstimatedMisses[Attr.Chunk] += static_cast<double>(S.PeriodInForce);
+}
+
+void SamplingProfiler::notifyMissBatch(const uint64_t *Vas, size_t N) {
+  if (!Active || N == 0)
+    return;
+  PendingScratch.clear();
+  selectSamples(Vas, N, PendingScratch);
+  for (const PendingSample &S : PendingScratch) {
+    mem::Attribution Attr;
+    bool Attributed = Registry.attributeIndexed(S.Va, Attr, Hint);
+    commitSample(S, Attributed, Attr);
+  }
 }
 
 double SamplingProfiler::overheadSeconds() const {

@@ -49,6 +49,15 @@ struct ProfilerConfig {
   double SampleCostSec = 250e-9;
 };
 
+/// A miss selected for sampling by the batched pre-scan, not yet
+/// attributed to an (object, chunk). PeriodInForce is the period at the
+/// moment of selection — each sample is weighted by it, which keeps the
+/// miss estimates unbiased across budget-driven period doubling.
+struct PendingSample {
+  uint64_t Va = 0;
+  uint64_t PeriodInForce = 0;
+};
+
 /// Sampling profiler over the simulated miss stream.
 class SamplingProfiler : public ProfileSource {
 public:
@@ -75,6 +84,33 @@ public:
     recordSample(Va);
     Countdown = Period;
   }
+
+  /// Batched equivalent of calling notifyMiss() on each of \p N misses in
+  /// order, with identical observable state afterwards. The countdown
+  /// advances arithmetically in Period-sized strides instead of
+  /// decrementing per miss, and attribution goes through the registry's
+  /// interval index.
+  void notifyMissBatch(const uint64_t *Vas, size_t N);
+
+  /// Reference per-miss drain: the pre-optimization path (per-event
+  /// countdown, linear registry walk). Kept so the equivalence suite and
+  /// the micro benchmark can compare the batched pipeline against the
+  /// original behaviour byte for byte.
+  void notifyMissReference(uint64_t Va);
+
+  /// Stage 1 of the batched drain: advances the sampling state over \p N
+  /// ordered misses and appends the selected samples to \p Out without
+  /// attributing them. Selection depends only on miss order — never on
+  /// attribution results — which is what lets stage 2 run in parallel.
+  void selectSamples(const uint64_t *Vas, size_t N,
+                     std::vector<PendingSample> &Out);
+
+  /// Stage 3 of the batched drain: folds one selected sample into the
+  /// per-chunk profiles. Must be called in selection order (floating-point
+  /// accumulation order is part of the bit-identical contract).
+  /// \p Attributed mirrors the registry lookup result for \p S.Va.
+  void commitSample(const PendingSample &S, bool Attributed,
+                    const mem::Attribution &Attr);
 
   /// Sampling period currently in force.
   uint64_t period() const override { return Period; }
@@ -117,6 +153,10 @@ private:
   uint32_t Threads = 1;
   /// Indexed by ObjectId; entries sized lazily on first sample.
   std::vector<ObjectProfile> Profiles;
+  /// Last-hit memo for indexed attribution on the serial paths.
+  mem::AttributionHint Hint;
+  /// Reused selection buffer for notifyMissBatch.
+  std::vector<PendingSample> PendingScratch;
 };
 
 } // namespace prof

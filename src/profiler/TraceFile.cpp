@@ -37,6 +37,11 @@ void TraceWriter::flush() {
   Buffer.clear();
 }
 
+void TraceWriter::writeDirect(const uint64_t *Vas, size_t N) {
+  if (std::fwrite(Vas, sizeof(uint64_t), N, File) != N)
+    WriteFailed = true;
+}
+
 bool TraceWriter::finish() {
   if (!File)
     return false;

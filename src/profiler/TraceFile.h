@@ -59,6 +59,26 @@ public:
       flush();
   }
 
+  /// Appends \p N miss addresses in order — one bulk write instead of N
+  /// per-event calls. The resulting file bytes are identical to N
+  /// record() calls (the event stream alone determines the output):
+  /// small batches join the buffer; flush-sized ones drain any pending
+  /// events first and then stream straight from the caller's array,
+  /// skipping the intermediate copy entirely.
+  void recordBatch(const uint64_t *Vas, size_t N) {
+    if (!File || N == 0)
+      return;
+    Events += N;
+    if (N >= FlushThreshold) {
+      flush(); // Older buffered events must precede the batch on disk.
+      writeDirect(Vas, N);
+      return;
+    }
+    Buffer.insert(Buffer.end(), Vas, Vas + N);
+    if (Buffer.size() >= FlushThreshold)
+      flush();
+  }
+
   /// Flushes buffers, patches the header, and closes. Returns false when
   /// any write failed.
   bool finish();
@@ -68,6 +88,8 @@ public:
 
 private:
   void flush();
+  /// Writes \p N events from \p Vas to the file without buffering.
+  void writeDirect(const uint64_t *Vas, size_t N);
 
   static constexpr size_t FlushThreshold = 1 << 16;
 

@@ -29,29 +29,42 @@ bool CacheSim::access(uint64_t Va) {
   uint64_t Line = Va >> LineShift;
   uint32_t Set = static_cast<uint32_t>(Line & (Sets - 1));
   uint64_t Tag = Line >> SetShift;
-  size_t Base = static_cast<size_t>(Set) * Ways;
+  uint64_t *TagRow = Tags.data() + static_cast<size_t>(Set) * Ways;
+  uint64_t *StampRow = Stamps.data() + static_cast<size_t>(Set) * Ways;
+#if defined(__GNUC__) || defined(__clang__)
+  // The stamp row is only touched after the tag probe resolves; start the
+  // load early so a hit's stamp update doesn't stall.
+  __builtin_prefetch(StampRow, 1);
+#endif
   ++Clock;
-  uint64_t Stamp = Clock;
 
-  size_t Victim = Base;
-  uint64_t VictimStamp = ~0ull;
-  for (size_t I = Base; I < Base + Ways; ++I) {
-    if (Tags[I] == Tag) {
-      Stamps[I] = Stamp;
+  // Hit probe: tag-only scan with no victim bookkeeping — hits are the
+  // overwhelmingly common case on warm sets.
+  for (uint32_t I = 0; I < Ways; ++I) {
+    if (TagRow[I] == Tag) {
+      StampRow[I] = Clock;
       ++Hits;
       return true;
     }
-    if (Tags[I] == ~0ull) {
+  }
+
+  // Miss: same victim rule as the historical fused loop — the last invalid
+  // way if any, otherwise the first way holding the minimal stamp — so
+  // replacement decisions stay bit-identical.
+  uint32_t Victim = 0;
+  uint64_t VictimStamp = ~0ull;
+  for (uint32_t I = 0; I < Ways; ++I) {
+    if (TagRow[I] == ~0ull) {
       Victim = I;
       VictimStamp = 0;
-    } else if (Stamps[I] < VictimStamp) {
+    } else if (StampRow[I] < VictimStamp) {
       Victim = I;
-      VictimStamp = Stamps[I];
+      VictimStamp = StampRow[I];
     }
   }
   ++Misses;
-  Tags[Victim] = Tag;
-  Stamps[Victim] = Stamp;
+  TagRow[Victim] = Tag;
+  StampRow[Victim] = Clock;
   return false;
 }
 

@@ -64,6 +64,9 @@ private:
   uint64_t Clock = 0;
   uint64_t Hits = 0;
   uint64_t Misses = 0;
+  /// Struct-of-arrays set storage: the hit probe scans only the tag row
+  /// (one or two cache lines per set), touching stamps just to refresh the
+  /// LRU position; the victim scan on a miss reads both rows.
   std::vector<uint64_t> Tags;   ///< Sets*Ways tags; ~0 means invalid.
   /// LRU stamps parallel to Tags. Full-width: a uint32_t stamp silently
   /// wraps after 2^32 accesses, inverting the LRU order for long runs.

@@ -2,6 +2,7 @@
 
 #include "support/Error.h"
 
+#include <algorithm>
 #include <cassert>
 
 using namespace atmem;
@@ -9,6 +10,7 @@ using namespace atmem::sim;
 
 static constexpr uint64_t SmallShift = 12;
 static constexpr uint64_t HugeShift = 21;
+static constexpr uint64_t VpnsPerHuge = FramesPerHugeBlock;
 
 PageTable::PageTable(FrameAllocator &FastAlloc, FrameAllocator &SlowAlloc)
     : FastAlloc(FastAlloc), SlowAlloc(SlowAlloc) {
@@ -16,14 +18,120 @@ PageTable::PageTable(FrameAllocator &FastAlloc, FrameAllocator &SlowAlloc)
   assert(SlowAlloc.tier() == TierId::Slow && "allocator order swapped");
 }
 
+//===----------------------------------------------------------------------===//
+// Region directory
+//===----------------------------------------------------------------------===//
+
+PageTable::Region *PageTable::regionOf(uint64_t Vpn) {
+  return const_cast<Region *>(
+      static_cast<const PageTable *>(this)->regionOf(Vpn));
+}
+
+const PageTable::Region *PageTable::regionOf(uint64_t Vpn) const {
+  auto It = std::upper_bound(
+      Regions.begin(), Regions.end(), Vpn,
+      [](uint64_t V, const Region &R) { return V < R.BeginVpn; });
+  if (It == Regions.begin())
+    return nullptr;
+  const Region &R = *std::prev(It);
+  return Vpn < R.EndVpn ? &R : nullptr;
+}
+
+PageTable::Region &PageTable::ensureRegion(uint64_t BeginVpn,
+                                           uint64_t EndVpn) {
+  // First region whose end reaches the new range (overlap or touch).
+  auto First = std::lower_bound(
+      Regions.begin(), Regions.end(), BeginVpn,
+      [](const Region &R, uint64_t V) { return R.EndVpn < V; });
+  auto Last = First;
+  uint64_t NewBegin = BeginVpn;
+  uint64_t NewEnd = EndVpn;
+  while (Last != Regions.end() && Last->BeginVpn <= EndVpn) {
+    NewBegin = std::min(NewBegin, Last->BeginVpn);
+    NewEnd = std::max(NewEnd, Last->EndVpn);
+    ++Last;
+  }
+  if (First == Last) {
+    Region Fresh;
+    Fresh.BeginVpn = BeginVpn;
+    Fresh.EndVpn = EndVpn;
+    Fresh.Slots.assign(EndVpn - BeginVpn, 0);
+    return *Regions.insert(First, std::move(Fresh));
+  }
+  if (First + 1 == Last && First->BeginVpn <= BeginVpn &&
+      First->EndVpn >= EndVpn)
+    return *First;
+  Region Merged;
+  Merged.BeginVpn = NewBegin;
+  Merged.EndVpn = NewEnd;
+  Merged.Slots.assign(NewEnd - NewBegin, 0);
+  for (auto It = First; It != Last; ++It) {
+    std::copy(It->Slots.begin(), It->Slots.end(),
+              Merged.Slots.begin() + (It->BeginVpn - NewBegin));
+    Merged.LiveSlots += It->LiveSlots;
+  }
+  auto At = Regions.erase(First, Last);
+  return *Regions.insert(At, std::move(Merged));
+}
+
+void PageTable::pruneEmptyRegions(uint64_t BeginVpn, uint64_t EndVpn) {
+  Regions.erase(std::remove_if(Regions.begin(), Regions.end(),
+                               [&](const Region &R) {
+                                 return R.LiveSlots == 0 &&
+                                        R.BeginVpn < EndVpn &&
+                                        R.EndVpn > BeginVpn;
+                               }),
+                Regions.end());
+}
+
+void PageTable::writeSmall(Region &R, uint64_t Vpn, uint64_t Frame,
+                           TierId Tier) {
+  uint64_t &S = R.slot(Vpn);
+  assert(!(S & SlotValid) && "mapping over a live page");
+  S = packSlot(Frame, Tier, false);
+  ++R.LiveSlots;
+  ++SmallCount;
+}
+
+void PageTable::writeHuge(Region &R, uint64_t BaseVpn, uint64_t FrameBase,
+                          TierId Tier) {
+  for (uint64_t I = 0; I < VpnsPerHuge; ++I) {
+    uint64_t &S = R.slot(BaseVpn + I);
+    assert(!(S & SlotValid) && "mapping over a live page");
+    S = packSlot(FrameBase + I, Tier, true);
+  }
+  R.LiveSlots += VpnsPerHuge;
+  ++HugeCount;
+}
+
+void PageTable::clearSmall(Region &R, uint64_t Vpn) {
+  assert((R.slot(Vpn) & SlotValid) && "clearing a dead slot");
+  R.slot(Vpn) = 0;
+  --R.LiveSlots;
+  --SmallCount;
+}
+
+void PageTable::clearHuge(Region &R, uint64_t BaseVpn) {
+  for (uint64_t I = 0; I < VpnsPerHuge; ++I)
+    R.slot(BaseVpn + I) = 0;
+  R.LiveSlots -= VpnsPerHuge;
+  --HugeCount;
+}
+
+//===----------------------------------------------------------------------===//
+// Mapping policies
+//===----------------------------------------------------------------------===//
+
 bool PageTable::mapRegion(uint64_t Va, uint64_t Size, TierId Tier,
                           bool PreferHuge) {
   assert(Va % SmallPageBytes == 0 && "unaligned region base");
   assert(Size % SmallPageBytes == 0 && "unaligned region size");
+  ++Epoch;
   FrameAllocator &Alloc = allocator(Tier);
   if (Alloc.freeBytes() < Size)
     return false;
 
+  Region &R = ensureRegion(Va >> SmallShift, (Va + Size) >> SmallShift);
   uint64_t Pos = Va;
   uint64_t End = Va + Size;
   while (Pos < End) {
@@ -31,15 +139,16 @@ bool PageTable::mapRegion(uint64_t Va, uint64_t Size, TierId Tier,
                    End - Pos >= HugePageBytes;
     if (CanHuge) {
       auto Base = Alloc.allocateHuge();
-      assert(Base && "capacity pre-checked");
-      HugePages[Pos >> HugeShift] = {*Base, Tier};
+      if (!Base)
+        reportFatalError("huge block exhausted after byte-capacity check");
+      writeHuge(R, Pos >> SmallShift, *Base, Tier);
       MappedBytes[tierIndex(Tier)] += HugePageBytes;
       Pos += HugePageBytes;
       continue;
     }
     auto Frame = Alloc.allocateSmall();
     assert(Frame && "capacity pre-checked");
-    SmallPages[Pos >> SmallShift] = {*Frame, Tier};
+    writeSmall(R, Pos >> SmallShift, *Frame, Tier);
     MappedBytes[tierIndex(Tier)] += SmallPageBytes;
     Pos += SmallPageBytes;
   }
@@ -50,8 +159,10 @@ uint64_t PageTable::mapRegionPreferred(uint64_t Va, uint64_t Size,
                                        TierId Preferred, bool PreferHuge) {
   assert(Va % SmallPageBytes == 0 && "unaligned region base");
   assert(Size % SmallPageBytes == 0 && "unaligned region size");
+  ++Epoch;
   FrameAllocator &Pref = allocator(Preferred);
   FrameAllocator &Fallback = allocator(otherTier(Preferred));
+  Region &R = ensureRegion(Va >> SmallShift, (Va + Size) >> SmallShift);
   uint64_t OnPreferred = 0;
 
   uint64_t Pos = Va;
@@ -61,14 +172,14 @@ uint64_t PageTable::mapRegionPreferred(uint64_t Va, uint64_t Size,
                    End - Pos >= HugePageBytes;
     if (CanHuge) {
       if (auto Base = Pref.allocateHuge()) {
-        HugePages[Pos >> HugeShift] = {*Base, Preferred};
+        writeHuge(R, Pos >> SmallShift, *Base, Preferred);
         MappedBytes[tierIndex(Preferred)] += HugePageBytes;
         OnPreferred += HugePageBytes;
         Pos += HugePageBytes;
         continue;
       }
       if (auto Base = Fallback.allocateHuge()) {
-        HugePages[Pos >> HugeShift] = {*Base, otherTier(Preferred)};
+        writeHuge(R, Pos >> SmallShift, *Base, otherTier(Preferred));
         MappedBytes[tierIndex(otherTier(Preferred))] += HugePageBytes;
         Pos += HugePageBytes;
         continue;
@@ -77,11 +188,11 @@ uint64_t PageTable::mapRegionPreferred(uint64_t Va, uint64_t Size,
       // pages for this stretch.
     }
     if (auto Frame = Pref.allocateSmall()) {
-      SmallPages[Pos >> SmallShift] = {*Frame, Preferred};
+      writeSmall(R, Pos >> SmallShift, *Frame, Preferred);
       MappedBytes[tierIndex(Preferred)] += SmallPageBytes;
       OnPreferred += SmallPageBytes;
     } else if (auto Frame2 = Fallback.allocateSmall()) {
-      SmallPages[Pos >> SmallShift] = {*Frame2, otherTier(Preferred)};
+      writeSmall(R, Pos >> SmallShift, *Frame2, otherTier(Preferred));
       MappedBytes[tierIndex(otherTier(Preferred))] += SmallPageBytes;
     } else {
       reportFatalError("simulated machine out of physical memory");
@@ -95,6 +206,8 @@ uint64_t PageTable::mapRegionInterleaved(uint64_t Va, uint64_t Size,
                                          bool PreferHuge) {
   assert(Va % SmallPageBytes == 0 && "unaligned region base");
   assert(Size % SmallPageBytes == 0 && "unaligned region size");
+  ++Epoch;
+  Region &R = ensureRegion(Va >> SmallShift, (Va + Size) >> SmallShift);
   uint64_t OnFast = 0;
   uint64_t Pos = Va;
   uint64_t End = Va + Size;
@@ -110,12 +223,12 @@ uint64_t PageTable::mapRegionInterleaved(uint64_t Va, uint64_t Size,
         auto Base = Alloc.allocateHuge();
         if (!Base)
           return false;
-        HugePages[Pos >> HugeShift] = {*Base, Tier};
+        writeHuge(R, Pos >> SmallShift, *Base, Tier);
       } else {
         auto Frame = Alloc.allocateSmall();
         if (!Frame)
           return false;
-        SmallPages[Pos >> SmallShift] = {*Frame, Tier};
+        writeSmall(R, Pos >> SmallShift, *Frame, Tier);
       }
       MappedBytes[tierIndex(Tier)] += PageBytes;
       if (Tier == TierId::Fast)
@@ -130,40 +243,48 @@ uint64_t PageTable::mapRegionInterleaved(uint64_t Va, uint64_t Size,
 }
 
 void PageTable::unmapRegion(uint64_t Va, uint64_t Size) {
+  ++Epoch;
   uint64_t Pos = Va;
   uint64_t End = Va + Size;
   while (Pos < End) {
-    if (Pos % HugePageBytes == 0) {
-      auto It = HugePages.find(Pos >> HugeShift);
-      if (It != HugePages.end()) {
-        allocator(It->second.Tier).freeHuge(It->second.FrameBase);
-        MappedBytes[tierIndex(It->second.Tier)] -= HugePageBytes;
-        HugePages.erase(It);
-        Pos += HugePageBytes;
-        continue;
-      }
-    }
-    auto It = SmallPages.find(Pos >> SmallShift);
-    if (It == SmallPages.end())
+    Region *R = regionOf(Pos >> SmallShift);
+    uint64_t S = R ? R->slot(Pos >> SmallShift) : 0;
+    if (!(S & SlotValid))
       reportFatalError("unmapRegion over unmapped page");
-    allocator(It->second.Tier).freeSmall(It->second.FrameBase);
-    MappedBytes[tierIndex(It->second.Tier)] -= SmallPageBytes;
-    SmallPages.erase(It);
-    Pos += SmallPageBytes;
+    if (S & SlotHuge) {
+      // A huge page must sit entirely inside the range, so Pos is its base.
+      if (Pos % HugePageBytes != 0)
+        reportFatalError("unmapRegion over unmapped page");
+      allocator(slotTier(S)).freeHuge(slotFrame(S));
+      MappedBytes[tierIndex(slotTier(S))] -= HugePageBytes;
+      clearHuge(*R, Pos >> SmallShift);
+      Pos += HugePageBytes;
+    } else {
+      allocator(slotTier(S)).freeSmall(slotFrame(S));
+      MappedBytes[tierIndex(slotTier(S))] -= SmallPageBytes;
+      clearSmall(*R, Pos >> SmallShift);
+      Pos += SmallPageBytes;
+    }
   }
+  pruneEmptyRegions(Va >> SmallShift, (End + SmallPageBytes - 1) >> SmallShift);
 }
 
 bool PageTable::splitCoveringHugePage(uint64_t Va) {
-  uint64_t HugeVpn = Va >> HugeShift;
-  auto It = HugePages.find(HugeVpn);
-  if (It == HugePages.end())
+  Region *R = regionOf(Va >> SmallShift);
+  if (!R)
     return false;
-  Entry Huge = It->second;
-  HugePages.erase(It);
-  allocator(Huge.Tier).splitHuge(Huge.FrameBase);
-  uint64_t BaseVpn = HugeVpn << (HugeShift - SmallShift);
-  for (uint64_t I = 0; I < FramesPerHugeBlock; ++I)
-    SmallPages[BaseVpn + I] = {Huge.FrameBase + I, Huge.Tier};
+  uint64_t S = R->slot(Va >> SmallShift);
+  if (!(S & SlotValid) || !(S & SlotHuge))
+    return false;
+  uint64_t BaseVpn = (Va >> HugeShift) << (HugeShift - SmallShift);
+  uint64_t FrameBase = slotFrame(R->slot(BaseVpn));
+  allocator(slotTier(S)).splitHuge(FrameBase);
+  // Each slot already carries its own frame number; dropping the huge bit
+  // turns the block into 512 small PTEs on the same frames.
+  for (uint64_t I = 0; I < VpnsPerHuge; ++I)
+    R->slot(BaseVpn + I) &= ~SlotHuge;
+  --HugeCount;
+  SmallCount += VpnsPerHuge;
   return true;
 }
 
@@ -171,6 +292,7 @@ bool PageTable::remapRange(uint64_t Va, uint64_t Size, TierId NewTier,
                            bool PreferHuge, uint64_t *PagesTouched) {
   assert(Va % SmallPageBytes == 0 && "unaligned range base");
   assert(Size % SmallPageBytes == 0 && "unaligned range size");
+  ++Epoch;
   uint64_t End = Va + Size;
   // Huge pages straddling either boundary must split so the remap touches
   // exactly the requested range.
@@ -200,20 +322,24 @@ bool PageTable::remapRange(uint64_t Va, uint64_t Size, TierId NewTier,
     if (WantHuge) {
       // Release everything currently backing [Pos, Pos + 2 MiB).
       uint64_t Stop = Pos + HugePageBytes;
+      Region *R = regionOf(Pos >> SmallShift);
+      if (!R)
+        reportFatalError("remapRange over unmapped page");
       for (uint64_t P = Pos; P < Stop;) {
-        Translation T;
-        if (!translate(P, T))
+        uint64_t S = R->slot(P >> SmallShift);
+        if (!(S & SlotValid))
           reportFatalError("remapRange over unmapped page");
-        if (T.PageBytes == HugePageBytes) {
-          allocator(T.Tier).freeHuge(T.FrameBase);
-          MappedBytes[tierIndex(T.Tier)] -= HugePageBytes;
-          HugePages.erase(P >> HugeShift);
+        if (S & SlotHuge) {
+          allocator(slotTier(S)).freeHuge(slotFrame(S));
+          MappedBytes[tierIndex(slotTier(S))] -= HugePageBytes;
+          clearHuge(*R, P >> SmallShift);
+          P += HugePageBytes;
         } else {
-          allocator(T.Tier).freeSmall(T.FrameBase);
-          MappedBytes[tierIndex(T.Tier)] -= SmallPageBytes;
-          SmallPages.erase(P >> SmallShift);
+          allocator(slotTier(S)).freeSmall(slotFrame(S));
+          MappedBytes[tierIndex(slotTier(S))] -= SmallPageBytes;
+          clearSmall(*R, P >> SmallShift);
+          P += SmallPageBytes;
         }
-        P = T.PageVa + T.PageBytes;
       }
       auto Base = allocator(NewTier).allocateHuge();
       if (!Base) {
@@ -222,12 +348,12 @@ bool PageTable::remapRange(uint64_t Va, uint64_t Size, TierId NewTier,
         for (uint64_t P = Pos; P < Stop; P += SmallPageBytes) {
           auto Frame = allocator(NewTier).allocateSmall();
           assert(Frame && "byte capacity verified above");
-          SmallPages[P >> SmallShift] = {*Frame, NewTier};
+          writeSmall(*R, P >> SmallShift, *Frame, NewTier);
           MappedBytes[tierIndex(NewTier)] += SmallPageBytes;
           ++Touched;
         }
       } else {
-        HugePages[Pos >> HugeShift] = {*Base, NewTier};
+        writeHuge(*R, Pos >> SmallShift, *Base, NewTier);
         MappedBytes[tierIndex(NewTier)] += HugePageBytes;
         ++Touched;
       }
@@ -237,14 +363,15 @@ bool PageTable::remapRange(uint64_t Va, uint64_t Size, TierId NewTier,
     // Small-page stretch (unaligned head/tail, or PreferHuge=false over a
     // huge mapping — split it down first).
     splitCoveringHugePage(Pos);
-    auto It = SmallPages.find(Pos >> SmallShift);
-    if (It == SmallPages.end())
+    Region *R = regionOf(Pos >> SmallShift);
+    uint64_t *S = R ? &R->slot(Pos >> SmallShift) : nullptr;
+    if (!S || !(*S & SlotValid))
       reportFatalError("remapRange over unmapped page");
-    allocator(It->second.Tier).freeSmall(It->second.FrameBase);
-    MappedBytes[tierIndex(It->second.Tier)] -= SmallPageBytes;
+    allocator(slotTier(*S)).freeSmall(slotFrame(*S));
+    MappedBytes[tierIndex(slotTier(*S))] -= SmallPageBytes;
     auto Frame = allocator(NewTier).allocateSmall();
     assert(Frame && "byte capacity verified above");
-    It->second = {*Frame, NewTier};
+    *S = packSlot(*Frame, NewTier, false);
     MappedBytes[tierIndex(NewTier)] += SmallPageBytes;
     ++Touched;
     Pos += SmallPageBytes;
@@ -255,59 +382,77 @@ bool PageTable::remapRange(uint64_t Va, uint64_t Size, TierId NewTier,
 }
 
 bool PageTable::movePage(uint64_t Va, TierId NewTier, bool *SplitHugePage) {
+  ++Epoch;
   bool Split = splitCoveringHugePage(Va);
   if (SplitHugePage)
     *SplitHugePage = Split;
-  auto It = SmallPages.find(Va >> SmallShift);
-  if (It == SmallPages.end())
+  Region *R = regionOf(Va >> SmallShift);
+  uint64_t *S = R ? &R->slot(Va >> SmallShift) : nullptr;
+  if (!S || !(*S & SlotValid))
     reportFatalError("movePage over unmapped page");
-  if (It->second.Tier == NewTier)
+  if (slotTier(*S) == NewTier)
     return true;
   auto Frame = allocator(NewTier).allocateSmall();
   if (!Frame)
     return false;
-  allocator(It->second.Tier).freeSmall(It->second.FrameBase);
-  MappedBytes[tierIndex(It->second.Tier)] -= SmallPageBytes;
-  It->second = {*Frame, NewTier};
+  allocator(slotTier(*S)).freeSmall(slotFrame(*S));
+  MappedBytes[tierIndex(slotTier(*S))] -= SmallPageBytes;
+  *S = packSlot(*Frame, NewTier, false);
   MappedBytes[tierIndex(NewTier)] += SmallPageBytes;
   return true;
 }
 
 bool PageTable::translate(uint64_t Va, Translation &Out) const {
-  auto HugeIt = HugePages.find(Va >> HugeShift);
-  if (HugeIt != HugePages.end()) {
+  uint64_t Vpn = Va >> SmallShift;
+  const Region *R = regionOf(Vpn);
+  if (!R)
+    return false;
+  uint64_t S = R->slot(Vpn);
+  if (!(S & SlotValid))
+    return false;
+  if (S & SlotHuge) {
     Out.PageVa = (Va >> HugeShift) << HugeShift;
     Out.PageBytes = HugePageBytes;
-    Out.FrameBase = HugeIt->second.FrameBase;
-    Out.Tier = HugeIt->second.Tier;
+    Out.FrameBase = slotFrame(S) - (Vpn & (VpnsPerHuge - 1));
+    Out.Tier = slotTier(S);
     return true;
   }
-  auto SmallIt = SmallPages.find(Va >> SmallShift);
-  if (SmallIt == SmallPages.end())
-    return false;
-  Out.PageVa = (Va >> SmallShift) << SmallShift;
+  Out.PageVa = Vpn << SmallShift;
   Out.PageBytes = SmallPageBytes;
-  Out.FrameBase = SmallIt->second.FrameBase;
-  Out.Tier = SmallIt->second.Tier;
+  Out.FrameBase = slotFrame(S);
+  Out.Tier = slotTier(S);
   return true;
 }
 
 void PageTable::forEachMapping(
     const std::function<void(const Translation &)> &Fn) const {
   Translation T;
-  for (const auto &[Key, Entry] : HugePages) {
-    T.PageVa = Key << HugeShift;
-    T.PageBytes = HugePageBytes;
-    T.FrameBase = Entry.FrameBase;
-    T.Tier = Entry.Tier;
-    Fn(T);
-  }
-  for (const auto &[Key, Entry] : SmallPages) {
-    T.PageVa = Key << SmallShift;
-    T.PageBytes = SmallPageBytes;
-    T.FrameBase = Entry.FrameBase;
-    T.Tier = Entry.Tier;
-    Fn(T);
+  for (const Region &R : Regions) {
+    uint64_t I = 0;
+    while (I < R.Slots.size()) {
+      uint64_t S = R.Slots[I];
+      if (!(S & SlotValid)) {
+        ++I;
+        continue;
+      }
+      uint64_t Vpn = R.BeginVpn + I;
+      if (S & SlotHuge) {
+        uint64_t BaseVpn = Vpn & ~(VpnsPerHuge - 1);
+        T.PageVa = BaseVpn << SmallShift;
+        T.PageBytes = HugePageBytes;
+        T.FrameBase = slotFrame(S) - (Vpn - BaseVpn);
+        T.Tier = slotTier(S);
+        Fn(T);
+        I = BaseVpn + VpnsPerHuge - R.BeginVpn;
+        continue;
+      }
+      T.PageVa = Vpn << SmallShift;
+      T.PageBytes = SmallPageBytes;
+      T.FrameBase = slotFrame(S);
+      T.Tier = slotTier(S);
+      Fn(T);
+      ++I;
+    }
   }
 }
 

@@ -3,6 +3,7 @@
 #include "sim/FrameAllocator.h"
 #include "support/Error.h"
 
+#include <bit>
 #include <cassert>
 
 using namespace atmem;
@@ -10,64 +11,34 @@ using namespace atmem::sim;
 
 TlbArray::TlbArray(uint32_t TotalEntries, uint32_t Ways, uint64_t PageBytes)
     : Sets(TotalEntries / Ways), Ways(Ways), PageBytes(PageBytes),
-      Entries(TotalEntries) {
+      Vpns(TotalEntries, InvalidVpn), Stamps(TotalEntries, 0) {
   assert(Ways > 0 && TotalEntries % Ways == 0 &&
          "entry count must be a multiple of associativity");
   assert(Sets > 0 && "TLB must have at least one set");
-}
-
-bool TlbArray::access(uint64_t Va) {
-  uint64_t Vpn = Va / PageBytes;
-  uint32_t Set = static_cast<uint32_t>(Vpn % Sets);
-  Way *Base = &Entries[static_cast<size_t>(Set) * Ways];
-  ++Clock;
-
-  Way *Victim = Base;
-  for (uint32_t I = 0; I < Ways; ++I) {
-    Way &W = Base[I];
-    if (W.Valid && W.Vpn == Vpn) {
-      W.Stamp = Clock;
-      ++Hits;
-      return true;
-    }
-    if (!W.Valid) {
-      Victim = &W;
-    } else if (Victim->Valid && W.Stamp < Victim->Stamp) {
-      Victim = &W;
-    }
-  }
-  ++Misses;
-  Victim->Vpn = Vpn;
-  Victim->Stamp = Clock;
-  Victim->Valid = true;
-  return false;
+  // All shipped TLB geometries have power-of-two set counts; keep the
+  // modulo path only for odd test configurations.
+  SetMask = (Sets & (Sets - 1)) == 0 ? Sets - 1 : 0;
+  PageShift = (PageBytes & (PageBytes - 1)) == 0
+                  ? static_cast<uint32_t>(63 - std::countl_zero(PageBytes))
+                  : 0;
 }
 
 void TlbArray::flushPage(uint64_t Va) {
-  uint64_t Vpn = Va / PageBytes;
-  uint32_t Set = static_cast<uint32_t>(Vpn % Sets);
-  Way *Base = &Entries[static_cast<size_t>(Set) * Ways];
+  uint64_t Vpn = PageShift ? Va >> PageShift : Va / PageBytes;
+  uint64_t *VpnRow = Vpns.data() + static_cast<size_t>(setOf(Vpn)) * Ways;
   for (uint32_t I = 0; I < Ways; ++I)
-    if (Base[I].Valid && Base[I].Vpn == Vpn)
-      Base[I].Valid = false;
+    if (VpnRow[I] == Vpn)
+      VpnRow[I] = InvalidVpn;
 }
 
 void TlbArray::flushAll() {
-  for (Way &W : Entries)
-    W.Valid = false;
+  for (uint64_t &V : Vpns)
+    V = InvalidVpn;
 }
 
 Tlb::Tlb(const TlbConfig &Config)
     : Small(Config.SmallEntries, Config.SmallWays, SmallPageBytes),
       Huge(Config.HugeEntries, Config.HugeWays, HugePageBytes) {}
-
-bool Tlb::access(uint64_t Va, uint64_t PageBytes) {
-  if (PageBytes == SmallPageBytes)
-    return Small.access(Va);
-  if (PageBytes == HugePageBytes)
-    return Huge.access(Va);
-  ATMEM_UNREACHABLE("unsupported page size");
-}
 
 void Tlb::flushPage(uint64_t Va, uint64_t PageBytes) {
   if (PageBytes == SmallPageBytes) {

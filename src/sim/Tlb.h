@@ -18,7 +18,9 @@
 #ifndef ATMEM_SIM_TLB_H
 #define ATMEM_SIM_TLB_H
 
+#include "sim/FrameAllocator.h"
 #include "sim/MachineConfig.h"
+#include "support/Error.h"
 
 #include <cstdint>
 #include <vector>
@@ -34,8 +36,63 @@ public:
   TlbArray(uint32_t Entries, uint32_t Ways, uint64_t PageBytes);
 
   /// Looks up the page containing \p Va, inserting it on a miss. Returns
-  /// true on a hit.
-  bool access(uint64_t Va);
+  /// true on a hit. Defined inline: the batched drain calls this once per
+  /// buffered miss, and a cross-TU call costs as much as the probe itself.
+  bool access(uint64_t Va) {
+    uint64_t Vpn = PageShift ? Va >> PageShift : Va / PageBytes;
+    size_t Base = static_cast<size_t>(setOf(Vpn)) * Ways;
+    uint64_t *VpnRow = Vpns.data() + Base;
+    uint64_t *StampRow = Stamps.data() + Base;
+    ++Clock;
+
+    // Hit probe first: a VPN-only scan over one SoA row (a whole set fits
+    // in a single cache line), no victim bookkeeping on the common path.
+    // The shipped geometries are 4-way; a branchless probe replaces four
+    // data-dependent early-exit branches (the hit way is effectively
+    // random, so they mispredict) with one predictable hit/miss branch.
+    // At most one way matches: inserts happen only on a miss, so a set
+    // never holds duplicate VPNs, and Vpn != InvalidVpn for real pages.
+    if (Ways == 4) {
+      bool H1 = VpnRow[1] == Vpn;
+      bool H2 = VpnRow[2] == Vpn;
+      bool H3 = VpnRow[3] == Vpn;
+      if ((VpnRow[0] == Vpn) | H1 | H2 | H3) {
+        uint32_t Way = static_cast<uint32_t>(H1) + 2u * H2 + 3u * H3;
+        StampRow[Way] = Clock;
+        ++Hits;
+        return true;
+      }
+    } else {
+      for (uint32_t I = 0; I < Ways; ++I) {
+        if (VpnRow[I] == Vpn) {
+          StampRow[I] = Clock;
+          ++Hits;
+          return true;
+        }
+      }
+    }
+
+    // Miss: replicate the historical fused loop's victim rule exactly —
+    // the last invalid way wins; otherwise the first way with the minimal
+    // stamp (stamps were only compared while the running victim was
+    // valid).
+    uint32_t Victim = 0;
+    bool VictimValid = VpnRow[0] != InvalidVpn;
+    uint64_t VictimStamp = StampRow[0];
+    for (uint32_t I = 1; I < Ways; ++I) {
+      if (VpnRow[I] == InvalidVpn) {
+        Victim = I;
+        VictimValid = false;
+      } else if (VictimValid && StampRow[I] < VictimStamp) {
+        Victim = I;
+        VictimStamp = StampRow[I];
+      }
+    }
+    ++Misses;
+    VpnRow[Victim] = Vpn;
+    StampRow[Victim] = Clock;
+    return false;
+  }
 
   /// Invalidates the entry for the page containing \p Va, if present.
   void flushPage(uint64_t Va);
@@ -51,19 +108,29 @@ public:
   }
 
 private:
-  struct Way {
-    uint64_t Vpn = ~0ull;
-    uint64_t Stamp = 0;
-    bool Valid = false;
-  };
+  /// Sentinel VPN marking an invalid way. Unreachable for real pages:
+  /// a VPN of ~0 would need a virtual address beyond 2^64.
+  static constexpr uint64_t InvalidVpn = ~0ull;
+
+  uint32_t setOf(uint64_t Vpn) const {
+    if (SetMask)
+      return static_cast<uint32_t>(Vpn & SetMask);
+    return static_cast<uint32_t>(Vpn % Sets);
+  }
 
   uint32_t Sets;
+  uint32_t SetMask = 0;   ///< Sets-1 when Sets is a power of two, else 0.
+  uint32_t PageShift = 0; ///< log2(PageBytes) when a power of two, else 0.
   uint32_t Ways;
   uint64_t PageBytes;
   uint64_t Clock = 0;
   uint64_t Hits = 0;
   uint64_t Misses = 0;
-  std::vector<Way> Entries;
+  /// Structure-of-arrays ways, like CacheSim: the probe touches only the
+  /// VPN row (one cache line covers a whole set), stamps only on the
+  /// update that follows.
+  std::vector<uint64_t> Vpns;   ///< InvalidVpn marks an empty way.
+  std::vector<uint64_t> Stamps;
 };
 
 /// The full data TLB: a 4 KiB array and a 2 MiB array. The caller decides,
@@ -73,8 +140,15 @@ public:
   explicit Tlb(const TlbConfig &Config);
 
   /// Records an access to \p Va translated by a page of \p PageBytes.
-  /// Returns true on a TLB hit.
-  bool access(uint64_t Va, uint64_t PageBytes);
+  /// Returns true on a TLB hit. Inline for the same reason as
+  /// TlbArray::access — it sits inside the batched drain's per-miss loop.
+  bool access(uint64_t Va, uint64_t PageBytes) {
+    if (PageBytes == SmallPageBytes)
+      return Small.access(Va);
+    if (PageBytes == HugePageBytes)
+      return Huge.access(Va);
+    ATMEM_UNREACHABLE("unsupported page size");
+  }
 
   /// Invalidates the translation for one page (models a TLB shootdown
   /// after a page move).

@@ -1,0 +1,616 @@
+//===----------------------------------------------------------------------===//
+// Equivalence suite for the batched hot-path pipeline (PR 4). Every
+// optimized path — arithmetic sample selection, indexed attribution, bulk
+// trace append, translation-cached TLB replay, split-probe cache/TLB
+// victim scans — is pinned bit-for-bit against the reference per-event
+// implementation it replaced. These tests are the contract that lets the
+// perf work evolve without moving any observable result.
+//===----------------------------------------------------------------------===//
+
+#include "core/Runtime.h"
+#include "mem/DataObjectRegistry.h"
+#include "profiler/SamplingProfiler.h"
+#include "profiler/TraceFile.h"
+#include "sim/CacheSim.h"
+#include "sim/Machine.h"
+#include "sim/Tlb.h"
+#include "sim/TranslationCache.h"
+#include "support/Prng.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+using namespace atmem;
+
+namespace {
+
+/// Machine small enough that random walks over a few MiB mostly miss.
+sim::MachineConfig smallCacheTestbed() {
+  sim::MachineConfig Config = sim::nvmDramTestbed(1.0 / 64);
+  Config.Cache.SizeBytes = 1 << 16;
+  Config.Cache.Ways = 4;
+  return Config;
+}
+
+/// Profiler tuned so a modest miss stream crosses the sample budget
+/// several times (mid-batch period doubling is the hard case).
+prof::ProfilerConfig fastAdaptConfig() {
+  prof::ProfilerConfig Config;
+  Config.InitialPeriod = 4;
+  Config.MinSampleBudget = 256;
+  Config.SamplesPerChunk = 1.0;
+  return Config;
+}
+
+std::vector<char> readFileBytes(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  return std::vector<char>((std::istreambuf_iterator<char>(In)),
+                           std::istreambuf_iterator<char>());
+}
+
+std::string tmpTracePath(const char *Tag) {
+  return ::testing::TempDir() + "hotpath_" + Tag + ".mtrace";
+}
+
+/// A synthetic miss stream over two objects plus deliberate strays into
+/// the unmapped guard gaps between allocations.
+std::vector<uint64_t> makeMissStream(mem::DataObjectRegistry &Reg,
+                                     mem::ObjectId A, mem::ObjectId B,
+                                     size_t N, uint64_t Seed) {
+  Xoshiro256 Rng(Seed);
+  const mem::DataObject &ObjA = Reg.object(A);
+  const mem::DataObject &ObjB = Reg.object(B);
+  std::vector<uint64_t> Stream;
+  Stream.reserve(N);
+  for (size_t I = 0; I < N; ++I) {
+    uint64_t Roll = Rng.nextBounded(100);
+    if (Roll < 55)
+      Stream.push_back(ObjA.va() + Rng.nextBounded(ObjA.sizeBytes()));
+    else if (Roll < 95)
+      Stream.push_back(ObjB.va() + Rng.nextBounded(ObjB.sizeBytes()));
+    else // Guard-gap stray: attributable to no object.
+      Stream.push_back(ObjA.va() + ObjA.mappedBytes() + 64 +
+                       Rng.nextBounded(1024));
+  }
+  return Stream;
+}
+
+void expectProfilesEqual(const prof::ObjectProfile &Ref,
+                         const prof::ObjectProfile &Got) {
+  ASSERT_EQ(Ref.Samples.size(), Got.Samples.size());
+  for (size_t C = 0; C < Ref.Samples.size(); ++C) {
+    EXPECT_EQ(Ref.Samples[C], Got.Samples[C]) << "chunk " << C;
+    // Bit-identical, not approximately equal: commit order preserves the
+    // reference drain's floating-point accumulation order.
+    EXPECT_EQ(Ref.EstimatedMisses[C], Got.EstimatedMisses[C]) << "chunk " << C;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Profiler: batched selection vs the per-miss reference countdown.
+//===----------------------------------------------------------------------===//
+
+TEST(HotPathProfilerTest, BatchMatchesPerMissAcrossPeriodDoubling) {
+  sim::Machine M(smallCacheTestbed());
+  mem::DataObjectRegistry Reg(M);
+  mem::ObjectId A =
+      Reg.create("a", 2u << 20, mem::InitialPlacement::Slow).id();
+  mem::ObjectId B =
+      Reg.create("b", 1u << 20, mem::InitialPlacement::Slow).id();
+
+  prof::SamplingProfiler Ref(Reg, fastAdaptConfig());
+  prof::SamplingProfiler Batched(Reg, fastAdaptConfig());
+  Ref.start(1);
+  Batched.start(1);
+  ASSERT_EQ(Ref.period(), 4u);
+
+  // Enough misses for several budget crossings: 256 samples at period 4
+  // is only 1024 misses, so a 200k stream doubles the period repeatedly,
+  // including in the middle of batches.
+  std::vector<uint64_t> Stream = makeMissStream(Reg, A, B, 200000, 42);
+  for (uint64_t Va : Stream)
+    Ref.notifyMissReference(Va);
+
+  // Feed the same stream in randomly sized batches (including size 0 and
+  // sizes far larger than the period) so stride arithmetic is exercised
+  // across every batch-boundary phase.
+  Xoshiro256 Rng(7);
+  size_t Pos = 0;
+  while (Pos < Stream.size()) {
+    size_t N = Rng.nextBounded(4096);
+    N = std::min(N, Stream.size() - Pos);
+    Batched.notifyMissBatch(Stream.data() + Pos, N);
+    Pos += N;
+  }
+
+  EXPECT_EQ(Ref.missesSeen(), Batched.missesSeen());
+  EXPECT_EQ(Ref.sampleCount(), Batched.sampleCount());
+  EXPECT_EQ(Ref.period(), Batched.period());
+  EXPECT_GT(Ref.period(), Ref.initialPeriod()) << "test never adapted";
+  expectProfilesEqual(Ref.profileFor(A), Batched.profileFor(A));
+  expectProfilesEqual(Ref.profileFor(B), Batched.profileFor(B));
+}
+
+TEST(HotPathProfilerTest, InlineNotifyMissMatchesReference) {
+  sim::Machine M(smallCacheTestbed());
+  mem::DataObjectRegistry Reg(M);
+  mem::ObjectId A =
+      Reg.create("a", 1u << 20, mem::InitialPlacement::Slow).id();
+  mem::ObjectId B =
+      Reg.create("b", 1u << 20, mem::InitialPlacement::Slow).id();
+
+  prof::SamplingProfiler Ref(Reg, fastAdaptConfig());
+  prof::SamplingProfiler Inline(Reg, fastAdaptConfig());
+  Ref.start(2);
+  Inline.start(2);
+
+  std::vector<uint64_t> Stream = makeMissStream(Reg, A, B, 50000, 9);
+  for (uint64_t Va : Stream) {
+    Ref.notifyMissReference(Va);
+    Inline.notifyMiss(Va);
+  }
+
+  EXPECT_EQ(Ref.missesSeen(), Inline.missesSeen());
+  EXPECT_EQ(Ref.sampleCount(), Inline.sampleCount());
+  EXPECT_EQ(Ref.period(), Inline.period());
+  expectProfilesEqual(Ref.profileFor(A), Inline.profileFor(A));
+  expectProfilesEqual(Ref.profileFor(B), Inline.profileFor(B));
+}
+
+//===----------------------------------------------------------------------===//
+// Registry: indexed attribution vs the linear reference walk.
+//===----------------------------------------------------------------------===//
+
+TEST(HotPathAttributionTest, IndexedMatchesLinearIncludingAfterDestroy) {
+  sim::Machine M(smallCacheTestbed());
+  mem::DataObjectRegistry Reg(M);
+  std::vector<mem::ObjectId> Ids;
+  for (int I = 0; I < 5; ++I)
+    Ids.push_back(Reg.create("obj" + std::to_string(I), (I + 1) * 256 * 1024,
+                             mem::InitialPlacement::Slow)
+                      .id());
+
+  uint64_t Lo = Reg.object(Ids.front()).va() - 8192;
+  uint64_t Hi = Reg.object(Ids.back()).va() +
+                Reg.object(Ids.back()).mappedBytes() + 8192;
+  auto CheckSweep = [&](uint64_t Seed) {
+    Xoshiro256 Rng(Seed);
+    mem::AttributionHint Hint;
+    for (int I = 0; I < 20000; ++I) {
+      uint64_t Va = Lo + Rng.nextBounded(Hi - Lo);
+      mem::Attribution Linear, Indexed;
+      bool LinearOk = Reg.attribute(Va, Linear);
+      bool IndexedOk = Reg.attributeIndexed(Va, Indexed, Hint);
+      ASSERT_EQ(LinearOk, IndexedOk) << "va " << std::hex << Va;
+      if (LinearOk) {
+        EXPECT_EQ(Linear.Object, Indexed.Object);
+        EXPECT_EQ(Linear.Chunk, Indexed.Chunk);
+      }
+    }
+  };
+
+  CheckSweep(1);
+  // Destroying a middle object punches a hole in the index; the hole must
+  // attribute to nothing and its neighbours must keep resolving.
+  Reg.destroy(Ids[2]);
+  CheckSweep(2);
+  // A stale hint pointing at the rebuilt index must still be safe.
+  Reg.destroy(Ids[0]);
+  CheckSweep(3);
+}
+
+//===----------------------------------------------------------------------===//
+// Trace writer: batch append produces byte-identical files.
+//===----------------------------------------------------------------------===//
+
+TEST(HotPathTraceTest, RecordBatchBytesIdenticalToPerEvent) {
+  Xoshiro256 Rng(13);
+  // Cross the writer's 64k-event flush threshold so batching interacts
+  // with mid-stream flushes, not just the final one.
+  std::vector<uint64_t> Events(100000);
+  for (uint64_t &E : Events)
+    E = Rng.next();
+
+  std::string RefPath = tmpTracePath("ref");
+  std::string BatchPath = tmpTracePath("batch");
+  {
+    prof::TraceWriter Ref;
+    ASSERT_TRUE(Ref.open(RefPath));
+    for (uint64_t E : Events)
+      Ref.record(E);
+    ASSERT_TRUE(Ref.finish());
+  }
+  {
+    prof::TraceWriter Batch;
+    ASSERT_TRUE(Batch.open(BatchPath));
+    size_t Pos = 0;
+    while (Pos < Events.size()) {
+      size_t N = std::min<size_t>(Rng.nextBounded(30000), Events.size() - Pos);
+      Batch.recordBatch(Events.data() + Pos, N);
+      Pos += N;
+    }
+    ASSERT_TRUE(Batch.finish());
+  }
+
+  std::vector<char> RefBytes = readFileBytes(RefPath);
+  std::vector<char> BatchBytes = readFileBytes(BatchPath);
+  ASSERT_FALSE(RefBytes.empty());
+  EXPECT_EQ(RefBytes, BatchBytes);
+  std::remove(RefPath.c_str());
+  std::remove(BatchPath.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Translation cache: transparent across page-table mutations.
+//===----------------------------------------------------------------------===//
+
+TEST(HotPathTranslationCacheTest, TransparentAcrossMutations) {
+  sim::Machine M(smallCacheTestbed());
+  mem::DataObjectRegistry Reg(M);
+  mem::DataObject &Obj =
+      Reg.create("graph", 8u << 20, mem::InitialPlacement::Slow);
+  sim::PageTable &PT = M.pageTable();
+  sim::TranslationCache Cache(PT);
+
+  auto CheckSweep = [&](uint64_t Seed) {
+    Xoshiro256 Rng(Seed);
+    for (int I = 0; I < 5000; ++I) {
+      // Revisit a small set of pages so the cache actually serves hits,
+      // plus strays past the mapping for negative lookups.
+      uint64_t Va = Obj.va() + Rng.nextBounded(Obj.mappedBytes() + 16384);
+      sim::Translation Cached, Direct;
+      bool CachedOk = Cache.translate(Va, Cached);
+      bool DirectOk = PT.translate(Va, Direct);
+      ASSERT_EQ(CachedOk, DirectOk) << "va " << std::hex << Va;
+      if (CachedOk) {
+        EXPECT_EQ(Cached.PageVa, Direct.PageVa);
+        EXPECT_EQ(Cached.PageBytes, Direct.PageBytes);
+        EXPECT_EQ(Cached.FrameBase, Direct.FrameBase);
+        EXPECT_EQ(Cached.Tier, Direct.Tier);
+      }
+    }
+  };
+
+  CheckSweep(1);
+  EXPECT_GT(Cache.hits(), 0u);
+
+  // mbind-style single-page moves (these split huge pages) interleaved
+  // with full-range ATMem remaps; every mutation bumps the epoch and the
+  // next cached lookup must reflect the new table.
+  Xoshiro256 Rng(99);
+  for (int Round = 0; Round < 4; ++Round) {
+    for (int I = 0; I < 8; ++I) {
+      uint64_t PageVa =
+          Obj.va() + (Rng.nextBounded(Obj.mappedBytes()) & ~uint64_t{4095});
+      PT.movePage(PageVa, Round % 2 ? sim::TierId::Slow : sim::TierId::Fast);
+    }
+    CheckSweep(100 + Round);
+    ASSERT_TRUE(PT.remapRange(Obj.va(), Obj.mappedBytes(),
+                              Round % 2 ? sim::TierId::Fast : sim::TierId::Slow,
+                              /*PreferHuge=*/true));
+    CheckSweep(200 + Round);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// CacheSim / TLB: split probe+victim scans vs the fused reference loops.
+//===----------------------------------------------------------------------===//
+
+/// The pre-PR fused LLC loop, kept as an executable specification: walk
+/// the set once, noting a hit or accumulating the victim (invalid way
+/// preferred — last invalid wins via VictimStamp 0 — else strictly
+/// minimal stamp, first occurrence).
+class ReferenceLru {
+public:
+  ReferenceLru(const sim::CacheConfig &Config)
+      : LineBytes(Config.LineBytes), Ways(Config.Ways),
+        Sets(std::max<uint32_t>(
+            1, static_cast<uint32_t>(Config.SizeBytes /
+                                     (uint64_t{Config.Ways} *
+                                      Config.LineBytes)))),
+        Tags(uint64_t{Sets} * Ways, ~0ull),
+        Stamps(uint64_t{Sets} * Ways, 0), Valid(uint64_t{Sets} * Ways, 0) {}
+
+  bool access(uint64_t Va) {
+    uint64_t Line = Va / LineBytes;
+    uint64_t Base = uint64_t{static_cast<uint32_t>(Line % Sets)} * Ways;
+    ++Clock;
+    uint32_t VictimIdx = 0;
+    uint64_t VictimStamp = ~0ull;
+    for (uint32_t W = 0; W < Ways; ++W) {
+      uint64_t I = Base + W;
+      if (Valid[I] && Tags[I] == Line) {
+        Stamps[I] = Clock;
+        return true;
+      }
+      if (!Valid[I]) {
+        VictimIdx = W;
+        VictimStamp = 0;
+      } else if (Stamps[I] < VictimStamp) {
+        VictimIdx = W;
+        VictimStamp = Stamps[I];
+      }
+    }
+    uint64_t I = Base + VictimIdx;
+    Tags[I] = Line;
+    Stamps[I] = Clock;
+    Valid[I] = 1;
+    return false;
+  }
+
+private:
+  uint32_t LineBytes, Ways, Sets;
+  uint64_t Clock = 0;
+  std::vector<uint64_t> Tags, Stamps;
+  std::vector<uint8_t> Valid;
+};
+
+TEST(HotPathCacheSimTest, SplitProbeMatchesFusedReference) {
+  sim::CacheConfig Config;
+  Config.SizeBytes = 1 << 14; // 64 sets x 4 ways: heavy conflict traffic.
+  Config.Ways = 4;
+  Config.LineBytes = 64;
+  sim::CacheSim Cache(Config);
+  ReferenceLru Ref(Config);
+
+  Xoshiro256 Rng(5);
+  for (int I = 0; I < 200000; ++I) {
+    // Mix of a hot window (hits + LRU churn) and cold strides (victim
+    // selection among invalid and valid ways).
+    uint64_t Va = Rng.nextBounded(2) ? Rng.nextBounded(1 << 15)
+                                     : Rng.nextBounded(1ull << 26);
+    ASSERT_EQ(Ref.access(Va), Cache.access(Va)) << "access " << I;
+  }
+  EXPECT_GT(Cache.hits(), 0u);
+  EXPECT_GT(Cache.misses(), 0u);
+}
+
+/// The pre-PR fused TLB set walk: hit updates the stamp; otherwise the
+/// victim is the last invalid way, else the lowest-stamp valid way
+/// (stamps compared only while the victim is still valid).
+class ReferenceTlbArray {
+public:
+  ReferenceTlbArray(uint32_t Entries, uint32_t Ways, uint64_t PageBytes)
+      : Ways(Ways), Sets(std::max<uint32_t>(1, Entries / Ways)),
+        PageBytes(PageBytes), Slots(uint64_t{Sets} * Ways) {}
+
+  bool access(uint64_t Va) {
+    uint64_t Vpn = Va / PageBytes;
+    uint64_t Base = uint64_t{static_cast<uint32_t>(Vpn % Sets)} * Ways;
+    ++Clock;
+    Way *Victim = &Slots[Base];
+    for (uint32_t W = 0; W < Ways; ++W) {
+      Way &Entry = Slots[Base + W];
+      if (Entry.Valid && Entry.Vpn == Vpn) {
+        Entry.Stamp = Clock;
+        return true;
+      }
+      if (!Entry.Valid)
+        Victim = &Entry;
+      else if (Victim->Valid && Entry.Stamp < Victim->Stamp)
+        Victim = &Entry;
+    }
+    Victim->Vpn = Vpn;
+    Victim->Stamp = Clock;
+    Victim->Valid = true;
+    return false;
+  }
+
+private:
+  struct Way {
+    uint64_t Vpn = ~0ull;
+    uint64_t Stamp = 0;
+    bool Valid = false;
+  };
+  uint32_t Ways, Sets;
+  uint64_t PageBytes;
+  uint64_t Clock = 0;
+  std::vector<Way> Slots;
+};
+
+TEST(HotPathTlbTest, SplitProbeMatchesFusedReference) {
+  sim::TlbConfig Config; // 64x4 small, 32x4 huge: the default geometry.
+  sim::Tlb Tlb(Config);
+  ReferenceTlbArray RefSmall(Config.SmallEntries, Config.SmallWays, 4096);
+  ReferenceTlbArray RefHuge(Config.HugeEntries, Config.HugeWays, 2u << 20);
+
+  Xoshiro256 Rng(17);
+  for (int I = 0; I < 200000; ++I) {
+    bool Huge = Rng.nextBounded(4) == 0;
+    uint64_t Va = Rng.nextBounded(2) ? Rng.nextBounded(1u << 20)
+                                     : Rng.nextBounded(1ull << 32);
+    bool RefHit = Huge ? RefHuge.access(Va) : RefSmall.access(Va);
+    ASSERT_EQ(RefHit, Tlb.access(Va, Huge ? 2u << 20 : 4096)) << "access " << I;
+  }
+  EXPECT_GT(Tlb.hits(), 0u);
+  EXPECT_GT(Tlb.misses(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// SimContext: recycled miss buffers keep their high-water capacity.
+//===----------------------------------------------------------------------===//
+
+TEST(HotPathContextTest, MissBufferRecycleKeepsHighWaterCapacity) {
+  sim::CacheConfig Shard;
+  Shard.SizeBytes = 1 << 12;
+  Shard.Ways = 4;
+  core::SimContext Ctx(Shard);
+  Ctx.setBufferMisses(true);
+
+  Ctx.beginIteration();
+  for (uint64_t I = 0; I < 10000; ++I)
+    Ctx.missBuffer().push_back(I);
+  Ctx.recycleMissBuffer();
+  EXPECT_TRUE(Ctx.missBuffer().empty());
+
+  Ctx.beginIteration();
+  EXPECT_GE(Ctx.missBuffer().capacity(), 10000u)
+      << "beginIteration must pre-reserve the previous drain volume";
+}
+
+//===----------------------------------------------------------------------===//
+// End to end: the batched drain vs the reference drain on the same
+// buffered miss stream.
+//===----------------------------------------------------------------------===//
+
+/// Config for a SimThreads=2 runtime whose shards miss heavily and whose
+/// profiler doubles its period inside the profiled iterations.
+core::RuntimeConfig drainTestConfig(bool Batched) {
+  core::RuntimeConfig Config;
+  Config.Machine = smallCacheTestbed();
+  Config.Profiler = fastAdaptConfig();
+  Config.SimThreads = 2;
+  Config.BatchedDrain = Batched;
+  return Config;
+}
+
+/// Runs the drain-equivalence scenario. SimThreads>1 miss streams are not
+/// run-to-run deterministic (dynamic chunk scheduling), so two
+/// independent executions cannot be compared; instead the kernel runs
+/// once on the batched runtime and its buffered shard state is injected
+/// verbatim into the reference runtime before both drain.
+TEST(HotPathDrainTest, BatchedDrainMatchesReferenceDrain) {
+  core::Runtime Rt1(drainTestConfig(/*Batched=*/true));
+  core::Runtime Rt2(drainTestConfig(/*Batched=*/false));
+
+  // Identical allocation sequences produce identical VAs (the address
+  // space is a deterministic bump allocator), so buffers carry over.
+  core::TrackedArray<uint64_t> Arr1 = Rt1.allocate<uint64_t>("x", 1u << 19);
+  core::TrackedArray<uint64_t> Arr2 = Rt2.allocate<uint64_t>("x", 1u << 19);
+  ASSERT_EQ(Arr1.va(), Arr2.va());
+  core::TrackedArray<uint32_t> Aux1 = Rt1.allocate<uint32_t>("y", 1u << 18);
+  core::TrackedArray<uint32_t> Aux2 = Rt2.allocate<uint32_t>("y", 1u << 18);
+  ASSERT_EQ(Aux1.va(), Aux2.va());
+
+  sim::Tlb Tlb1 = Rt1.machine().makeTlb();
+  sim::Tlb Tlb2 = Rt2.machine().makeTlb();
+  Rt1.setReplayTlb(&Tlb1);
+  Rt2.setReplayTlb(&Tlb2);
+
+  std::string Path1 = tmpTracePath("drain1");
+  std::string Path2 = tmpTracePath("drain2");
+  prof::TraceWriter Trace1, Trace2;
+  ASSERT_TRUE(Trace1.open(Path1));
+  ASSERT_TRUE(Trace2.open(Path2));
+  Rt1.setMissTrace(&Trace1);
+  Rt2.setMissTrace(&Trace2);
+
+  Rt1.profilingStart();
+  Rt2.profilingStart();
+
+  for (int Iter = 0; Iter < 3; ++Iter) {
+    Rt1.beginIteration();
+    Rt2.beginIteration();
+
+    // Pseudo-random gather over both arrays; enough misses per iteration
+    // (~hundreds of thousands) to push sample counts past the budget and
+    // exercise the parallel-attribution threshold.
+    Rt1.parallelTracked(0, 1u << 18, [&](uint32_t, uint64_t B, uint64_t E) {
+      uint64_t State = 0x9e3779b97f4a7c15ull + Iter;
+      for (uint64_t I = B; I < E; ++I) {
+        State = State * 6364136223846793005ull + 1442695040888963407ull;
+        uint64_t V = Arr1[(State >> 11) & ((1u << 19) - 1)];
+        Aux1[(V ^ State) & ((1u << 18) - 1)] = static_cast<uint32_t>(I);
+      }
+    });
+
+    for (uint32_t T = 0; T < Rt1.simThreads(); ++T) {
+      ASSERT_FALSE(Rt1.simContext(T).missBuffer().empty());
+      Rt2.simContext(T).missBuffer() = Rt1.simContext(T).missBuffer();
+      Rt2.simContext(T).stats() = Rt1.simContext(T).stats();
+    }
+
+    double Sec1 = Rt1.endIteration();
+    double Sec2 = Rt2.endIteration();
+    EXPECT_EQ(Sec1, Sec2) << "iteration " << Iter;
+
+    const sim::AccessStats &S1 = Rt1.iterationStats();
+    const sim::AccessStats &S2 = Rt2.iterationStats();
+    EXPECT_EQ(S1.Accesses, S2.Accesses);
+    EXPECT_EQ(S1.LlcHits, S2.LlcHits);
+    EXPECT_EQ(S1.TierMisses[0], S2.TierMisses[0]);
+    EXPECT_EQ(S1.TierMisses[1], S2.TierMisses[1]);
+    EXPECT_EQ(Tlb1.hits(), Tlb2.hits()) << "iteration " << Iter;
+    EXPECT_EQ(Tlb1.misses(), Tlb2.misses()) << "iteration " << Iter;
+  }
+
+  Rt1.profilingStop();
+  Rt2.profilingStop();
+
+  prof::SamplingProfiler &P1 = Rt1.profiler();
+  prof::SamplingProfiler &P2 = Rt2.profiler();
+  EXPECT_EQ(P1.missesSeen(), P2.missesSeen());
+  EXPECT_GT(P1.missesSeen(), 0u);
+  EXPECT_EQ(P1.sampleCount(), P2.sampleCount());
+  EXPECT_EQ(P1.period(), P2.period());
+  EXPECT_GT(P1.period(), P1.initialPeriod())
+      << "workload never crossed the sample budget";
+  expectProfilesEqual(P2.profileFor(Arr2.objectId()),
+                      P1.profileFor(Arr1.objectId()));
+  expectProfilesEqual(P2.profileFor(Aux2.objectId()),
+                      P1.profileFor(Aux1.objectId()));
+
+  ASSERT_TRUE(Trace1.finish());
+  ASSERT_TRUE(Trace2.finish());
+  std::vector<char> Bytes1 = readFileBytes(Path1);
+  std::vector<char> Bytes2 = readFileBytes(Path2);
+  ASSERT_FALSE(Bytes1.empty());
+  EXPECT_EQ(Bytes1, Bytes2) << "miss-trace bytes diverged";
+  std::remove(Path1.c_str());
+  std::remove(Path2.c_str());
+}
+
+/// Same injection scheme, but the receiving runtime is also the batched
+/// pipeline with migrations between iterations, checking the cached TLB
+/// replay against the uncached reference when the page table mutates
+/// mid-window (the epoch-invalidation path end to end).
+TEST(HotPathDrainTest, CachedTlbReplayTracksPageTableMutations) {
+  core::Runtime Rt1(drainTestConfig(/*Batched=*/true));
+  core::Runtime Rt2(drainTestConfig(/*Batched=*/false));
+  core::TrackedArray<uint64_t> Arr1 = Rt1.allocate<uint64_t>("x", 1u << 19);
+  core::TrackedArray<uint64_t> Arr2 = Rt2.allocate<uint64_t>("x", 1u << 19);
+  ASSERT_EQ(Arr1.va(), Arr2.va());
+
+  sim::Tlb Tlb1 = Rt1.machine().makeTlb();
+  sim::Tlb Tlb2 = Rt2.machine().makeTlb();
+  Rt1.setReplayTlb(&Tlb1);
+  Rt2.setReplayTlb(&Tlb2);
+
+  for (int Iter = 0; Iter < 3; ++Iter) {
+    Rt1.beginIteration();
+    Rt2.beginIteration();
+    Rt1.parallelTracked(0, 1u << 17, [&](uint32_t, uint64_t B, uint64_t E) {
+      uint64_t State = 0xdeadbeef + Iter;
+      for (uint64_t I = B; I < E; ++I) {
+        State = State * 6364136223846793005ull + 1442695040888963407ull;
+        Arr1[(State >> 13) & ((1u << 19) - 1)] = I;
+      }
+    });
+    for (uint32_t T = 0; T < Rt1.simThreads(); ++T) {
+      Rt2.simContext(T).missBuffer() = Rt1.simContext(T).missBuffer();
+      Rt2.simContext(T).stats() = Rt1.simContext(T).stats();
+    }
+    Rt1.endIteration();
+    Rt2.endIteration();
+    ASSERT_EQ(Tlb1.hits(), Tlb2.hits()) << "iteration " << Iter;
+    ASSERT_EQ(Tlb1.misses(), Tlb2.misses()) << "iteration " << Iter;
+
+    // Mutate both page tables identically between iterations: the cached
+    // replay must observe the new mappings, not yesterday's.
+    uint64_t Quarter = (Rt1.registry().object(Arr1.objectId()).mappedBytes() /
+                        4) & ~uint64_t{2097151};
+    if (Quarter != 0) {
+      sim::TierId To = Iter % 2 ? sim::TierId::Slow : sim::TierId::Fast;
+      ASSERT_TRUE(Rt1.machine().pageTable().remapRange(Arr1.va(), Quarter, To,
+                                                       /*PreferHuge=*/true));
+      ASSERT_TRUE(Rt2.machine().pageTable().remapRange(Arr2.va(), Quarter, To,
+                                                       /*PreferHuge=*/true));
+    }
+  }
+}
+
+} // namespace
