@@ -2,6 +2,7 @@
 
 #include "apps/Kernel.h"
 #include "fault/FaultInjection.h"
+#include "obs/DecisionLog.h"
 #include "obs/Export.h"
 #include "support/Statistics.h"
 #include "support/StringUtils.h"
@@ -39,6 +40,9 @@ void bench::addCommonOptions(OptionParser &Parser) {
   Parser.addString("trace-out", "",
                    "write a Chrome trace-event JSON of the batch; also "
                    "enables collection");
+  Parser.addString("decision-log", "",
+                   "record every placement decision across the batch to this "
+                   "binary flight-recorder file; inspect with atmem_explain");
   Parser.addString("fault-spec", "", fault::faultSpecHelp());
 }
 
@@ -54,9 +58,21 @@ bool bench::readCommonOptions(const OptionParser &Parser, BenchOptions &Out) {
   Out.JsonPath = Parser.getString("json");
   Out.Telemetry.MetricsPath = Parser.getString("metrics-out");
   Out.Telemetry.TracePath = Parser.getString("trace-out");
+  Out.Telemetry.DecisionLogPath = Parser.getString("decision-log");
   Out.Telemetry.Enabled = Out.Telemetry.anyOutput();
   if (Out.Telemetry.Enabled)
     obs::setEnabled(true);
+  // Bench jobs build their own runtimes without the batch's telemetry
+  // config, so the flight recorder is opened here for the whole batch;
+  // exportIfConfigured finalizes it (trailer + close) after the last job.
+  if (!Out.Telemetry.DecisionLogPath.empty()) {
+    std::string LogError;
+    if (!obs::DecisionLog::instance().open(Out.Telemetry.DecisionLogPath,
+                                           &LogError)) {
+      std::fprintf(stderr, "error: decision log: %s\n", LogError.c_str());
+      return false;
+    }
+  }
 
   if (std::string SpecError; !fault::armFromEnvironment(&SpecError)) {
     std::fprintf(stderr, "error: bad ATMEM_FAULT_SPEC: %s\n",

@@ -6,12 +6,17 @@ support/TablePrinter). This script slices a saved run log — e.g. the
 repository's bench_output.txt — back into CSV files, one per table, so the
 paper's figures can be re-plotted with any tool.
 
+It also ingests the decision-log JSONL export (``atmem_explain run.atdl
+--jsonl decisions.jsonl``) and prints a per-object promotion summary.
+
 Usage:
     scripts/extract_results.py bench_output.txt -o results/
     scripts/extract_results.py bench_output.txt --list
+    scripts/extract_results.py --decisions decisions.jsonl
 """
 
 import argparse
+import json
 import os
 import re
 import sys
@@ -75,14 +80,104 @@ def sanitize(title):
     return slug[:60] or "table"
 
 
+def summarize_decisions(path):
+    """Print a per-object promotion summary from a decision-log JSONL export.
+
+    One row per object aggregated over epochs: how many chunks carried
+    samples, how many classified critical (sampled + global-ranked), how
+    many the m-ary tree promoted, the last-seen Eq. 4 weight / Eq. 5 TR',
+    and how many chunk-ranges were committed, rolled back, or skipped for
+    that object.
+    """
+    objects = {}  # id -> aggregate dict
+    names = {}
+
+    def entry(obj_id):
+        return objects.setdefault(obj_id, {
+            "name": "", "epochs": set(), "sampled": 0, "critical": 0,
+            "global": 0, "promoted": 0, "weight": 0.0, "tr": 0.0,
+            "committed": 0, "rolled_back": 0, "skipped": 0,
+            "renominated": 0,
+        })
+
+    with open(path, encoding="utf-8") as fh:
+        for line_no, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as err:
+                print(f"{path}:{line_no}: bad JSON: {err}", file=sys.stderr)
+                return 1
+            kind = rec.get("kind")
+            if kind == "name":
+                names[rec["id"]] = rec["name"]
+            elif kind == "object":
+                agg = entry(rec["object"])
+                agg["name"] = rec.get("name") or agg["name"]
+                agg["epochs"].add(rec["epoch"])
+                agg["weight"] = rec["weight"]
+                agg["tr"] = rec["tr_threshold"]
+            elif kind == "chunk":
+                agg = entry(rec["object"])
+                if rec.get("samples", 0) > 0:
+                    agg["sampled"] += 1
+                if rec.get("sampled_critical"):
+                    agg["critical"] += 1
+                if rec.get("global_ranked"):
+                    agg["global"] += 1
+                if rec.get("promoted"):
+                    agg["promoted"] += 1
+            elif kind == "migration":
+                agg = entry(rec["object"])
+                phase = rec.get("phase")
+                if phase in ("committed", "rolled_back", "skipped",
+                             "renominated"):
+                    agg[phase] += 1
+
+    if not objects:
+        print("no decision records found", file=sys.stderr)
+        return 1
+
+    header = ["object", "epochs", "sampled", "critical", "global",
+              "promoted", "weight", "TR'", "committed", "rolled back",
+              "skipped", "renominated"]
+    rows = []
+    for obj_id in sorted(objects):
+        agg = objects[obj_id]
+        rows.append([agg["name"] or f"#{obj_id}", str(len(agg["epochs"])),
+                     str(agg["sampled"]), str(agg["critical"]),
+                     str(agg["global"]), str(agg["promoted"]),
+                     f"{agg['weight']:.4g}", f"{agg['tr']:.4g}",
+                     str(agg["committed"]), str(agg["rolled_back"]),
+                     str(agg["skipped"]), str(agg["renominated"])])
+    widths = [max(len(header[i]), max(len(row[i]) for row in rows))
+              for i in range(len(header))]
+    print("  ".join(header[i].ljust(widths[i]) for i in range(len(header))))
+    print("  ".join("-" * widths[i] for i in range(len(header))))
+    for row in rows:
+        print("  ".join(row[i].ljust(widths[i]) for i in range(len(header))))
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("log", help="saved benchmark output")
+    parser.add_argument("log", nargs="?", help="saved benchmark output")
     parser.add_argument("-o", "--outdir", default="results",
                         help="directory for the CSV files")
     parser.add_argument("--list", action="store_true",
                         help="only list the tables found")
+    parser.add_argument("--decisions", metavar="JSONL",
+                        help="decision-log JSONL export (atmem_explain "
+                             "--jsonl); prints a per-object promotion "
+                             "summary instead of table CSVs")
     args = parser.parse_args()
+
+    if args.decisions:
+        return summarize_decisions(args.decisions)
+    if not args.log:
+        parser.error("either a benchmark log or --decisions is required")
 
     with open(args.log, encoding="utf-8", errors="replace") as fh:
         lines = fh.readlines()

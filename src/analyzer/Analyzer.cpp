@@ -1,5 +1,6 @@
 #include "analyzer/Analyzer.h"
 
+#include "obs/DecisionLog.h"
 #include "obs/Telemetry.h"
 #include "obs/Trace.h"
 #include "support/Statistics.h"
@@ -37,6 +38,84 @@ void publishObjectMetrics(const std::string &ObjName,
   obs::Gauge(Base + "chunks_estimated_critical").set(Promo.PromotedCount);
 }
 
+/// Emits one epoch's worth of decision-log records for every object: the
+/// ObjectEpoch verdict (Eq. 2 components and winner, Eq. 4 weight and its
+/// global rank, the Eq. 5 TR' as used) followed by one ChunkDecision per
+/// informative chunk (sampled, critical, or promoted — cold chunks are
+/// implied by their absence). \p GlobalFlipped marks the chunks the pooled
+/// ranking stage flipped critical.
+void recordDecisions(const std::vector<const mem::DataObject *> &Objects,
+                     const std::vector<LocalSelection> &Selections,
+                     const std::vector<PromotionResult> &Promotions,
+                     const std::vector<prof::ObjectProfile> &Profiles,
+                     const std::vector<std::vector<uint8_t>> &GlobalFlipped,
+                     uint64_t SamplePeriod) {
+  obs::DecisionLog &Log = obs::DecisionLog::instance();
+
+  // Global weight ranks: 1-based, descending weight among the objects
+  // that carry any critical chunk (W > 0); ties rank by object order.
+  std::vector<size_t> Order;
+  for (size_t I = 0; I < Promotions.size(); ++I)
+    if (Promotions[I].Weight > 0.0)
+      Order.push_back(I);
+  std::stable_sort(Order.begin(), Order.end(), [&](size_t A, size_t B) {
+    return Promotions[A].Weight > Promotions[B].Weight;
+  });
+  std::vector<uint32_t> Rank(Promotions.size(), 0);
+  for (size_t R = 0; R < Order.size(); ++R)
+    Rank[Order[R]] = static_cast<uint32_t>(R + 1);
+
+  for (size_t I = 0; I < Objects.size(); ++I) {
+    const LocalSelection &Sel = Selections[I];
+    const PromotionResult &Promo = Promotions[I];
+    obs::ObjectEpochRecord Obj;
+    Obj.Object = Objects[I]->id();
+    Obj.NameId = Log.nameId(Objects[I]->name());
+    Obj.NumChunks = static_cast<uint32_t>(Sel.Priority.size());
+    Obj.ChunkBytes = Objects[I]->chunkBytes();
+    Obj.SamplePeriod = SamplePeriod;
+    Obj.Weight = Promo.Weight;
+    Obj.WeightRank = Rank[I];
+    Obj.RankedObjects = static_cast<uint32_t>(Order.size());
+    Obj.TrThreshold = Promo.Threshold;
+    Obj.Theta = Sel.Theta;
+    Obj.ThetaPercentile = Sel.ThetaPercentile;
+    Obj.ThetaDerivative = Sel.ThetaDerivative;
+    Obj.ThetaNoiseFloor = Sel.ThetaNoiseFloor;
+    Obj.Winner = static_cast<obs::ThetaWinner>(Sel.winningThetaTerm());
+    Obj.SampledCritical = Sel.CriticalCount;
+    Obj.PromotedCount = Promo.PromotedCount;
+    Log.recordObject(Obj);
+
+    const std::vector<uint64_t> &Samples = Profiles[I].Samples;
+    for (size_t C = 0; C < Sel.Priority.size(); ++C) {
+      bool Flipped = !GlobalFlipped[I].empty() && GlobalFlipped[I][C];
+      bool Critical = Sel.Critical[C] != 0;
+      bool Promoted = !Promo.Promoted.empty() && Promo.Promoted[C];
+      uint64_t SampleCount = C < Samples.size() ? Samples[C] : 0;
+      if (SampleCount == 0 && !Critical && !Promoted)
+        continue; // Cold chunk: implied by absence.
+      obs::ChunkDecisionRecord Chunk;
+      Chunk.Object = Objects[I]->id();
+      Chunk.Chunk = static_cast<uint32_t>(C);
+      Chunk.Samples = SampleCount;
+      Chunk.EstimatedMisses = C < Profiles[I].EstimatedMisses.size()
+                                  ? Profiles[I].EstimatedMisses[C]
+                                  : 0.0;
+      Chunk.Priority = Sel.Priority[C];
+      if (Critical && !Flipped)
+        Chunk.Flags |= obs::DecisionChunkSampledCritical;
+      if (Flipped)
+        Chunk.Flags |= obs::DecisionChunkGlobalRanked;
+      if (Promoted)
+        Chunk.Flags |= obs::DecisionChunkPromoted;
+      Chunk.NodeTreeRatio =
+          C < Promo.NodeTreeRatio.size() ? Promo.NodeTreeRatio[C] : 0.0;
+      Log.recordChunk(Chunk);
+    }
+  }
+}
+
 } // namespace
 
 std::vector<ObjectClassification>
@@ -53,6 +132,12 @@ Analyzer::classify(mem::DataObjectRegistry &Registry,
 
   obs::SpanScope ClassifySpan("analyzer.classify", "analyzer");
 
+  // The flight recorder needs evidence classify() otherwise discards:
+  // raw per-chunk samples and which chunks the global ranking flipped.
+  const bool DecisionLogOn = obs::DecisionLog::enabled();
+  std::vector<prof::ObjectProfile> Profiles;
+  std::vector<std::vector<uint8_t>> GlobalFlipped;
+
   std::vector<LocalSelection> Selections;
   std::vector<const mem::DataObject *> Objects =
       std::as_const(Registry).liveObjects();
@@ -61,7 +146,11 @@ Analyzer::classify(mem::DataObjectRegistry &Registry,
     Selections.push_back(Selector.select(Profile.EstimatedMisses,
                                          Obj->chunkBytes(),
                                          Profiler.period()));
+    if (DecisionLogOn)
+      Profiles.push_back(std::move(Profile));
   }
+  if (DecisionLogOn)
+    GlobalFlipped.resize(Selections.size());
 
   if (Config.UseGlobalRanking) {
     // Pool every sampled chunk's log density; a 2-means split separates
@@ -81,13 +170,20 @@ Analyzer::classify(mem::DataObjectRegistry &Registry,
             std::minmax_element(PooledLog.begin(), PooledLog.end());
         GlobalLogTheta += Config.SelectivityBias * (*MaxIt - *MinIt);
       }
-      for (LocalSelection &Sel : Selections)
+      for (size_t I = 0; I < Selections.size(); ++I) {
+        LocalSelection &Sel = Selections[I];
         for (size_t C = 0; C < Sel.Priority.size(); ++C)
           if (!Sel.Critical[C] && Sel.Priority[C] > 0.0 &&
               std::log(Sel.Priority[C]) >= GlobalLogTheta) {
             Sel.Critical[C] = 1;
             ++Sel.CriticalCount;
+            if (DecisionLogOn) {
+              if (GlobalFlipped[I].empty())
+                GlobalFlipped[I].assign(Sel.Priority.size(), 0);
+              GlobalFlipped[I][C] = 1;
+            }
           }
+      }
     }
   }
 
@@ -96,7 +192,7 @@ Analyzer::classify(mem::DataObjectRegistry &Registry,
   GlobalPromoter Promoter(PromoterCfg);
   std::vector<PromotionResult> Promotions;
   if (Config.EnablePromotion) {
-    Promotions = Promoter.promoteAll(Selections);
+    Promotions = Promoter.promoteAll(Selections, DecisionLogOn);
   } else {
     Promotions.resize(Selections.size());
     for (size_t I = 0; I < Selections.size(); ++I) {
@@ -104,6 +200,10 @@ Analyzer::classify(mem::DataObjectRegistry &Registry,
       Promotions[I].Weight = GlobalPromoter::objectWeight(Selections[I]);
     }
   }
+
+  if (DecisionLogOn)
+    recordDecisions(Objects, Selections, Promotions, Profiles,
+                    GlobalFlipped, Profiler.period());
 
   uint64_t SampledCritical = 0;
   uint64_t EstimatedCritical = 0;

@@ -54,7 +54,8 @@ GlobalPromoter::adaptiveThresholds(const std::vector<double> &Weights) const {
 }
 
 PromotionResult GlobalPromoter::promote(const LocalSelection &Selection,
-                                        double Threshold) const {
+                                        double Threshold,
+                                        bool TraceNodes) const {
   PromotionResult Result;
   size_t N = Selection.Critical.size();
   Result.Promoted.assign(N, 0);
@@ -64,6 +65,8 @@ PromotionResult GlobalPromoter::promote(const LocalSelection &Selection,
     return Result;
 
   MaryTree Tree(Selection.Critical, Config.Arity);
+  if (TraceNodes)
+    Result.NodeTreeRatio.assign(N, 0.0);
 
   // Breadth-first search from the root: the first node on each path whose
   // tree ratio clears the threshold has its whole leaf range promoted —
@@ -75,6 +78,15 @@ PromotionResult GlobalPromoter::promote(const LocalSelection &Selection,
     uint32_t Id = Queue.front();
     Queue.pop_front();
     const MaryTree::Node &Node = Tree.node(Id);
+    if (TraceNodes) {
+      // Each examined node overwrites its leaf range, so every chunk ends
+      // with the TR of the deepest node the walk reached above it: the
+      // promoting node for promoted chunks, the last node that failed the
+      // threshold (or carried no critical leaf) otherwise.
+      double TR = Tree.treeRatio(Id);
+      for (uint32_t Leaf = Node.LeafBegin; Leaf < Node.LeafEnd; ++Leaf)
+        Result.NodeTreeRatio[Leaf] = TR;
+    }
     if (Node.Value == 0)
       continue; // Nothing critical beneath: never promote.
     if (Tree.treeRatio(Id) >= Threshold) {
@@ -94,7 +106,7 @@ PromotionResult GlobalPromoter::promote(const LocalSelection &Selection,
 }
 
 std::vector<PromotionResult> GlobalPromoter::promoteAll(
-    const std::vector<LocalSelection> &Selections) const {
+    const std::vector<LocalSelection> &Selections, bool TraceNodes) const {
   std::vector<double> Weights;
   Weights.reserve(Selections.size());
   for (const LocalSelection &Sel : Selections)
@@ -104,6 +116,6 @@ std::vector<PromotionResult> GlobalPromoter::promoteAll(
   std::vector<PromotionResult> Results;
   Results.reserve(Selections.size());
   for (size_t I = 0; I < Selections.size(); ++I)
-    Results.push_back(promote(Selections[I], Thresholds[I]));
+    Results.push_back(promote(Selections[I], Thresholds[I], TraceNodes));
   return Results;
 }

@@ -62,6 +62,12 @@ struct PromotionResult {
   /// Object weight W (Eq. 4); 0 when the object has no critical chunk.
   double Weight = 0.0;
   uint32_t PromotedCount = 0;
+  /// Per-chunk provenance (only when promote() ran with TraceNodes): the
+  /// tree ratio of the deepest node the BFS examined that covers each
+  /// chunk — the promoting node's TR for promoted chunks, the blocking
+  /// node's TR otherwise. Empty when tracing was off or the walk never
+  /// ran (no critical chunks, or TR' > 1).
+  std::vector<double> NodeTreeRatio;
 };
 
 /// Runs Eq. 4-5 across all objects and the top-down walk per object.
@@ -80,13 +86,16 @@ public:
 
   /// Top-down BFS promotion (Section 4.3.3) of one object. \p Selection is
   /// the object's local selection; the returned Promoted vector marks
-  /// chunks added by the walk.
-  PromotionResult promote(const LocalSelection &Selection,
-                          double Threshold) const;
+  /// chunks added by the walk. \p TraceNodes additionally fills
+  /// PromotionResult::NodeTreeRatio with per-chunk promotion provenance
+  /// for the decision log (identical promotion decisions either way).
+  PromotionResult promote(const LocalSelection &Selection, double Threshold,
+                          bool TraceNodes = false) const;
 
   /// Convenience: full pipeline over all objects.
   std::vector<PromotionResult>
-  promoteAll(const std::vector<LocalSelection> &Selections) const;
+  promoteAll(const std::vector<LocalSelection> &Selections,
+             bool TraceNodes = false) const;
 
   const PromoterConfig &config() const { return Config; }
 

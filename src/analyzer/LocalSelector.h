@@ -69,6 +69,22 @@ struct LocalSelection {
   double ThetaDerivative = 0.0;
   double ThetaNoiseFloor = 0.0;
   /// @}
+
+  /// Which Eq. 2 term set Theta: 0 = percentile, 1 = derivative cut,
+  /// 2 = noise floor. Mirrors the max chain in select() — a later term
+  /// wins only by strictly exceeding the earlier ones, so the decision
+  /// log attributes ties the same way the selection did.
+  uint8_t winningThetaTerm() const {
+    uint8_t Winner = 0;
+    double Max = ThetaPercentile;
+    if (ThetaDerivative > Max) {
+      Max = ThetaDerivative;
+      Winner = 1;
+    }
+    if (ThetaNoiseFloor > Max)
+      Winner = 2;
+    return Winner;
+  }
 };
 
 /// Computes Eq. 1-3 for one object.

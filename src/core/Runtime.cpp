@@ -1,5 +1,6 @@
 #include "core/Runtime.h"
 
+#include "obs/DecisionLog.h"
 #include "obs/Trace.h"
 #include "sim/Tlb.h"
 #include "support/Logging.h"
@@ -25,6 +26,37 @@ void countDegraded(uint64_t SkippedRanges) {
   if (obs::enabled()) {
     static obs::Counter Degraded("migration.degraded");
     Degraded.add(SkippedRanges);
+  }
+}
+
+void countRenominated() {
+  if (obs::enabled()) {
+    static obs::Counter Renominated("migration.skipped_renominated");
+    Renominated.add(1);
+  }
+}
+
+double rangePriority(const std::vector<double> *Priorities,
+                     const mem::ChunkRange &Range);
+
+/// One decision-log migration lifecycle event per range (no-op while the
+/// flight recorder is closed).
+void recordDecisionEvents(const mem::DataObject &Obj,
+                          const std::vector<mem::ChunkRange> &Ranges,
+                          sim::TierId Target, obs::DecisionPhase Phase,
+                          const std::vector<double> *Priorities) {
+  if (!obs::DecisionLog::enabled())
+    return;
+  obs::DecisionLog &Log = obs::DecisionLog::instance();
+  for (const mem::ChunkRange &Range : Ranges) {
+    obs::MigrationEventRecord Event;
+    Event.Object = Obj.id();
+    Event.FirstChunk = Range.FirstChunk;
+    Event.NumChunks = Range.NumChunks;
+    Event.TargetFast = Target == sim::TierId::Fast ? 1 : 0;
+    Event.Phase = Phase;
+    Event.Priority = rangePriority(Priorities, Range);
+    Log.recordMigration(Event);
   }
 }
 
@@ -165,6 +197,15 @@ Runtime::Runtime(RuntimeConfig ConfigIn)
   }
   if (Config.Telemetry.Enabled || Config.Telemetry.anyOutput())
     obs::setEnabled(true);
+  if (!Config.Telemetry.DecisionLogPath.empty()) {
+    // Process-wide and idempotent: with several runtimes in one process
+    // (bench comparisons) the first opener wins and the rest append to
+    // the same stream; exportIfConfigured finalizes it at exit.
+    std::string Error;
+    if (!obs::DecisionLog::instance().open(Config.Telemetry.DecisionLogPath,
+                                           &Error))
+      logError("decision log: %s", Error.c_str());
+  }
 }
 
 Runtime::~Runtime() = default;
@@ -202,6 +243,12 @@ mem::MigrationResult Runtime::optimize() {
     Profiler.stop();
 
   obs::SpanScope OptimizeSpan("runtime.optimize", "runtime");
+
+  // One optimize() call is one decision-log epoch; every record emitted
+  // below (classification, planning, migration lifecycle) is stamped
+  // with it by the writer.
+  if (obs::DecisionLog::enabled())
+    obs::DecisionLog::instance().beginEpoch();
 
   mem::Migrator &Mig =
       Config.Mechanism == MigrationMechanism::Atmem
@@ -281,6 +328,10 @@ mem::MigrationResult Runtime::optimize() {
             PrevSkipped[I].Target != sim::TierId::Fast)
           continue;
         Consumed[I] = 1;
+        countRenominated();
+        recordDecisionEvents(Obj, {PrevSkipped[I].Range}, sim::TierId::Fast,
+                             obs::DecisionPhase::Renominated,
+                             priorityOf(Obj.id()));
         appendSlowRuns(Obj, PrevSkipped[I].Range, InPending, Pending);
       }
     }
@@ -314,6 +365,10 @@ mem::MigrationResult Runtime::optimize() {
           PrevSkipped[J].Target != sim::TierId::Fast)
         continue;
       Consumed[J] = 1;
+      countRenominated();
+      recordDecisionEvents(Obj, {PrevSkipped[J].Range}, sim::TierId::Fast,
+                           obs::DecisionPhase::Renominated,
+                           priorityOf(Id));
       appendSlowRuns(Obj, PrevSkipped[J].Range, InPending, Pending);
     }
     if (!Pending.empty())
@@ -361,6 +416,8 @@ void Runtime::demoteUnselected(mem::Migrator &Mig,
     // retry-only: the next epoch recomputes unselected chunks from
     // scratch, which re-nominates anything left behind here.
     std::vector<mem::ChunkRange> Pending = std::move(Demotions);
+    recordDecisionEvents(*Obj, Pending, sim::TierId::Slow,
+                         obs::DecisionPhase::Planned, nullptr);
     uint32_t Retries = 0;
     for (;;) {
       mem::MigrationStatus Status =
@@ -376,6 +433,8 @@ void Runtime::demoteUnselected(mem::Migrator &Mig,
         ++Retries;
         Result.SimSeconds += Config.MigrationRetryBackoffSec * Retries;
         countRetry();
+        recordDecisionEvents(*Obj, Remaining, sim::TierId::Slow,
+                             obs::DecisionPhase::Retried, nullptr);
         Pending = std::move(Remaining);
         continue;
       }
@@ -394,6 +453,8 @@ void Runtime::promoteWithRecovery(mem::Migrator &Mig, mem::DataObject &Obj,
                                   mem::MigrationResult &Result) {
   uint32_t Retries = 0;
   bool Shrunk = false;
+  recordDecisionEvents(Obj, Pending, sim::TierId::Fast,
+                       obs::DecisionPhase::Planned, Priorities);
   // Ranges dropped by a capacity shrink, reported together with whatever
   // the final attempt leaves behind.
   std::vector<mem::ChunkRange> Abandoned;
@@ -416,6 +477,8 @@ void Runtime::promoteWithRecovery(mem::Migrator &Mig, mem::DataObject &Obj,
       ++Retries;
       Result.SimSeconds += Config.MigrationRetryBackoffSec * Retries;
       countRetry();
+      recordDecisionEvents(Obj, Remaining, sim::TierId::Fast,
+                           obs::DecisionPhase::Retried, Priorities);
       Pending = std::move(Remaining);
       continue;
     }
@@ -427,6 +490,8 @@ void Runtime::promoteWithRecovery(mem::Migrator &Mig, mem::DataObject &Obj,
           Obj, Remaining, Mig, M.allocator(sim::TierId::Fast).freeBytes(),
           Priorities);
       if (!Subset.empty()) {
+        recordDecisionEvents(Obj, Dropped, sim::TierId::Fast,
+                             obs::DecisionPhase::Degraded, Priorities);
         Abandoned.insert(Abandoned.end(), Dropped.begin(), Dropped.end());
         Pending = std::move(Subset);
         Shrunk = true;
@@ -452,6 +517,8 @@ void Runtime::recordSkipped(const mem::DataObject &Obj,
                             const std::vector<mem::ChunkRange> &Ranges,
                             sim::TierId Target,
                             const std::vector<double> *Priorities) {
+  recordDecisionEvents(Obj, Ranges, Target, obs::DecisionPhase::Skipped,
+                       Priorities);
   for (const mem::ChunkRange &Range : Ranges)
     Skipped.push_back(
         {Obj.id(), Range, Target, rangePriority(Priorities, Range)});

@@ -1,6 +1,7 @@
 #include "mem/AtmemMigrator.h"
 
 #include "fault/FaultInjection.h"
+#include "obs/DecisionLog.h"
 #include "obs/Telemetry.h"
 #include "obs/Trace.h"
 #include "sim/Machine.h"
@@ -30,6 +31,25 @@ void countRollback() {
 
 fault::Site StagingAllocFault("migrator.staging_alloc");
 fault::Site RemapFault("migrator.remap");
+
+/// Flight-recorder lifecycle event for one range inside migrate(). The
+/// fault site is only set on RolledBack, attributing which stage failed.
+void recordRangeEvent(const DataObject &Obj, const ChunkRange &Range,
+                      sim::TierId Target, obs::DecisionPhase Phase,
+                      const char *FaultSite = nullptr) {
+  if (!obs::DecisionLog::enabled())
+    return;
+  obs::DecisionLog &Log = obs::DecisionLog::instance();
+  obs::MigrationEventRecord Event;
+  Event.Object = Obj.id();
+  Event.FirstChunk = Range.FirstChunk;
+  Event.NumChunks = Range.NumChunks;
+  Event.TargetFast = Target == sim::TierId::Fast ? 1 : 0;
+  Event.Phase = Phase;
+  if (FaultSite)
+    Event.FaultSiteNameId = Log.nameId(FaultSite);
+  Log.recordMigration(Event);
+}
 
 } // namespace
 
@@ -101,6 +121,8 @@ MigrationStatus AtmemMigrator::migrate(DataObject &Obj,
     if (StagingAllocFault.shouldFail() ||
         !PT.mapRegion(StagingVa, Len, Target, /*PreferHuge=*/true)) {
       countRollback();
+      recordRangeEvent(Obj, Range, Target, obs::DecisionPhase::RolledBack,
+                       "migrator.staging_alloc");
       return MigrationStatus::Retryable;
     }
     auto Staging = std::make_unique<std::byte[]>(Len);
@@ -112,6 +134,7 @@ MigrationStatus AtmemMigrator::migrate(DataObject &Obj,
         std::memcpy(Stage + From, Live + From, To - From);
       });
     }
+    recordRangeEvent(Obj, Range, Target, obs::DecisionPhase::Staged);
 
     // Stage (b): rebind the virtual range to fresh target frames. Virtual
     // addresses are untouched; huge pages re-form where aligned. On failure
@@ -124,9 +147,12 @@ MigrationStatus AtmemMigrator::migrate(DataObject &Obj,
           !PT.remapRange(RangeVa, Len, Target, /*PreferHuge=*/true, &Ptes)) {
         PT.unmapRegion(StagingVa, Len);
         countRollback();
+        recordRangeEvent(Obj, Range, Target, obs::DecisionPhase::RolledBack,
+                         "migrator.remap");
         return MigrationStatus::Retryable;
       }
     }
+    recordRangeEvent(Obj, Range, Target, obs::DecisionPhase::Remapped);
 
     // Stage (c): drain the staging buffer back into the range.
     {
@@ -140,6 +166,7 @@ MigrationStatus AtmemMigrator::migrate(DataObject &Obj,
     for (uint32_t C = Range.FirstChunk;
          C < Range.FirstChunk + Range.NumChunks; ++C)
       Obj.setChunkTier(C, Target);
+    recordRangeEvent(Obj, Range, Target, obs::DecisionPhase::Committed);
 
     sim::MigrationWork Work;
     Work.Bytes = Len;

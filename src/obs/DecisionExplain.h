@@ -1,0 +1,67 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ATMem reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Offline rendering over decoded decision logs (obs/DecisionLog.h): the
+/// why-query causal chain behind tools/atmem_explain, per-object ASCII
+/// chunk heatmaps over epochs, run-vs-run placement diffs, and a summary
+/// table. Everything returns strings so tests can verify the tool's
+/// output logic without spawning the binary.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ATMEM_OBS_DECISIONEXPLAIN_H
+#define ATMEM_OBS_DECISIONEXPLAIN_H
+
+#include "obs/DecisionLog.h"
+
+#include <cstdint>
+#include <string>
+
+namespace atmem {
+namespace obs {
+
+/// A "--why obj=<name> chunk=<n> [iter=<k>]" query.
+struct WhyQuery {
+  std::string Object;
+  uint32_t Chunk = 0;
+  /// Epoch to explain; -1 selects the last epoch the object appears in.
+  int64_t Epoch = -1;
+};
+
+/// Reconstructs the causal chain of one (object, chunk, epoch) decision
+/// from \p Artifact alone: sampling evidence, Eq. 1 PR, the Eq. 2 theta
+/// components and winner, Eq. 3 classification, global ranking, Eq. 4/5
+/// weight/rank/TR', the tree node that promoted or blocked the chunk, and
+/// every recorded migration lifecycle step covering it. False (with
+/// \p Error) when the object or epoch does not appear in the log.
+bool explainChunk(const DecisionArtifact &Artifact, const WhyQuery &Query,
+                  std::string &Out, std::string *Error = nullptr);
+
+/// Renders \p Object's chunks (columns, bucketed to at most \p MaxColumns)
+/// over epochs (rows). Legend: '#' committed to fast, 'v' committed to
+/// slow (demotion), 'x' skipped / rolled back, 'p' promoted (estimated
+/// critical), 'g' global-ranked, 's' sampled critical, '.' cold. A bucket
+/// shows its highest-precedence state. Returns an error line when the
+/// object never appears.
+std::string renderHeatmap(const DecisionArtifact &Artifact,
+                          const std::string &Object,
+                          uint32_t MaxColumns = 96);
+
+/// Compares the per-epoch, per-object selected and committed chunk sets of
+/// two runs and describes every difference (objects or epochs present in
+/// only one run, chunks selected or moved in one but not the other).
+std::string diffDecisions(const DecisionArtifact &A,
+                          const DecisionArtifact &B);
+
+/// Per-epoch, per-object one-line summary of the whole artifact.
+std::string summarizeDecisions(const DecisionArtifact &Artifact);
+
+} // namespace obs
+} // namespace atmem
+
+#endif // ATMEM_OBS_DECISIONEXPLAIN_H

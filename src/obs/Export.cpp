@@ -1,5 +1,6 @@
 #include "obs/Export.h"
 
+#include "obs/DecisionLog.h"
 #include "obs/Trace.h"
 
 #include <cinttypes>
@@ -231,5 +232,9 @@ bool obs::exportIfConfigured(const TelemetryConfig &Config) {
     Ok = writeMetricsJson(Config.MetricsPath) && Ok;
   if (!Config.TracePath.empty())
     Ok = Tracer::instance().writeChromeTrace(Config.TracePath) && Ok;
+  // The decision log streams during the run; "export" is finalization
+  // (trailer + close). A no-op when no log was ever opened.
+  if (!Config.DecisionLogPath.empty())
+    Ok = DecisionLog::instance().close() && Ok;
   return Ok;
 }

@@ -206,9 +206,17 @@ struct TelemetryConfig {
   std::string MetricsPath;
   /// Chrome trace-event JSON path ("" = no file).
   std::string TracePath;
+  /// Placement decision flight-recorder path ("" = no log). Runtime opens
+  /// the process-wide obs::DecisionLog here on construction (idempotent —
+  /// concurrent runtimes share one log); exportIfConfigured() writes the
+  /// trailer and closes it.
+  std::string DecisionLogPath;
 
   /// Enabled if any output is requested.
-  bool anyOutput() const { return !MetricsPath.empty() || !TracePath.empty(); }
+  bool anyOutput() const {
+    return !MetricsPath.empty() || !TracePath.empty() ||
+           !DecisionLogPath.empty();
+  }
 };
 
 } // namespace obs

@@ -97,6 +97,80 @@ TEST(AdaptiveThresholdTest, AllWeightsZero) {
     EXPECT_GT(T, 1.0);
 }
 
+TEST(AdaptiveThresholdTest, EqualWeightsUseMidpoint) {
+  // maxW == minW with several objects: ||minW - maxW|| degenerates to
+  // zero and every object must fall back to the 0.5 midpoint norm, not
+  // divide by zero.
+  PromoterConfig Config;
+  Config.Arity = 8;
+  Config.ThetaTR = 0.5;
+  GlobalPromoter Promoter(Config);
+  std::vector<double> Thresholds =
+      Promoter.adaptiveThresholds({3.0, 3.0, 3.0});
+  for (double T : Thresholds)
+    EXPECT_DOUBLE_EQ(T, 0.125 + 0.25);
+}
+
+TEST(AdaptiveThresholdTest, MixedZeroAndEqualPositiveWeights) {
+  // Zero-weight objects are excluded from the min/max scan, so equal
+  // positive weights still degenerate to the midpoint while the
+  // zero-weight object stays clamped above 1.
+  GlobalPromoter Promoter;
+  std::vector<double> Thresholds =
+      Promoter.adaptiveThresholds({2.0, 0.0, 2.0});
+  EXPECT_DOUBLE_EQ(Thresholds[0], Thresholds[2]);
+  EXPECT_LE(Thresholds[0], 1.0);
+  EXPECT_GT(Thresholds[1], 1.0);
+}
+
+TEST(PromoteTest, TraceNodesRecordsPromotingNodeRatio) {
+  // Figure 3c shape again, now with provenance: the promoted leaf must
+  // carry the tree ratio of the node that promoted it (0.75 >= 0.5),
+  // and untouched leaves the ratio of the node that blocked descent.
+  PromoterConfig Config;
+  Config.Arity = 2;
+  GlobalPromoter Promoter(Config);
+  LocalSelection Sel = makeSelection({1, 1, 1, 0, 0, 0, 0, 0});
+  PromotionResult Result = Promoter.promote(Sel, 0.5, /*TraceNodes=*/true);
+  ASSERT_EQ(Result.NodeTreeRatio.size(), 8u);
+  EXPECT_TRUE(Result.Promoted[3]);
+  // Leaves [0, 4) were promoted by the left subtree node with TR 0.75.
+  for (int I = 0; I < 4; ++I)
+    EXPECT_DOUBLE_EQ(Result.NodeTreeRatio[I], 0.75) << "leaf " << I;
+  // The right subtree holds nothing critical: its node (TR 0) blocked.
+  for (int I = 4; I < 8; ++I)
+    EXPECT_DOUBLE_EQ(Result.NodeTreeRatio[I], 0.0) << "leaf " << I;
+  // Every promoted chunk's recorded ratio justifies its promotion.
+  for (int I = 0; I < 8; ++I)
+    if (Result.Promoted[I])
+      EXPECT_GE(Result.NodeTreeRatio[I], Result.Threshold);
+}
+
+TEST(PromoteTest, TraceNodesDoesNotChangeDecisions) {
+  PromoterConfig Config;
+  Config.Arity = 4;
+  GlobalPromoter Promoter(Config);
+  std::vector<uint8_t> Flags(16, 0);
+  Flags[0] = Flags[1] = Flags[2] = Flags[9] = Flags[10] = 1;
+  LocalSelection Sel = makeSelection(Flags);
+  PromotionResult Plain = Promoter.promote(Sel, 0.6);
+  PromotionResult Traced = Promoter.promote(Sel, 0.6, /*TraceNodes=*/true);
+  EXPECT_EQ(Plain.Promoted, Traced.Promoted);
+  EXPECT_EQ(Plain.PromotedCount, Traced.PromotedCount);
+  EXPECT_TRUE(Plain.NodeTreeRatio.empty());
+  EXPECT_EQ(Traced.NodeTreeRatio.size(), Flags.size());
+}
+
+TEST(PromoteTest, TraceNodesEmptyWhenWalkNeverRuns) {
+  GlobalPromoter Promoter;
+  // Threshold above 1: the walk is skipped entirely, so there is no
+  // provenance to report — all ratios stay zero.
+  LocalSelection Sel = makeSelection({1, 1, 0, 0});
+  PromotionResult Result = Promoter.promote(Sel, 1.5, /*TraceNodes=*/true);
+  for (double TR : Result.NodeTreeRatio)
+    EXPECT_DOUBLE_EQ(TR, 0.0);
+}
+
 TEST(PromoteTest, PaperFigure3TopDownPromotion) {
   // Figure 3c: threshold 0.5; the left subtree of a binary tree has
   // TR 0.75 >= 0.5, so its zero-ratio child is patched, producing one

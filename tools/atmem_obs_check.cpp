@@ -7,16 +7,19 @@
 ///
 /// \file
 /// atmem_obs_check: validates telemetry artifacts against the schemas the
-/// runtime emits (obs/Export.h is the single source of truth). CI runs it
-/// on the files produced by `atmem_run --metrics-out --trace-out`; exit
-/// status is non-zero on the first violation, with the reason on stderr.
+/// runtime emits (obs/Export.h and obs/DecisionLog.h are the single source
+/// of truth). CI runs it on the files produced by `atmem_run --metrics-out
+/// --trace-out --decision-log`; exit status is non-zero on the first
+/// violation, with the reason on stderr.
 ///
 /// Examples:
 ///   atmem_obs_check --metrics m.json
 ///   atmem_obs_check --metrics m.json --trace t.json
+///   atmem_obs_check --decision-log run.atdl --metrics m.json
 ///
 //===----------------------------------------------------------------------===//
 
+#include "obs/DecisionLog.h"
 #include "obs/Export.h"
 #include "obs/Json.h"
 #include "support/Options.h"
@@ -45,23 +48,75 @@ bool checkFile(const std::string &Path, const char *What,
   return true;
 }
 
+/// Decodes and validates a decision-log file: magic/version header,
+/// monotone epoch ids, resolvable name references, record-count trailer.
+/// When \p MetricsPath names a metrics snapshot from the same run, the
+/// log's aggregate counts are cross-checked against its migration.* and
+/// analyzer.* counters.
+bool checkDecisionLog(const std::string &Path,
+                      const std::string &MetricsPath) {
+  obs::DecisionArtifact Artifact;
+  std::string Error;
+  if (!obs::readDecisionLog(Path, Artifact, &Error)) {
+    std::fprintf(stderr, "error: decision log '%s': %s\n", Path.c_str(),
+                 Error.c_str());
+    return false;
+  }
+  obs::DecisionLogStats Stats;
+  if (!obs::validateDecisionLog(Artifact, &Error, &Stats)) {
+    std::fprintf(stderr, "error: decision log '%s': %s\n", Path.c_str(),
+                 Error.c_str());
+    return false;
+  }
+  std::printf("decision log '%s': ok (%zu records, %llu epochs, "
+              "%llu objects, %llu chunk decisions, %llu promoted)\n",
+              Path.c_str(), Artifact.Records.size(),
+              static_cast<unsigned long long>(Stats.Epochs),
+              static_cast<unsigned long long>(Stats.Objects),
+              static_cast<unsigned long long>(Stats.Chunks),
+              static_cast<unsigned long long>(Stats.PromotedChunks));
+
+  if (MetricsPath.empty())
+    return true;
+  obs::JsonValue Metrics;
+  if (!obs::parseJsonFile(MetricsPath, Metrics, &Error)) {
+    std::fprintf(stderr, "error: metrics '%s': %s\n", MetricsPath.c_str(),
+                 Error.c_str());
+    return false;
+  }
+  if (!obs::crossCheckDecisionMetrics(Artifact, Metrics, &Error)) {
+    std::fprintf(stderr,
+                 "error: decision log '%s' vs metrics '%s': %s\n",
+                 Path.c_str(), MetricsPath.c_str(), Error.c_str());
+    return false;
+  }
+  std::printf("decision log '%s' vs metrics '%s': counters consistent\n",
+              Path.c_str(), MetricsPath.c_str());
+  return true;
+}
+
 } // namespace
 
 int main(int Argc, const char **Argv) {
-  OptionParser Parser("atmem_obs_check: validate telemetry JSON artifacts "
-                      "(metrics snapshots and Chrome trace exports)");
+  OptionParser Parser("atmem_obs_check: validate telemetry artifacts "
+                      "(metrics snapshots, Chrome trace exports, and "
+                      "placement-decision flight recorder files)");
   Parser.addString("metrics", "",
-                   "atmem-metrics-v1 snapshot to validate ('' skips)");
+                   "atmem-metrics-v1 snapshot to validate ('' skips); with "
+                   "--decision-log, also cross-checked against the log");
   Parser.addString("trace", "",
                    "Chrome trace-event JSON to validate ('' skips)");
+  Parser.addString("decision-log", "",
+                   "atdl-v1 decision log to validate ('' skips)");
   if (!Parser.parse(Argc, Argv))
     return 1;
 
   std::string MetricsPath = Parser.getString("metrics");
   std::string TracePath = Parser.getString("trace");
-  if (MetricsPath.empty() && TracePath.empty()) {
-    std::fprintf(stderr, "error: nothing to check (pass --metrics and/or "
-                         "--trace)\n");
+  std::string DecisionPath = Parser.getString("decision-log");
+  if (MetricsPath.empty() && TracePath.empty() && DecisionPath.empty()) {
+    std::fprintf(stderr, "error: nothing to check (pass --metrics, "
+                         "--trace and/or --decision-log)\n");
     return 1;
   }
 
@@ -70,5 +125,7 @@ int main(int Argc, const char **Argv) {
     Ok = checkFile(MetricsPath, "metrics", obs::validateMetricsJson) && Ok;
   if (!TracePath.empty())
     Ok = checkFile(TracePath, "trace", obs::validateTraceJson) && Ok;
+  if (!DecisionPath.empty())
+    Ok = checkDecisionLog(DecisionPath, MetricsPath) && Ok;
   return Ok ? 0 : 1;
 }

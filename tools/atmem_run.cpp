@@ -86,6 +86,10 @@ int main(int Argc, const char **Argv) {
   Parser.addString("trace-out", "",
                    "write a Chrome trace-event JSON (open in Perfetto or "
                    "chrome://tracing) to this path; also enables collection");
+  Parser.addString("decision-log", "",
+                   "record every placement decision (theta terms, weights, "
+                   "TR', migration lifecycle) to this binary flight-recorder "
+                   "file; inspect with atmem_explain");
   Parser.addString("fault-spec", "", fault::faultSpecHelp());
   if (!Parser.parse(Argc, Argv))
     return 1;
@@ -127,6 +131,7 @@ int main(int Argc, const char **Argv) {
   obs::TelemetryConfig Telemetry;
   Telemetry.MetricsPath = Parser.getString("metrics-out");
   Telemetry.TracePath = Parser.getString("trace-out");
+  Telemetry.DecisionLogPath = Parser.getString("decision-log");
   Telemetry.Enabled = Telemetry.anyOutput();
 
   // Load or generate the graph.
@@ -225,5 +230,8 @@ int main(int Argc, const char **Argv) {
     std::printf("metrics written to %s\n", Telemetry.MetricsPath.c_str());
   if (!Telemetry.TracePath.empty())
     std::printf("trace written to %s\n", Telemetry.TracePath.c_str());
+  if (!Telemetry.DecisionLogPath.empty())
+    std::printf("decision log written to %s\n",
+                Telemetry.DecisionLogPath.c_str());
   return 0;
 }
