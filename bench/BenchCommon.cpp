@@ -4,6 +4,7 @@
 #include "fault/FaultInjection.h"
 #include "obs/DecisionLog.h"
 #include "obs/Export.h"
+#include "support/BuildInfo.h"
 #include "support/Statistics.h"
 #include "support/StringUtils.h"
 
@@ -234,6 +235,10 @@ void bench::writeBenchResults(const std::string &BenchName,
   std::fprintf(Out, "  \"jobs\": %u,\n", Options.Jobs);
   std::fprintf(Out, "  \"host_hardware_threads\": %u,\n",
                std::max(1u, std::thread::hardware_concurrency()));
+  std::fprintf(Out, "  \"git_sha\": \"%s\",\n", support::gitSha());
+  std::fprintf(Out, "  \"compiler\": \"%s\",\n", support::compilerId());
+  std::fprintf(Out, "  \"cpu_model\": \"%s\",\n",
+               support::cpuModel().c_str());
   std::fprintf(Out, "  \"total_wall_ms\": %.3f,\n", TotalWallMs);
   std::fprintf(Out, "  \"runs\": [\n");
   for (size_t I = 0; I < Records.size(); ++I) {

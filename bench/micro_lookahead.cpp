@@ -1,0 +1,257 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ATMem reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Microbenchmark of the lookahead migration scheduler. A gather array
+/// carries a steady hot region plus a *warming* region whose intensity
+/// ramps over the first epochs — the access-trend shape the
+/// LookaheadPlanner is built to catch. The same epoch sequence runs twice,
+/// lookahead off and on, and the bench records how much modelled
+/// epoch-boundary stall the staged-ahead pipeline absorbed into the
+/// compute overlap (committed prefetches pay only the remap at the
+/// boundary), how often predictions hit or were cancelled, and how many
+/// converged-tail epochs the adaptive back-off skipped. Placement identity
+/// with lookahead off is covered by LookaheadTest; this bench is the perf
+/// trajectory.
+///
+/// Results land in BENCH_lookahead.json (CI uploads the file as an
+/// artifact) stamped with the same provenance fields as the other
+/// BENCH_*.json emitters.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Runtime.h"
+#include "obs/Export.h"
+#include "sim/MachineConfig.h"
+#include "support/BuildInfo.h"
+#include "support/Options.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <thread>
+
+using namespace atmem;
+
+namespace {
+
+constexpr uint64_t LcgMul = 6364136223846793005ull;
+constexpr uint64_t LcgAdd = 1442695040888963407ull;
+
+/// Geometry of the synthetic workload: a few very hot chunks over broad
+/// low-intensity background noise — the strongly separated (bimodal)
+/// distribution ATMem's Eq. 2 derivative cut is built for, which parks
+/// theta at the midpoint between the hot and noise clusters where it
+/// stays put while the warming region ramps underneath it. The simulated
+/// LLC is far smaller than any region, so the profiler sees the ramp.
+struct Workload {
+  uint64_t ChunkBytes = 128 << 10;
+  uint32_t HotChunks = 4;
+  uint32_t WarmChunks = 2;
+  uint32_t TotalChunks = 64;
+  uint32_t Epochs = 8;
+  uint64_t AccessesPerHotChunk = 60000;
+  /// Background intensity of every chunk relative to the hot region.
+  double NoiseWeight = 0.02;
+
+  uint32_t totalChunks() const { return TotalChunks; }
+  uint64_t elems() const { return TotalChunks * ChunkBytes / sizeof(uint64_t); }
+  /// First warming chunk; separated from the hot run so the staged-ahead
+  /// range is its own migration unit.
+  uint32_t warmFirst() const { return HotChunks + 4; }
+  /// Warming-region intensity for \p Epoch relative to the hot region:
+  /// 0.04 → 0.10 → 1.0, then steady. The selector's pooled log-space
+  /// stage catches anything above roughly the geometric mean of the noise
+  /// and hot levels (~0.14x hot here), so the two ramp epochs must stay
+  /// under that — distinguishable from noise only by their velocity,
+  /// which is exactly the planner's niche. Then the region jumps critical
+  /// for good.
+  double warmWeight(uint32_t Epoch) const {
+    return Epoch == 0 ? 0.04 : Epoch == 1 ? 0.10 : 1.0;
+  }
+};
+
+struct RunTotals {
+  double IterSec = 0.0;      ///< Modelled kernel seconds across epochs.
+  double MigrateSec = 0.0;   ///< Modelled optimize() boundary seconds.
+  core::LookaheadStats Lk;   ///< Zero for the lookahead-off run.
+};
+
+core::RuntimeConfig benchConfig(const Workload &W, bool LookaheadOn,
+                                const std::string &DecisionLog) {
+  core::RuntimeConfig Config;
+  Config.Machine = sim::nvmDramTestbed(1.0 / 1024);
+  Config.ChunkBytesOverride = W.ChunkBytes;
+  Config.Telemetry.DecisionLogPath = DecisionLog;
+  Config.Telemetry.Enabled = !DecisionLog.empty();
+  Config.Lookahead.Enabled = LookaheadOn;
+  // The pooled log-space selection stage is aggressive — any chunk above
+  // ~25% of the local 2-means theta is already critical — so predictions
+  // must fire below that to beat it to the punch. 0.2 puts the trigger
+  // just above the noise floor, where only velocity separates a warming
+  // chunk from background.
+  Config.Lookahead.Planner.PredictThetaFraction = 0.2;
+  // Short run: a single quiet epoch is enough evidence to back off.
+  Config.Lookahead.ConvergedEpochsToBackoff = 1;
+  return Config;
+}
+
+/// One epoch of tracked accesses: hot region at full intensity, warming
+/// region at warmWeight(Epoch), cold region untouched. Deterministic, so
+/// the off and on runs profile identical streams. Once the ramp tops out
+/// the seed stops advancing — the tail epochs replay literally the same
+/// stream, so placement converges and the adaptive back-off can engage.
+void runEpoch(core::TrackedArray<uint64_t> &Arr, const Workload &W,
+              uint32_t Epoch) {
+  uint64_t ChunkElems = W.ChunkBytes / sizeof(uint64_t);
+  uint64_t State = 0x243f6a8885a308d3ull + std::min(Epoch, 2u);
+  auto Hammer = [&](uint32_t Chunk, uint64_t Accesses) {
+    uint64_t Base = Chunk * ChunkElems;
+    for (uint64_t I = 0; I < Accesses; ++I) {
+      State = State * LcgMul + LcgAdd;
+      Arr[Base + ((State >> 17) & (ChunkElems - 1))] += 1;
+    }
+  };
+  auto NoiseAccesses =
+      static_cast<uint64_t>(W.AccessesPerHotChunk * W.NoiseWeight);
+  for (uint32_t C = 0; C < W.totalChunks(); ++C)
+    Hammer(C, NoiseAccesses);
+  for (uint32_t C = 0; C < W.HotChunks; ++C)
+    Hammer(C, W.AccessesPerHotChunk);
+  uint64_t WarmAccesses =
+      static_cast<uint64_t>(W.AccessesPerHotChunk * W.warmWeight(Epoch));
+  for (uint32_t C = 0; C < W.WarmChunks; ++C)
+    Hammer(W.warmFirst() + C, WarmAccesses);
+}
+
+RunTotals runConfig(const Workload &W, bool LookaheadOn,
+                    const std::string &DecisionLog = "") {
+  core::Runtime Rt(benchConfig(W, LookaheadOn, DecisionLog));
+  core::TrackedArray<uint64_t> Arr =
+      Rt.allocate<uint64_t>("field", W.elems());
+  for (uint64_t I = 0; I < Arr.size(); ++I)
+    Arr.raw()[I] = I;
+
+  RunTotals Totals;
+  for (uint32_t E = 0; E < W.Epochs; ++E) {
+    Rt.profilingStart();
+    Rt.beginIteration();
+    runEpoch(Arr, W, E);
+    Totals.IterSec += Rt.endIteration();
+    Totals.MigrateSec += Rt.optimize().SimSeconds;
+  }
+  Totals.Lk = Rt.lookaheadStats();
+  return Totals;
+}
+
+} // namespace
+
+int main(int Argc, const char **Argv) {
+  OptionParser Parser(
+      "micro_lookahead: epoch-boundary cost of a ramping workload with the "
+      "lookahead scheduler off and on");
+  Parser.addFlag("quick", "Cut workload sizes for CI smoke runs");
+  Parser.addString("json", "BENCH_lookahead.json",
+                   "Machine-readable results path (\"\" disables)");
+  Parser.addString("decision-log", "",
+                   "Record the lookahead-on run's placement decisions "
+                   "(atdl, for atmem_explain; \"\" disables)");
+  if (!Parser.parse(Argc, Argv))
+    return 1;
+
+  // Quick mode trims the converged tail only: the access intensity stays
+  // put, because the ramp epochs need full sampling resolution for the
+  // warming region's velocity to register above the noise quantum.
+  Workload W;
+  if (Parser.getFlag("quick"))
+    W.Epochs = 6;
+
+  std::printf("[micro_lookahead] epochs=%u chunks=%u chunk-bytes=%llu\n",
+              W.Epochs, W.totalChunks(),
+              static_cast<unsigned long long>(W.ChunkBytes));
+
+  RunTotals Off = runConfig(W, /*LookaheadOn=*/false);
+  std::string DecisionLog = Parser.getString("decision-log");
+  RunTotals On = runConfig(W, /*LookaheadOn=*/true, DecisionLog);
+  if (!DecisionLog.empty()) {
+    obs::TelemetryConfig Telemetry;
+    Telemetry.DecisionLogPath = DecisionLog;
+    if (!obs::exportIfConfigured(Telemetry)) {
+      std::fprintf(stderr, "micro_lookahead: cannot write %s\n",
+                   DecisionLog.c_str());
+      return 1;
+    }
+    std::printf("decision log written to %s\n", DecisionLog.c_str());
+  }
+
+  double OffTotal = Off.IterSec + Off.MigrateSec;
+  double OnTotal = On.IterSec + On.MigrateSec;
+  std::printf("lookahead off: iter %.6f s + migrate %.6f s = %.6f s\n",
+              Off.IterSec, Off.MigrateSec, OffTotal);
+  std::printf("lookahead on:  iter %.6f s + migrate %.6f s = %.6f s\n",
+              On.IterSec, On.MigrateSec, OnTotal);
+  std::printf("  staged %llu  committed %llu  cancelled %llu  "
+              "backed-off %llu  overlapped %.6f s\n",
+              static_cast<unsigned long long>(On.Lk.StagedRanges),
+              static_cast<unsigned long long>(On.Lk.CommittedRanges),
+              static_cast<unsigned long long>(On.Lk.CancelledRanges),
+              static_cast<unsigned long long>(On.Lk.BackedOffEpochs),
+              On.Lk.OverlappedSimSec);
+  std::printf("boundary stall saved: %.6f s (%.2f%% of off-run migrate)\n",
+              Off.MigrateSec - On.MigrateSec,
+              Off.MigrateSec > 0.0
+                  ? 100.0 * (Off.MigrateSec - On.MigrateSec) / Off.MigrateSec
+                  : 0.0);
+
+  if (On.Lk.CommittedRanges == 0) {
+    std::fprintf(stderr,
+                 "micro_lookahead: no staged-ahead range was committed — "
+                 "the planner never caught the ramp\n");
+    return 1;
+  }
+
+  std::string JsonPath = Parser.getString("json");
+  if (!JsonPath.empty()) {
+    std::FILE *Out = std::fopen(JsonPath.c_str(), "w");
+    if (!Out) {
+      std::fprintf(stderr, "micro_lookahead: cannot write %s\n",
+                   JsonPath.c_str());
+      return 1;
+    }
+    std::fprintf(
+        Out,
+        "{\n"
+        "  \"bench\": \"micro_lookahead\",\n"
+        "  \"quick\": %s,\n"
+        "  \"host_hardware_threads\": %u,\n"
+        "  \"git_sha\": \"%s\",\n"
+        "  \"compiler\": \"%s\",\n"
+        "  \"cpu_model\": \"%s\",\n"
+        "  \"epochs\": %u,\n"
+        "  \"lookahead_off\": {\"iter_sec\": %.9f, \"migrate_sec\": %.9f},\n"
+        "  \"lookahead_on\": {\"iter_sec\": %.9f, \"migrate_sec\": %.9f,\n"
+        "    \"predicted_chunks\": %llu, \"staged_ranges\": %llu,\n"
+        "    \"committed_ranges\": %llu, \"cancelled_ranges\": %llu,\n"
+        "    \"backed_off_epochs\": %llu, \"overlapped_sim_sec\": %.9f},\n"
+        "  \"boundary_sec_saved\": %.9f\n"
+        "}\n",
+        Parser.getFlag("quick") ? "true" : "false",
+        std::max(1u, std::thread::hardware_concurrency()),
+        support::gitSha(), support::compilerId(),
+        support::cpuModel().c_str(), W.Epochs, Off.IterSec, Off.MigrateSec,
+        On.IterSec, On.MigrateSec,
+        static_cast<unsigned long long>(On.Lk.PredictedChunks),
+        static_cast<unsigned long long>(On.Lk.StagedRanges),
+        static_cast<unsigned long long>(On.Lk.CommittedRanges),
+        static_cast<unsigned long long>(On.Lk.CancelledRanges),
+        static_cast<unsigned long long>(On.Lk.BackedOffEpochs),
+        On.Lk.OverlappedSimSec, Off.MigrateSec - On.MigrateSec);
+    std::fclose(Out);
+    std::printf("results written to %s\n", JsonPath.c_str());
+  }
+  return 0;
+}

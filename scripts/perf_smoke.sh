@@ -1,7 +1,14 @@
 #!/usr/bin/env sh
-# Runs the hot-path microbenchmark in quick mode and leaves its JSON
-# trajectory point at the repository root as BENCH_hotpath.json, so
-# successive PRs (and the CI artifact) accumulate comparable numbers.
+# Runs the hot-path and lookahead microbenchmarks in quick mode and leaves
+# their JSON trajectory points at the repository root as BENCH_hotpath.json
+# and BENCH_lookahead.json, so successive PRs (and the CI artifacts)
+# accumulate comparable numbers.
+#
+# Regression gate: if a committed BENCH_hotpath.json baseline exists and
+# was recorded on the same host class (same cpu_model and
+# host_hardware_threads — CI runners differ wildly, numbers only compare
+# within a class), the run fails when the batched drain rate drops more
+# than 20% below it. Cross-host-class runs just record the new point.
 #
 # Usage: scripts/perf_smoke.sh [build-dir]   (default: build)
 set -eu
@@ -9,6 +16,7 @@ set -eu
 BUILD_DIR="${1:-build}"
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BENCH="$REPO_ROOT/$BUILD_DIR/bench/micro_hotpath"
+LOOKAHEAD="$REPO_ROOT/$BUILD_DIR/bench/micro_lookahead"
 
 if [ ! -x "$BENCH" ]; then
   echo "perf_smoke: $BENCH not built (cmake --build $BUILD_DIR --target micro_hotpath)" >&2
@@ -16,9 +24,52 @@ if [ ! -x "$BENCH" ]; then
 fi
 
 OUT="$REPO_ROOT/BENCH_hotpath.json"
-"$BENCH" --quick --json "$OUT" --trace-tmp "$REPO_ROOT/$BUILD_DIR/micro_hotpath.mtrace"
+BASELINE="$REPO_ROOT/$BUILD_DIR/perf_smoke_baseline.json"
+rm -f "$BASELINE"
+if [ -f "$OUT" ]; then
+  cp "$OUT" "$BASELINE"
+fi
 
-# Fail on malformed output, not on any perf number: CI runners are too
-# noisy for thresholds, the artifact is for offline comparison.
+"$BENCH" --quick --json "$OUT" --trace-tmp "$REPO_ROOT/$BUILD_DIR/micro_hotpath.mtrace"
 python3 -m json.tool "$OUT" > /dev/null
 echo "perf_smoke: wrote $OUT"
+
+if [ -x "$LOOKAHEAD" ]; then
+  LK_OUT="$REPO_ROOT/BENCH_lookahead.json"
+  "$LOOKAHEAD" --quick --json "$LK_OUT"
+  python3 -m json.tool "$LK_OUT" > /dev/null
+  echo "perf_smoke: wrote $LK_OUT"
+else
+  echo "perf_smoke: $LOOKAHEAD not built, skipping lookahead point" >&2
+fi
+
+if [ -f "$BASELINE" ]; then
+  python3 - "$BASELINE" "$OUT" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    base = json.load(f)
+with open(sys.argv[2]) as f:
+    new = json.load(f)
+
+def host_class(doc):
+    return (doc.get("cpu_model", "unknown"),
+            doc.get("host_hardware_threads", 0))
+
+if "unknown" in host_class(base) or host_class(base) != host_class(new):
+    print("perf_smoke: baseline from different host class %r, not gating"
+          % (host_class(base),))
+    sys.exit(0)
+
+old = base["miss_drain"]["batched"]["misses_per_sec"]
+cur = new["miss_drain"]["batched"]["misses_per_sec"]
+floor = 0.8 * old
+print("perf_smoke: batched drain %.0f/s vs baseline %.0f/s (floor %.0f/s)"
+      % (cur, old, floor))
+if cur < floor:
+    print("perf_smoke: batched drain regressed more than 20%% below the "
+          "committed baseline (git_sha %s)" % base.get("git_sha", "unknown"),
+          file=sys.stderr)
+    sys.exit(1)
+EOF
+fi

@@ -1,0 +1,123 @@
+#include "analyzer/LookaheadPlanner.h"
+
+#include <algorithm>
+
+using namespace atmem;
+using namespace atmem::analyzer;
+
+void LookaheadPlanner::observeEpoch(
+    const std::vector<ObjectClassification> &Classes,
+    uint64_t RenominatedRanges, uint64_t RolledBackRanges,
+    uint64_t SkippedRanges) {
+  ++Epochs;
+
+  // Eq. 4 rank this epoch: 1-based among W > 0 objects, descending weight
+  // (ties by object id so the ranking is deterministic).
+  struct Ranked {
+    mem::ObjectId Object;
+    double Weight;
+  };
+  std::vector<Ranked> Ranking;
+  for (const ObjectClassification &Cls : Classes)
+    if (Cls.Promotion.Weight > 0.0)
+      Ranking.push_back({Cls.Object, Cls.Promotion.Weight});
+  std::sort(Ranking.begin(), Ranking.end(),
+            [](const Ranked &A, const Ranked &B) {
+              if (A.Weight != B.Weight)
+                return A.Weight > B.Weight;
+              return A.Object < B.Object;
+            });
+  auto rankOf = [&Ranking](mem::ObjectId Id) -> uint32_t {
+    for (size_t I = 0; I < Ranking.size(); ++I)
+      if (Ranking[I].Object == Id)
+        return static_cast<uint32_t>(I + 1);
+    return 0;
+  };
+
+  uint64_t Flips = 0;
+  uint64_t Tracked = 0;
+  for (const ObjectClassification &Cls : Classes) {
+    uint32_t N = Cls.numChunks();
+    Tracked += N;
+    ObjectTrend &Trend = Trends[Cls.Object];
+    bool Fresh = Trend.EpochsSeen == 0 ||
+                 Trend.Priority.size() != static_cast<size_t>(N);
+    if (Fresh) {
+      // First sighting (or a resize after re-registration): seed the
+      // state, no deltas to take yet.
+      Trend = ObjectTrend();
+      Trend.Priority.assign(N, 0.0);
+      Trend.Velocity.assign(N, 0.0);
+      Trend.Selected.assign(N, 0);
+    }
+    uint32_t Rank = rankOf(Cls.Object);
+    Trend.RankVelocity =
+        Fresh || Trend.WeightRank == 0 || Rank == 0
+            ? 0
+            : static_cast<int32_t>(Trend.WeightRank) -
+                  static_cast<int32_t>(Rank);
+    Trend.WeightRank = Rank;
+    for (uint32_t C = 0; C < N; ++C) {
+      double P = Cls.Local.Priority[C];
+      double Delta = P - Trend.Priority[C];
+      Trend.Velocity[C] = Fresh ? 0.0
+                                : Config.VelocitySmoothing * Delta +
+                                      (1.0 - Config.VelocitySmoothing) *
+                                          Trend.Velocity[C];
+      Trend.Priority[C] = P;
+      uint8_t Sel = Cls.isSelected(C) ? 1 : 0;
+      if (!Fresh && Sel != Trend.Selected[C])
+        ++Flips;
+      Trend.Selected[C] = Sel;
+    }
+    Trend.Theta = Cls.Local.Theta;
+    ++Trend.EpochsSeen;
+    Trend.LastEpoch = Epochs;
+  }
+
+  // Drop trend state of objects the registry no longer reports (freed).
+  for (auto It = Trends.begin(); It != Trends.end();)
+    It = It->second.LastEpoch == Epochs ? std::next(It) : Trends.erase(It);
+
+  uint64_t MigrationChurn =
+      RenominatedRanges + RolledBackRanges + SkippedRanges;
+  LastChurn = Tracked == 0
+                  ? 0.0
+                  : static_cast<double>(Flips) / static_cast<double>(Tracked);
+  LastChurn += static_cast<double>(MigrationChurn);
+  ChurnFreeStreak =
+      (Flips == 0 && MigrationChurn == 0) ? ChurnFreeStreak + 1 : 0;
+}
+
+std::vector<LookaheadPrediction> LookaheadPlanner::predict() const {
+  std::vector<LookaheadPrediction> Out;
+  if (LastChurn > Config.MaxChurnForPredict)
+    return Out;
+  for (const auto &[Id, Trend] : Trends) {
+    // A single observation carries no trend, and theta 0 means the object
+    // never produced a usable threshold to extrapolate against.
+    if (Trend.EpochsSeen < 2 || Trend.Theta <= 0.0)
+      continue;
+    double Boost = Trend.RankVelocity > 0 ? Config.RankBoost : 1.0;
+    double VelocityFloor = Config.MinVelocityFraction * Trend.Theta;
+    for (uint32_t C = 0; C < Trend.Priority.size(); ++C) {
+      if (Trend.Selected[C] || Trend.Velocity[C] <= VelocityFloor)
+        continue;
+      double Predicted =
+          (Trend.Priority[C] + Trend.Velocity[C]) * Boost;
+      if (Predicted >= Config.PredictThetaFraction * Trend.Theta)
+        Out.push_back({Id, C, Predicted});
+    }
+  }
+  std::sort(Out.begin(), Out.end(),
+            [](const LookaheadPrediction &A, const LookaheadPrediction &B) {
+              if (A.PredictedPriority != B.PredictedPriority)
+                return A.PredictedPriority > B.PredictedPriority;
+              if (A.Object != B.Object)
+                return A.Object < B.Object;
+              return A.Chunk < B.Chunk;
+            });
+  if (Out.size() > Config.MaxChunksPerEpoch)
+    Out.resize(Config.MaxChunksPerEpoch);
+  return Out;
+}

@@ -1,0 +1,144 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ATMem reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lookahead placement prediction. ATMem's pipeline is reactive — chunks
+/// move only after a profile shows them hot, so every phase change eats
+/// one epoch of slow-tier misses plus a migration stall at the boundary.
+/// The planner closes that gap with the trend features the analyzer
+/// already produces per epoch: per-chunk Eq. 1 priority deltas (sample
+/// velocity), Eq. 4 weight-rank velocity across objects, and the
+/// renomination / rollback / skip churn of the migration layer. From them
+/// it predicts which currently-cold chunks will cross their object's
+/// Eq. 2 theta next epoch — the warming edge of a growing BFS frontier,
+/// the tail of a sliding window — so the runtime can stage their
+/// migrations ahead of demand and commit them for free at the boundary.
+///
+/// The same churn bookkeeping doubles as the convergence detector for
+/// adaptive epoch scheduling: when selections stop flipping and the
+/// migration layer reports no churn for a streak of epochs, placement has
+/// converged and the runtime can back off analysis entirely until drift
+/// re-arms it.
+///
+/// Predictions are advisory: a wrong one costs a cancelled staging buffer
+/// (a no-op for placement), never a wrong placement — the epoch-boundary
+/// commit only fires for chunks the *fresh* plan independently selected.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ATMEM_ANALYZER_LOOKAHEADPLANNER_H
+#define ATMEM_ANALYZER_LOOKAHEADPLANNER_H
+
+#include "analyzer/PlacementPlan.h"
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace atmem {
+namespace analyzer {
+
+/// Tuning of the lookahead prediction and convergence detection.
+struct LookaheadPlannerConfig {
+  /// EWMA weight of the newest per-chunk priority delta (1 = last delta
+  /// only, smaller = smoother trend).
+  double VelocitySmoothing = 0.5;
+  /// A cold chunk is predicted hot when its extrapolated priority reaches
+  /// this fraction of the object's Eq. 2 theta. Below 1.0 because the
+  /// prediction fires one epoch early by design — the chunk is still
+  /// warming.
+  double PredictThetaFraction = 0.75;
+  /// Extrapolation boost for objects whose Eq. 4 weight rank is rising
+  /// (the object as a whole is gaining heat, so its warming chunks are
+  /// better bets).
+  double RankBoost = 1.25;
+  /// Hard cap on predictions per epoch (the capacity budget usually binds
+  /// first).
+  uint32_t MaxChunksPerEpoch = 64;
+  /// Prediction is suppressed while selection churn exceeds this fraction
+  /// of tracked chunks — an unstable profile makes every extrapolation a
+  /// coin flip, and staging buffers are not free.
+  double MaxChurnForPredict = 0.25;
+  /// Minimum per-chunk velocity, as a fraction of the object's theta, for
+  /// a chunk to count as warming. Filters the chunks hovering *at* the
+  /// threshold in a converged profile: their priority ties theta with a
+  /// velocity decaying toward zero, and without the floor they would be
+  /// re-predicted (and re-cancelled) every epoch.
+  double MinVelocityFraction = 0.05;
+  /// Consecutive churn-free epochs before converged() reports true.
+  uint32_t ConvergenceEpochs = 2;
+};
+
+/// One predicted-hot chunk, ordered by descending predicted priority.
+struct LookaheadPrediction {
+  mem::ObjectId Object = 0;
+  uint32_t Chunk = 0;
+  /// Extrapolated next-epoch Eq. 1 priority (misses per byte).
+  double PredictedPriority = 0.0;
+};
+
+/// Consumes one epoch of analyzer output at a time and predicts the next
+/// epoch's hot chunks. Not thread-safe; owned by the runtime and driven
+/// from optimize().
+class LookaheadPlanner {
+public:
+  explicit LookaheadPlanner(LookaheadPlannerConfig Config = {})
+      : Config(Config) {}
+
+  /// Feeds one epoch's classifications plus the migration layer's churn
+  /// counters (ranges renominated from earlier epochs, ranges rolled back
+  /// by faults, ranges skipped unplaced). Call once per analyzed epoch,
+  /// after the plan is built.
+  void observeEpoch(const std::vector<ObjectClassification> &Classes,
+                    uint64_t RenominatedRanges, uint64_t RolledBackRanges,
+                    uint64_t SkippedRanges);
+
+  /// Predicts next-epoch hot chunks among those the last epoch did *not*
+  /// select: rising priority trend, extrapolation crossing the theta
+  /// fraction, rank-velocity boosted, sorted by descending predicted
+  /// priority and capped at MaxChunksPerEpoch. Empty until two epochs
+  /// were observed or while churn() exceeds MaxChurnForPredict.
+  std::vector<LookaheadPrediction> predict() const;
+
+  /// Selection-flip fraction of the last observed epoch (plus a full
+  /// point per renominated/rolled-back/skipped range, so migration-layer
+  /// instability also suppresses prediction).
+  double churn() const { return LastChurn; }
+
+  /// True when the last ConvergenceEpochs observed epochs had zero churn:
+  /// no selection flips, no renominations, no rollbacks, no skips.
+  bool converged() const {
+    return ChurnFreeStreak >= Config.ConvergenceEpochs;
+  }
+
+  uint64_t epochsObserved() const { return Epochs; }
+  const LookaheadPlannerConfig &config() const { return Config; }
+
+private:
+  /// Trend state of one live object.
+  struct ObjectTrend {
+    std::vector<double> Priority;  ///< Last epoch's per-chunk Eq. 1 PR.
+    std::vector<double> Velocity;  ///< EWMA of per-chunk PR deltas.
+    std::vector<uint8_t> Selected; ///< Last epoch's plan membership.
+    double Theta = 0.0;            ///< Last epoch's Eq. 2 threshold.
+    uint32_t WeightRank = 0;       ///< Last epoch's Eq. 4 rank (1-based).
+    int32_t RankVelocity = 0;      ///< Previous rank minus current (>0 = rising).
+    uint64_t EpochsSeen = 0;
+    uint64_t LastEpoch = 0; ///< For dropping freed objects.
+  };
+
+  LookaheadPlannerConfig Config;
+  std::unordered_map<mem::ObjectId, ObjectTrend> Trends;
+  uint64_t Epochs = 0;
+  double LastChurn = 0.0;
+  uint32_t ChurnFreeStreak = 0;
+};
+
+} // namespace analyzer
+} // namespace atmem
+
+#endif // ATMEM_ANALYZER_LOOKAHEADPLANNER_H

@@ -208,7 +208,7 @@ Runtime::Runtime(RuntimeConfig ConfigIn)
   }
 }
 
-Runtime::~Runtime() = default;
+Runtime::~Runtime() { shutdownLookahead(); }
 
 void Runtime::parallelTracked(uint64_t Begin, uint64_t End,
                               const TrackedBody &Body, uint64_t ChunkSize) {
@@ -241,6 +241,18 @@ void Runtime::profilingStop() { Profiler.stop(); }
 mem::MigrationResult Runtime::optimize() {
   if (Profiler.isActive())
     Profiler.stop();
+
+  if (Config.Lookahead.Enabled) {
+    // Settle the overlapped staging copies before anything reads their
+    // outcome, then let the adaptive scheduler skip the whole epoch when
+    // placement has converged — no analysis, no decision-log epoch, no
+    // migrations, nothing staged to resolve.
+    joinLookaheadCopies();
+    if (skipConvergedEpoch())
+      return {};
+    EpochRenominated = 0;
+    EpochRollbacks = 0;
+  }
 
   obs::SpanScope OptimizeSpan("runtime.optimize", "runtime");
 
@@ -291,6 +303,14 @@ mem::MigrationResult Runtime::optimize() {
     return nullptr;
   };
 
+  // Epoch boundary of the lookahead pipeline: staged-ahead ranges the
+  // fresh plan confirms commit here for the price of a remap (their copy
+  // already ran overlapped with compute); mispredictions evaporate. Runs
+  // before demotions/promotions so the demand path below sees committed
+  // chunks as already placed and never re-migrates them.
+  if (Config.Lookahead.Enabled)
+    resolveStagedAhead(Result);
+
   // Chunks a previous epoch had to leave behind are re-nominated this
   // epoch alongside the fresh plan.
   std::vector<SkippedChunk> PrevSkipped = std::move(Skipped);
@@ -328,6 +348,7 @@ mem::MigrationResult Runtime::optimize() {
             PrevSkipped[I].Target != sim::TierId::Fast)
           continue;
         Consumed[I] = 1;
+        ++EpochRenominated;
         countRenominated();
         recordDecisionEvents(Obj, {PrevSkipped[I].Range}, sim::TierId::Fast,
                              obs::DecisionPhase::Renominated,
@@ -365,6 +386,7 @@ mem::MigrationResult Runtime::optimize() {
           PrevSkipped[J].Target != sim::TierId::Fast)
         continue;
       Consumed[J] = 1;
+      ++EpochRenominated;
       countRenominated();
       recordDecisionEvents(Obj, {PrevSkipped[J].Range}, sim::TierId::Fast,
                            obs::DecisionPhase::Renominated,
@@ -375,6 +397,14 @@ mem::MigrationResult Runtime::optimize() {
       promoteWithRecovery(Mig, Obj, std::move(Pending), priorityOf(Id),
                           Result);
   }
+  // Predict and stage next epoch's hot chunks, then launch the overlapped
+  // copy; finally update the adaptive scheduler's convergence accounting.
+  if (Config.Lookahead.Enabled &&
+      Config.Mechanism == MigrationMechanism::Atmem) {
+    stageLookahead(Classes);
+    updateBackoff();
+  }
+
   logInfo("optimize: moved %llu bytes in %llu ranges, %.3f ms simulated",
           static_cast<unsigned long long>(Result.BytesMoved),
           static_cast<unsigned long long>(Result.Ranges),
@@ -422,6 +452,8 @@ void Runtime::demoteUnselected(mem::Migrator &Mig,
     for (;;) {
       mem::MigrationStatus Status =
           Mig.migrate(*Obj, Pending, sim::TierId::Slow, Result);
+      if (Status == mem::MigrationStatus::Retryable)
+        ++EpochRollbacks; // A Retryable status means a range rolled back.
       if (Status == mem::MigrationStatus::Success)
         break;
       std::vector<mem::ChunkRange> Remaining =
@@ -461,6 +493,8 @@ void Runtime::promoteWithRecovery(mem::Migrator &Mig, mem::DataObject &Obj,
   for (;;) {
     mem::MigrationStatus Status =
         Mig.migrate(Obj, Pending, sim::TierId::Fast, Result);
+    if (Status == mem::MigrationStatus::Retryable)
+      ++EpochRollbacks; // A Retryable status means a range rolled back.
     if (Status == mem::MigrationStatus::Success) {
       if (Abandoned.empty())
         return;
@@ -608,8 +642,6 @@ void Runtime::drainBatched() {
     Ctx->stats() = sim::AccessStats();
     const std::vector<uint64_t> &Buf = Ctx->missBuffer();
     Profiler.selectSamples(Buf.data(), Buf.size(), PendingScratch);
-    if (MissTrace)
-      MissTrace->recordBatch(Buf.data(), Buf.size());
   }
 
   // Stage 2 — attribute the selected samples to (object, chunk). Each
@@ -621,22 +653,23 @@ void Runtime::drainBatched() {
   AttrScratch.assign(PendingScratch.size(), AttributedSample{});
   if (KernelPool && std::thread::hardware_concurrency() > 1 &&
       PendingScratch.size() >= ParallelAttributionThreshold) {
-    std::vector<mem::AttributionHint> Hints(KernelPool->threadCount());
-    uint64_t Chunk =
-        std::max<uint64_t>(PendingScratch.size() / Hints.size() / 4, 256);
+    // Hints persist across drains (warm starting points); each worker
+    // owns one slot, so reuse is race-free.
+    AttrHintScratch.resize(KernelPool->threadCount());
+    uint64_t Chunk = std::max<uint64_t>(
+        PendingScratch.size() / AttrHintScratch.size() / 4, 256);
     KernelPool->parallelForThreaded(
         0, PendingScratch.size(), Chunk,
         [&](uint32_t Tid, uint64_t Begin, uint64_t End) {
-          mem::AttributionHint &Hint = Hints[Tid];
+          mem::AttributionHint &Hint = AttrHintScratch[Tid];
           for (uint64_t I = Begin; I < End; ++I)
             AttrScratch[I].Ok = Registry.attributeIndexed(
                 PendingScratch[I].Va, AttrScratch[I].Attr, Hint);
         });
   } else {
-    mem::AttributionHint Hint;
     for (size_t I = 0; I < PendingScratch.size(); ++I)
       AttrScratch[I].Ok = Registry.attributeIndexed(
-          PendingScratch[I].Va, AttrScratch[I].Attr, Hint);
+          PendingScratch[I].Va, AttrScratch[I].Attr, SerialAttrHint);
   }
 
   // Stage 3 — serial commit in selection order. Floating-point profile
@@ -658,16 +691,53 @@ void Runtime::drainBatched() {
     // runs once here instead of per miss, and the loop needs only the
     // page size — not the reconstructed frame — from the cache.
     Cache.revalidate();
+    // Huge-page run skip: a 2 MiB VA region is uniformly mapped (one huge
+    // page or 512 small ones), so once a miss resolves huge, every
+    // following miss in the same 2 MiB frame shares that translation.
+    // Replay those straight against the huge array via the precomputed
+    // VPN — one translation per run instead of one per miss. Runs that
+    // break (random gather) still short-circuit through the counter-free
+    // isCachedHuge() probe before falling back to the full translation.
+    // Graph objects are huge-backed (PreferHuge registration), so on
+    // dense iterations this drops nearly every cache probe. TLB verdicts
+    // and LRU state are untouched: accessVpn(Va >> 21) is exactly
+    // access(Va, HugePageBytes).
+    sim::TlbArray &HugeTlb = Tlb.hugeArray();
+    uint64_t RunHugeVpn = ~0ull;
     for (auto &Ctx : Contexts)
       for (uint64_t Va : Ctx->missBuffer()) {
+        uint64_t HugeVpn = Va >> 21;
+        if (HugeVpn == RunHugeVpn || Cache.isCachedHuge(HugeVpn)) {
+          RunHugeVpn = HugeVpn;
+          HugeTlb.accessVpn(HugeVpn);
+          continue;
+        }
         uint64_t PageBytes;
-        if (Cache.translatePageBytes(Va, PageBytes))
-          Tlb.access(Va, PageBytes);
+        if (!Cache.translatePageBytes(Va, PageBytes))
+          continue;
+        if (PageBytes == sim::HugePageBytes) {
+          RunHugeVpn = HugeVpn;
+          HugeTlb.accessVpn(HugeVpn);
+        } else {
+          RunHugeVpn = ~0ull;
+          Tlb.smallArray().access(Va);
+        }
       }
   }
 
-  for (auto &Ctx : Contexts)
-    Ctx->recycleMissBuffer();
+  // Stage 5 — trace hand-off and buffer recycling. The miss buffers are
+  // donated to the trace writer's spill thread zero-copy, in thread-index
+  // order (the same order the synchronous recordBatch calls used, so the
+  // file bytes are unchanged); each context gets a drained segment back.
+  // This runs after the TLB replay because the replay still reads the
+  // buffers; the trace content itself depends on nothing downstream.
+  for (auto &Ctx : Contexts) {
+    if (MissTrace && !Ctx->missBuffer().empty())
+      MissTrace->recordBatchOwned(
+          Ctx->donateMissBuffer(MissTrace->takeRecycled()));
+    else
+      Ctx->recycleMissBuffer();
+  }
 }
 
 double Runtime::fastDataRatio() const {
@@ -690,4 +760,235 @@ void Runtime::replayTlbAccessUncached(uint64_t Va) {
   sim::Translation T;
   if (M.pageTable().translate(Va, T))
     ReplayTlb->access(Va, T.PageBytes);
+}
+
+//===----------------------------------------------------------------------===//
+// Lookahead pipeline
+//===----------------------------------------------------------------------===//
+
+void Runtime::joinLookaheadCopies() {
+  if (LookaheadCopyThread.joinable())
+    LookaheadCopyThread.join();
+}
+
+void Runtime::shutdownLookahead() {
+  joinLookaheadCopies();
+  // Silent unmap (no events): the decision log may already be finalized
+  // during teardown, and a destructed runtime's staging regions must not
+  // outlive it either way.
+  for (const mem::StagedAheadRange &Staged : StagedRanges)
+    M.pageTable().unmapRegion(Staged.StagingVa, Staged.Len);
+  StagedRanges.clear();
+}
+
+bool Runtime::skipConvergedEpoch() {
+  if (!Config.Lookahead.AdaptiveEpochs || BackoffRemaining == 0 ||
+      !StagedRanges.empty())
+    return false;
+  // Drift detection on the last iteration's per-tier miss split: a
+  // converged placement serves most misses from the fast tier, so a
+  // slow-heavy split means the access pattern moved and the back-off must
+  // yield to a full analysis epoch immediately.
+  uint64_t FastMisses = Stats.TierMisses[sim::tierIndex(sim::TierId::Fast)];
+  uint64_t SlowMisses = Stats.TierMisses[sim::tierIndex(sim::TierId::Slow)];
+  if (FastMisses + SlowMisses > 0) {
+    double SlowFraction = static_cast<double>(SlowMisses) /
+                          static_cast<double>(FastMisses + SlowMisses);
+    if (SlowFraction >= Config.Lookahead.DriftSlowMissFraction) {
+      BackoffRemaining = 0;
+      BackoffLen = 0;
+      ConvergedStreak = 0;
+      logInfo("optimize: drift detected (%.0f%% slow-tier misses), "
+              "re-arming analysis",
+              SlowFraction * 100.0);
+      return false;
+    }
+  }
+  --BackoffRemaining;
+  ++LkStats.BackedOffEpochs;
+  logInfo("optimize: placement converged, backing off (%u epochs left)",
+          BackoffRemaining);
+  return true;
+}
+
+void Runtime::resolveStagedAhead(mem::MigrationResult &Result) {
+  for (mem::StagedAheadRange &Staged : StagedRanges) {
+    // Freed object: nothing to place, just release the staging region
+    // (the migrator's event-emitting cancel path needs the live object).
+    bool Live = false;
+    for (const mem::DataObject *Obj : Registry.liveObjects())
+      if (Obj->id() == Staged.Object) {
+        Live = true;
+        break;
+      }
+    if (!Live) {
+      M.pageTable().unmapRegion(Staged.StagingVa, Staged.Len);
+      ++LkStats.CancelledRanges;
+      continue;
+    }
+    mem::DataObject &Obj = Registry.object(Staged.Object);
+    if (!Staged.CopyDone)
+      ++LkStats.CopyFaults;
+
+    // A staged range commits only when the *fresh* plan independently
+    // selects every chunk of it and the chunks are still where the stage
+    // left them — predictions confirm placement decisions, they never
+    // make them. Everything else is a cancelled prefetch: the staging
+    // buffer unmaps and placement is exactly what a run without
+    // lookahead would have produced.
+    bool Confirmed = Staged.CopyDone;
+    for (uint32_t C = Staged.Range.FirstChunk;
+         Confirmed && C < Staged.Range.FirstChunk + Staged.Range.NumChunks;
+         ++C)
+      Confirmed = Obj.chunkTier(C) == Staged.Source;
+    if (Confirmed) {
+      bool Selected = false;
+      for (const analyzer::ObjectPlan &ObjPlan : LastPlan.Objects) {
+        if (ObjPlan.Object != Staged.Object)
+          continue;
+        Selected = true;
+        for (uint32_t C = Staged.Range.FirstChunk;
+             Selected &&
+             C < Staged.Range.FirstChunk + Staged.Range.NumChunks;
+             ++C) {
+          bool InPlan = false;
+          for (const mem::ChunkRange &Range : ObjPlan.Ranges)
+            if (C >= Range.FirstChunk &&
+                C < Range.FirstChunk + Range.NumChunks) {
+              InPlan = true;
+              break;
+            }
+          Selected = InPlan;
+        }
+        break;
+      }
+      Confirmed = Selected;
+    }
+
+    if (!Confirmed) {
+      AtmemMig.cancelStagedAhead(Obj, Staged, sim::TierId::Fast);
+      ++LkStats.CancelledRanges;
+      continue;
+    }
+    mem::MigrationStatus Status =
+        AtmemMig.commitStagedAhead(Obj, Staged, sim::TierId::Fast, Result);
+    if (Status == mem::MigrationStatus::Success) {
+      ++LkStats.CommittedRanges;
+      LkStats.OverlappedSimSec += Staged.OverlappedSimSec;
+    } else {
+      // The failed commit already cancelled itself (staging released,
+      // placement untouched); the chunks stay eligible for the demand
+      // path below.
+      ++LkStats.CancelledRanges;
+      ++EpochRollbacks;
+    }
+  }
+  StagedRanges.clear();
+}
+
+void Runtime::stageLookahead(
+    const std::vector<analyzer::ObjectClassification> &Classes) {
+  if (!Lookahead)
+    Lookahead =
+        std::make_unique<analyzer::LookaheadPlanner>(Config.Lookahead.Planner);
+  Lookahead->observeEpoch(Classes, EpochRenominated, EpochRollbacks,
+                          Skipped.size());
+  std::vector<analyzer::LookaheadPrediction> Predictions =
+      Lookahead->predict();
+  LkStats.PredictedChunks += Predictions.size();
+  if (Predictions.empty())
+    return;
+
+  // Hard capacity budget: a slice of the post-migration fast free bytes,
+  // with every staged byte holding 2x through the pipeline (the staging
+  // buffer now plus the commit-time remap). Predictions are taken in
+  // priority order; one that does not fit is skipped, not queued.
+  uint64_t Budget = static_cast<uint64_t>(
+      static_cast<double>(M.allocator(sim::TierId::Fast).freeBytes()) *
+      Config.Lookahead.CapacityFraction);
+  uint64_t Held = 0;
+  struct Pick {
+    mem::ObjectId Object;
+    uint32_t Chunk;
+  };
+  std::vector<Pick> Picks;
+  for (const analyzer::LookaheadPrediction &P : Predictions) {
+    bool Live = false;
+    for (const mem::DataObject *Obj : Registry.liveObjects())
+      if (Obj->id() == P.Object) {
+        Live = true;
+        break;
+      }
+    if (!Live)
+      continue;
+    mem::DataObject &Obj = Registry.object(P.Object);
+    if (P.Chunk >= Obj.numChunks() ||
+        Obj.chunkTier(P.Chunk) != sim::TierId::Slow)
+      continue;
+    auto [Begin, End] = Obj.rangeBytes({P.Chunk, 1});
+    uint64_t Bytes = End - Begin;
+    if (Bytes == 0 || Held + 2 * Bytes > Budget)
+      continue;
+    Held += 2 * Bytes;
+    Picks.push_back({P.Object, P.Chunk});
+  }
+  if (Picks.empty())
+    return;
+
+  // Group per object and merge adjacent chunks into contiguous ranges so
+  // each staging buffer covers one run.
+  std::sort(Picks.begin(), Picks.end(), [](const Pick &A, const Pick &B) {
+    if (A.Object != B.Object)
+      return A.Object < B.Object;
+    return A.Chunk < B.Chunk;
+  });
+  size_t Before = StagedRanges.size();
+  for (size_t I = 0; I < Picks.size();) {
+    mem::ObjectId Id = Picks[I].Object;
+    std::vector<mem::ChunkRange> Ranges;
+    while (I < Picks.size() && Picks[I].Object == Id) {
+      uint32_t First = Picks[I].Chunk;
+      uint32_t Last = First;
+      ++I;
+      while (I < Picks.size() && Picks[I].Object == Id &&
+             Picks[I].Chunk == Last + 1) {
+        Last = Picks[I].Chunk;
+        ++I;
+      }
+      Ranges.push_back({First, Last - First + 1});
+    }
+    AtmemMig.stageAhead(Registry.object(Id), Ranges, sim::TierId::Fast,
+                        StagedRanges);
+  }
+  LkStats.StagedRanges += StagedRanges.size() - Before;
+  if (StagedRanges.empty())
+    return;
+
+  // Launch the overlapped copies: one background thread drives the
+  // migration pool through each staged range while the application
+  // computes. joinLookaheadCopies() settles it before anything reads
+  // CopyDone.
+  LookaheadCopyThread = std::thread([this] {
+    for (mem::StagedAheadRange &Staged : StagedRanges)
+      AtmemMig.copyStagedAhead(Staged, sim::TierId::Fast);
+  });
+}
+
+void Runtime::updateBackoff() {
+  if (!Config.Lookahead.AdaptiveEpochs)
+    return;
+  bool Quiet = Lookahead && Lookahead->converged() && StagedRanges.empty() &&
+               Skipped.empty();
+  if (!Quiet) {
+    ConvergedStreak = 0;
+    return;
+  }
+  if (++ConvergedStreak < Config.Lookahead.ConvergedEpochsToBackoff)
+    return;
+  // Doubling windows: converged placements earn exponentially longer
+  // analysis holidays, capped, and drift resets the ladder.
+  BackoffLen = BackoffLen == 0 ? 1
+                               : std::min(BackoffLen * 2,
+                                          Config.Lookahead.MaxBackoffEpochs);
+  BackoffRemaining = BackoffLen;
 }

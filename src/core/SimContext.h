@@ -96,6 +96,21 @@ public:
     MissBuffer.clear();
   }
 
+  /// Donates the miss buffer to an asynchronous consumer (the trace
+  /// writer's spill thread) and installs \p Replacement in its place —
+  /// the zero-copy counterpart of recycleMissBuffer(). The high-water
+  /// bookkeeping matches recycleMissBuffer(); the replacement is cleared
+  /// and re-reserved like beginIteration() would.
+  std::vector<uint64_t> donateMissBuffer(std::vector<uint64_t> Replacement) {
+    if (MissBuffer.size() > MissHighWater)
+      MissHighWater = MissBuffer.size();
+    Replacement.clear();
+    if (Replacement.capacity() < MissHighWater)
+      Replacement.reserve(MissHighWater);
+    std::swap(MissBuffer, Replacement);
+    return Replacement;
+  }
+
 private:
   sim::CacheSim Shard;
   sim::AccessStats Stats;

@@ -205,6 +205,10 @@ const char *obs::decisionPhaseName(DecisionPhase Phase) {
     return "skipped";
   case DecisionPhase::Renominated:
     return "renominated";
+  case DecisionPhase::StagedAhead:
+    return "staged_ahead";
+  case DecisionPhase::PrefetchCancelled:
+    return "prefetch_cancelled";
   }
   return "unknown";
 }
@@ -633,6 +637,12 @@ bool obs::validateDecisionLog(const DecisionArtifact &Artifact,
       case DecisionPhase::Renominated:
         ++Local.Renominated;
         break;
+      case DecisionPhase::StagedAhead:
+        ++Local.StagedAhead;
+        break;
+      case DecisionPhase::PrefetchCancelled:
+        ++Local.PrefetchCancelled;
+        break;
       default:
         break;
       }
@@ -686,6 +696,8 @@ bool obs::crossCheckDecisionMetrics(const DecisionArtifact &Artifact,
       {"migration.retries", Stats.Retried},
       {"migration.skipped_renominated", Stats.Renominated},
       {"analyzer.chunks_estimated_critical", Stats.PromotedChunks},
+      {"lookahead.staged_ranges", Stats.StagedAhead},
+      {"lookahead.cancelled_ranges", Stats.PrefetchCancelled},
   };
   for (const Check &C : Checks) {
     uint64_t FromMetrics = counter(C.Counter);

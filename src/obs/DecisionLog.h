@@ -73,6 +73,9 @@ enum class DecisionPhase : uint8_t {
   Degraded = 6,   ///< Capacity shrink dropped the range from the attempt.
   Skipped = 7,    ///< Left unplaced; recorded for re-nomination.
   Renominated = 8, ///< A previously skipped range re-entered the plan.
+  StagedAhead = 9, ///< Lookahead prefetch: staging mapped ahead of demand.
+  PrefetchCancelled = 10, ///< Staged-ahead range dropped (misprediction or
+                          ///< fault); staging released, placement untouched.
 };
 
 const char *decisionPhaseName(DecisionPhase Phase);
@@ -231,6 +234,8 @@ struct DecisionLogStats {
   uint64_t Retried = 0;
   uint64_t Skipped = 0;
   uint64_t Renominated = 0;
+  uint64_t StagedAhead = 0;        ///< Lookahead prefetch stagings.
+  uint64_t PrefetchCancelled = 0;  ///< Staged-ahead ranges dropped.
 };
 
 /// Decodes \p Path into \p Out. False (with \p Error) on I/O failure, bad

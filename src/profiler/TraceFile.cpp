@@ -1,7 +1,30 @@
 #include "profiler/TraceFile.h"
 
+#include <algorithm>
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 using namespace atmem;
 using namespace atmem::prof;
+
+namespace {
+
+/// Demotes the calling thread to background scheduling where supported.
+/// The spill thread is pure I/O deferral: it must never preempt a compute
+/// thread mid-drain (on few-core hosts that would just move the write
+/// cost back into the timed path). Backpressure keeps this safe: when the
+/// bounded queue fills, the producer sleeps, which is exactly when an
+/// idle-class thread gets the CPU.
+void demoteToIdleScheduling() {
+#if defined(__linux__)
+  sched_param Param{};
+  pthread_setschedparam(pthread_self(), SCHED_IDLE, &Param); // Best effort.
+#endif
+}
+
+} // namespace
 
 TraceWriter::~TraceWriter() {
   if (File)
@@ -15,44 +38,138 @@ bool TraceWriter::open(const std::string &Path) {
   if (!File)
     return false;
   Events = 0;
-  WriteFailed = false;
+  WriteFailed.store(false, std::memory_order_relaxed);
   Buffer.clear();
   Buffer.reserve(FlushThreshold);
   // Placeholder header; finish() rewrites it with the final event count.
+  // Written before the spill thread starts, so the thread's appends land
+  // strictly after it.
   TraceHeader Header;
   if (std::fwrite(&Header, sizeof(Header), 1, File) != 1) {
     std::fclose(File);
     File = nullptr;
     return false;
   }
+  ShuttingDown = false;
+  Queue.clear();
+  Writer = std::thread([this] { writerLoop(); });
   return true;
 }
 
-void TraceWriter::flush() {
-  if (!File || Buffer.empty())
-    return;
-  if (std::fwrite(Buffer.data(), sizeof(uint64_t), Buffer.size(), File) !=
-      Buffer.size())
-    WriteFailed = true;
-  Buffer.clear();
+void TraceWriter::writerLoop() {
+  demoteToIdleScheduling();
+  std::unique_lock<std::mutex> Lock(QueueMutex);
+  for (;;) {
+    QueueCv.wait(Lock, [this] { return ShuttingDown || !Queue.empty(); });
+    if (Queue.empty())
+      return; // Shutdown with nothing left to write.
+    std::vector<uint64_t> Segment = std::move(Queue.front());
+    Queue.pop_front();
+    Lock.unlock();
+    if (std::fwrite(Segment.data(), sizeof(uint64_t), Segment.size(),
+                    File) != Segment.size())
+      WriteFailed.store(true, std::memory_order_relaxed);
+    Segment.clear();
+    Lock.lock();
+    if (Pool.size() < MaxPooledSegments)
+      Pool.push_back(std::move(Segment));
+    SpaceCv.notify_all();
+  }
 }
 
-void TraceWriter::writeDirect(const uint64_t *Vas, size_t N) {
-  if (std::fwrite(Vas, sizeof(uint64_t), N, File) != N)
-    WriteFailed = true;
+void TraceWriter::enqueue(std::vector<uint64_t> &&Segment) {
+  std::unique_lock<std::mutex> Lock(QueueMutex);
+  SpaceCv.wait(Lock, [this] { return Queue.size() < MaxQueuedSegments; });
+  Queue.push_back(std::move(Segment));
+  QueueCv.notify_one();
+}
+
+void TraceWriter::spillBuffer() {
+  if (Buffer.empty())
+    return;
+  std::vector<uint64_t> Next;
+  {
+    std::unique_lock<std::mutex> Lock(QueueMutex);
+    SpaceCv.wait(Lock, [this] { return Queue.size() < MaxQueuedSegments; });
+    Queue.push_back(std::move(Buffer));
+    if (!Pool.empty()) {
+      Next = std::move(Pool.back());
+      Pool.pop_back();
+    }
+    QueueCv.notify_one();
+  }
+  Buffer = std::move(Next);
+  if (Buffer.capacity() < FlushThreshold)
+    Buffer.reserve(FlushThreshold);
+}
+
+void TraceWriter::recordBatch(const uint64_t *Vas, size_t N) {
+  if (!File || N == 0)
+    return;
+  Events += N;
+  if (N >= FlushThreshold) {
+    spillBuffer(); // Older buffered events must precede the batch on disk.
+    std::vector<uint64_t> Segment = takeRecycled();
+    Segment.assign(Vas, Vas + N);
+    enqueue(std::move(Segment));
+    return;
+  }
+  Buffer.insert(Buffer.end(), Vas, Vas + N);
+  if (Buffer.size() >= FlushThreshold)
+    spillBuffer();
+}
+
+void TraceWriter::recordBatchOwned(std::vector<uint64_t> &&Vas) {
+  if (!File || Vas.empty())
+    return;
+  Events += Vas.size();
+  if (Vas.size() >= FlushThreshold) {
+    spillBuffer(); // Keep stream order: buffered events first.
+    enqueue(std::move(Vas));
+    return;
+  }
+  // Small donations join the buffer; the husk goes straight to the pool.
+  Buffer.insert(Buffer.end(), Vas.begin(), Vas.end());
+  Vas.clear();
+  {
+    std::lock_guard<std::mutex> Lock(QueueMutex);
+    if (Pool.size() < MaxPooledSegments)
+      Pool.push_back(std::move(Vas));
+  }
+  if (Buffer.size() >= FlushThreshold)
+    spillBuffer();
+}
+
+std::vector<uint64_t> TraceWriter::takeRecycled() {
+  std::lock_guard<std::mutex> Lock(QueueMutex);
+  if (Pool.empty())
+    return {};
+  std::vector<uint64_t> Out = std::move(Pool.back());
+  Pool.pop_back();
+  return Out;
 }
 
 bool TraceWriter::finish() {
   if (!File)
     return false;
-  flush();
+  spillBuffer();
+  {
+    std::lock_guard<std::mutex> Lock(QueueMutex);
+    ShuttingDown = true;
+    QueueCv.notify_one();
+  }
+  if (Writer.joinable())
+    Writer.join();
+  // The writer exits only once the queue is empty, so every event is on
+  // disk (or recorded as failed) before the header patch below.
   TraceHeader Header;
   Header.EventCount = Events;
-  bool Ok = !WriteFailed;
+  bool Ok = !WriteFailed.load(std::memory_order_relaxed);
   Ok = Ok && std::fseek(File, 0, SEEK_SET) == 0;
   Ok = Ok && std::fwrite(&Header, sizeof(Header), 1, File) == 1;
   Ok = std::fclose(File) == 0 && Ok;
   File = nullptr;
+  Pool.clear();
   return Ok;
 }
 

@@ -12,15 +12,28 @@
 /// (full-information placement analysis) and make profiling runs
 /// reproducible and inspectable offline.
 ///
+/// The writer spills asynchronously: full segments are handed to a
+/// dedicated writer thread over a bounded FIFO queue, so the recording
+/// thread (the end-of-iteration drain) never blocks on the file system.
+/// Segments are written strictly in hand-off order, so the file bytes are
+/// identical to a synchronous writer's; drained segments return through a
+/// recycle pool, making the batched drain's hand-off allocation-free and
+/// copy-free (it donates the iteration's miss buffer itself).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef ATMEM_PROFILER_TRACEFILE_H
 #define ATMEM_PROFILER_TRACEFILE_H
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <cstdio>
+#include <deque>
 #include <functional>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace atmem {
@@ -38,6 +51,10 @@ struct TraceHeader {
 
 /// Buffered writer for a miss trace. The header's event count is patched
 /// on finish(), so an unfinished file is recognizably incomplete.
+///
+/// Thread model: record()/recordBatch()/recordBatchOwned() must come from
+/// one producer thread; the internal writer thread owns the FILE between
+/// open() and finish().
 class TraceWriter {
 public:
   TraceWriter() = default;
@@ -46,7 +63,8 @@ public:
   TraceWriter(const TraceWriter &) = delete;
   TraceWriter &operator=(const TraceWriter &) = delete;
 
-  /// Opens \p Path for writing. Returns false on I/O failure.
+  /// Opens \p Path for writing and starts the spill thread. Returns false
+  /// on I/O failure.
   bool open(const std::string &Path);
 
   /// Appends one miss address. No-op when not open.
@@ -56,47 +74,60 @@ public:
     Buffer.push_back(Va);
     ++Events;
     if (Buffer.size() >= FlushThreshold)
-      flush();
+      spillBuffer();
   }
 
-  /// Appends \p N miss addresses in order — one bulk write instead of N
-  /// per-event calls. The resulting file bytes are identical to N
+  /// Appends \p N miss addresses in order — one bulk hand-off instead of
+  /// N per-event calls. The resulting file bytes are identical to N
   /// record() calls (the event stream alone determines the output):
-  /// small batches join the buffer; flush-sized ones drain any pending
-  /// events first and then stream straight from the caller's array,
-  /// skipping the intermediate copy entirely.
-  void recordBatch(const uint64_t *Vas, size_t N) {
-    if (!File || N == 0)
-      return;
-    Events += N;
-    if (N >= FlushThreshold) {
-      flush(); // Older buffered events must precede the batch on disk.
-      writeDirect(Vas, N);
-      return;
-    }
-    Buffer.insert(Buffer.end(), Vas, Vas + N);
-    if (Buffer.size() >= FlushThreshold)
-      flush();
-  }
+  /// small batches join the buffer; flush-sized ones are copied into a
+  /// recycled segment and queued behind any pending buffered events.
+  void recordBatch(const uint64_t *Vas, size_t N);
 
-  /// Flushes buffers, patches the header, and closes. Returns false when
-  /// any write failed.
+  /// Zero-copy variant of recordBatch(): takes ownership of \p Vas and
+  /// queues it for the spill thread directly — the drain donates each
+  /// iteration's miss buffer instead of copying 8 bytes per miss through
+  /// the file API. Pair with takeRecycled() to get a drained buffer back.
+  void recordBatchOwned(std::vector<uint64_t> &&Vas);
+
+  /// A spent segment from the recycle pool (empty, capacity warm), or an
+  /// empty vector when none is available yet.
+  std::vector<uint64_t> takeRecycled();
+
+  /// Drains the spill queue, patches the header, and closes. Returns
+  /// false when any write failed.
   bool finish();
 
   bool isOpen() const { return File != nullptr; }
   uint64_t eventCount() const { return Events; }
 
 private:
-  void flush();
-  /// Writes \p N events from \p Vas to the file without buffering.
-  void writeDirect(const uint64_t *Vas, size_t N);
+  /// Moves the producer-side Buffer into the spill queue (order
+  /// preserved) and replaces it with a recycled segment.
+  void spillBuffer();
+  /// Queues \p Segment for the writer thread; blocks only when the
+  /// bounded queue is full (spill thread persistently behind).
+  void enqueue(std::vector<uint64_t> &&Segment);
+  void writerLoop();
 
   static constexpr size_t FlushThreshold = 1 << 16;
+  /// Bounded queue depth: enough for one drain's worth of shard buffers
+  /// plus headroom, small enough to cap memory at a few segments.
+  static constexpr size_t MaxQueuedSegments = 8;
+  static constexpr size_t MaxPooledSegments = 8;
 
   std::FILE *File = nullptr;
   std::vector<uint64_t> Buffer;
   uint64_t Events = 0;
-  bool WriteFailed = false;
+  std::atomic<bool> WriteFailed{false};
+
+  std::thread Writer;
+  std::mutex QueueMutex;
+  std::condition_variable QueueCv; ///< Signals the writer: work/shutdown.
+  std::condition_variable SpaceCv; ///< Signals producers: queue drained.
+  std::deque<std::vector<uint64_t>> Queue;
+  std::vector<std::vector<uint64_t>> Pool;
+  bool ShuttingDown = false;
 };
 
 /// Streaming reader over a miss trace.

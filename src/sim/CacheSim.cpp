@@ -1,5 +1,7 @@
 #include "sim/CacheSim.h"
 
+#include "sim/SimdProbe.h"
+
 #include <bit>
 #include <cassert>
 
@@ -39,14 +41,29 @@ bool CacheSim::access(uint64_t Va) {
   ++Clock;
 
   // Hit probe: tag-only scan with no victim bookkeeping — hits are the
-  // overwhelmingly common case on warm sets.
-  for (uint32_t I = 0; I < Ways; ++I) {
-    if (TagRow[I] == Tag) {
-      StampRow[I] = Clock;
-      ++Hits;
-      return true;
+  // overwhelmingly common case on warm sets. The shipped geometries are
+  // multiples of four ways, so the scan runs in 4-way SIMD groups; the
+  // group scan order plus probeWay4's lowest-match rule preserve the
+  // scalar loop's first-match semantics exactly.
+#if ATMEM_SIMD_PROBE
+  if ((Ways & 3u) == 0) {
+    for (uint32_t G = 0; G < Ways; G += 4) {
+      int Way = probeWay4(TagRow + G, Tag);
+      if (Way >= 0) {
+        StampRow[G + static_cast<uint32_t>(Way)] = Clock;
+        ++Hits;
+        return true;
+      }
     }
-  }
+  } else
+#endif
+    for (uint32_t I = 0; I < Ways; ++I) {
+      if (TagRow[I] == Tag) {
+        StampRow[I] = Clock;
+        ++Hits;
+        return true;
+      }
+    }
 
   // Miss: same victim rule as the historical fused loop — the last invalid
   // way if any, otherwise the first way holding the minimal stamp — so

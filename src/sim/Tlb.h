@@ -20,6 +20,7 @@
 
 #include "sim/FrameAllocator.h"
 #include "sim/MachineConfig.h"
+#include "sim/SimdProbe.h"
 #include "support/Error.h"
 
 #include <cstdint>
@@ -40,6 +41,14 @@ public:
   /// buffered miss, and a cross-TU call costs as much as the probe itself.
   bool access(uint64_t Va) {
     uint64_t Vpn = PageShift ? Va >> PageShift : Va / PageBytes;
+    return accessVpn(Vpn);
+  }
+
+  /// access() after the VPN computation: callers that already derived the
+  /// VPN (the batched drain translates a 2 MiB run once and then replays
+  /// every miss of the run here) skip recomputing it. Verdicts, counters
+  /// and LRU state are exactly those of access().
+  bool accessVpn(uint64_t Vpn) {
     size_t Base = static_cast<size_t>(setOf(Vpn)) * Ways;
     uint64_t *VpnRow = Vpns.data() + Base;
     uint64_t *StampRow = Stamps.data() + Base;
@@ -53,6 +62,17 @@ public:
     // At most one way matches: inserts happen only on a miss, so a set
     // never holds duplicate VPNs, and Vpn != InvalidVpn for real pages.
     if (Ways == 4) {
+#if ATMEM_SIMD_PROBE
+      // Two 128-bit compares replace the four scalar ones; probeWay4
+      // returns the first (lowest) matching way like the scalar scan, so
+      // verdict and LRU update stay bit-identical.
+      int Way = probeWay4(VpnRow, Vpn);
+      if (Way >= 0) {
+        StampRow[Way] = Clock;
+        ++Hits;
+        return true;
+      }
+#else
       bool H1 = VpnRow[1] == Vpn;
       bool H2 = VpnRow[2] == Vpn;
       bool H3 = VpnRow[3] == Vpn;
@@ -62,6 +82,7 @@ public:
         ++Hits;
         return true;
       }
+#endif
     } else {
       for (uint32_t I = 0; I < Ways; ++I) {
         if (VpnRow[I] == Vpn) {
@@ -156,6 +177,15 @@ public:
 
   /// Full flush (context-switch scale invalidation).
   void flushAll();
+
+  /// \name Direct per-size array access
+  /// The batched drain resolves the page size once per translation run
+  /// and then feeds the run's misses straight to the owning array via
+  /// accessVpn(), skipping the per-access size dispatch above.
+  /// @{
+  TlbArray &smallArray() { return Small; }
+  TlbArray &hugeArray() { return Huge; }
+  /// @}
 
   uint64_t hits() const { return Small.hits() + Huge.hits(); }
   uint64_t misses() const { return Small.misses() + Huge.misses(); }

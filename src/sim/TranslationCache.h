@@ -89,6 +89,16 @@ public:
     return true;
   }
 
+  /// Cheapest possible probe for the quiescent replay loop: true when the
+  /// huge-page slot for \p HugeVpn (= Va >> 21) is cached, meaning the
+  /// address is huge-mapped. One load and one compare; no counter updates
+  /// (the hit/lookup tallies are internal diagnostics, and the replay
+  /// loop's throughput is worth more than their precision there). The
+  /// caller must have run revalidate() and keep the table quiescent.
+  bool isCachedHuge(uint64_t HugeVpn) const {
+    return HugeSlots[HugeVpn & Mask].Tag == HugeVpn;
+  }
+
   /// TLB-replay fast path: like translate() but yields only the page size
   /// and skips the epoch check — the caller must have run revalidate()
   /// and guarantee the page table does not mutate until the loop ends.

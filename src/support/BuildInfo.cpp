@@ -1,0 +1,63 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ATMem reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/BuildInfo.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace atmem {
+namespace support {
+
+// Injected by src/support/CMakeLists.txt from `git rev-parse` at configure
+// time; absent when building from a tarball.
+#ifndef ATMEM_GIT_SHA
+#define ATMEM_GIT_SHA "unknown"
+#endif
+
+const char *gitSha() { return ATMEM_GIT_SHA; }
+
+const char *compilerId() {
+#if defined(__clang__)
+  return "clang " __clang_version__;
+#elif defined(__GNUC__)
+  return "gcc " __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+const std::string &cpuModel() {
+  static const std::string Model = [] {
+    std::string Result = "unknown";
+    std::FILE *F = std::fopen("/proc/cpuinfo", "r");
+    if (!F)
+      return Result;
+    char Line[512];
+    while (std::fgets(Line, sizeof(Line), F)) {
+      if (std::strncmp(Line, "model name", 10) != 0)
+        continue;
+      const char *Colon = std::strchr(Line, ':');
+      if (Colon) {
+        const char *P = Colon + 1;
+        while (*P == ' ' || *P == '\t')
+          ++P;
+        Result.assign(P);
+        while (!Result.empty() &&
+               (Result.back() == '\n' || Result.back() == '\r'))
+          Result.pop_back();
+      }
+      break;
+    }
+    std::fclose(F);
+    return Result;
+  }();
+  return Model;
+}
+
+} // namespace support
+} // namespace atmem

@@ -1,0 +1,40 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ATMem reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Build and host provenance for machine-readable result files. Every
+/// BENCH_*.json emitter stamps these three fields so a perf number can be
+/// attributed to an exact commit, toolchain, and host class when comparing
+/// trajectories across PRs (and so the perf_smoke gate can refuse to
+/// compare numbers from different host classes).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ATMEM_SUPPORT_BUILDINFO_H
+#define ATMEM_SUPPORT_BUILDINFO_H
+
+#include <string>
+
+namespace atmem {
+namespace support {
+
+/// Short git commit SHA the build was configured from, captured at CMake
+/// configure time ("unknown" outside a git checkout). Stale only if the
+/// tree is committed without re-configuring, which the CI flow never does.
+const char *gitSha();
+
+/// Compiler family and version string the binary was built with.
+const char *compilerId();
+
+/// Host CPU model name, parsed once from /proc/cpuinfo ("unknown" when the
+/// field is absent, e.g. on non-Linux hosts).
+const std::string &cpuModel();
+
+} // namespace support
+} // namespace atmem
+
+#endif // ATMEM_SUPPORT_BUILDINFO_H

@@ -13,6 +13,7 @@
 #include "profiler/TraceFile.h"
 #include "sim/CacheSim.h"
 #include "sim/Machine.h"
+#include "sim/SimdProbe.h"
 #include "sim/Tlb.h"
 #include "sim/TranslationCache.h"
 #include "support/Prng.h"
@@ -610,6 +611,120 @@ TEST(HotPathDrainTest, CachedTlbReplayTracksPageTableMutations) {
       ASSERT_TRUE(Rt2.machine().pageTable().remapRange(Arr2.va(), Quarter, To,
                                                        /*PreferHuge=*/true));
     }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// SIMD probe and huge-page translation primitives: the vectorized 4-way
+// tag compare and the replay loop's one-load huge-map probe, each pinned
+// against the scalar semantics it shortcuts.
+//===----------------------------------------------------------------------===//
+
+TEST(HotPathSimdProbeTest, ProbeWay4MatchesScalarFirstMatchScan) {
+  // Half-match adversaries for the SSE2 32-bit emulation: lanes agreeing
+  // in exactly one 32-bit half must not report equality.
+  const uint64_t Lo = 0x00000001'00000002ull;
+  {
+    uint64_t Row[4] = {Lo, 0x00000009'00000002ull, 0x00000001'00000003ull,
+                       ~0ull};
+    EXPECT_EQ(sim::probeWay4(Row, Lo), 0);
+    EXPECT_EQ(sim::probeWay4(Row, 0x00000009'00000003ull), -1);
+  }
+  // Duplicate keys: the contract is the LOWEST matching way, same as a
+  // first-match scalar scan.
+  {
+    uint64_t Row[4] = {7, 9, 9, 9};
+    EXPECT_EQ(sim::probeWay4(Row, 9), 1);
+  }
+
+  Xoshiro256 Rng(23);
+  for (int I = 0; I < 200000; ++I) {
+    uint64_t Row[4];
+    // A small key universe forces frequent matches in every way position
+    // (and occasional duplicates); ~0 mimics invalid-slot sentinels.
+    for (uint64_t &Slot : Row)
+      Slot = Rng.nextBounded(8) == 0 ? ~0ull : Rng.nextBounded(12);
+    uint64_t Key = Rng.nextBounded(16) == 0 ? ~0ull : Rng.nextBounded(12);
+    int Ref = -1;
+    for (int W = 0; W < 4 && Ref < 0; ++W)
+      if (Row[W] == Key)
+        Ref = W;
+    ASSERT_EQ(sim::probeWay4(Row, Key), Ref)
+        << Row[0] << "," << Row[1] << "," << Row[2] << "," << Row[3]
+        << " key " << Key;
+  }
+}
+
+TEST(HotPathTlbTest, DirectArrayAccessVpnMatchesDispatchedAccess) {
+  // The batched drain resolves the page size once per translation run and
+  // feeds the run's misses straight to the owning array via accessVpn();
+  // verdicts and counters must be exactly those of the dispatched
+  // per-access path.
+  sim::TlbConfig Config;
+  sim::Tlb Dispatched(Config);
+  sim::Tlb Direct(Config);
+
+  Xoshiro256 Rng(31);
+  for (int I = 0; I < 200000; ++I) {
+    bool Huge = Rng.nextBounded(4) == 0;
+    uint64_t PageBytes = Huge ? 2u << 20 : 4096;
+    uint64_t Va = Rng.nextBounded(2) ? Rng.nextBounded(1u << 20)
+                                     : Rng.nextBounded(1ull << 32);
+    bool RefHit = Dispatched.access(Va, PageBytes);
+    bool GotHit = Huge ? Direct.hugeArray().accessVpn(Va >> 21)
+                       : Direct.smallArray().accessVpn(Va >> 12);
+    ASSERT_EQ(RefHit, GotHit) << "access " << I;
+  }
+  EXPECT_EQ(Dispatched.hits(), Direct.hits());
+  EXPECT_EQ(Dispatched.misses(), Direct.misses());
+  EXPECT_GT(Direct.hits(), 0u);
+  EXPECT_GT(Direct.misses(), 0u);
+}
+
+TEST(HotPathTranslationCacheTest, IsCachedHugeAgreesWithPageTable) {
+  sim::Machine M(smallCacheTestbed());
+  mem::DataObjectRegistry Reg(M);
+  mem::DataObject &Obj =
+      Reg.create("graph", 8u << 20, mem::InitialPlacement::Slow);
+  sim::PageTable &PT = M.pageTable();
+  sim::TranslationCache Cache(PT);
+
+  // Warm-then-probe sweep: after translate(Va) filled the slot for a
+  // live mapping, isCachedHuge must say "huge" exactly when the page
+  // table maps the address with a 2 MiB page.
+  auto CheckSweep = [&](uint64_t Seed) {
+    Xoshiro256 Rng(Seed);
+    for (int I = 0; I < 3000; ++I) {
+      uint64_t Va = Obj.va() + Rng.nextBounded(Obj.mappedBytes());
+      sim::Translation Direct;
+      ASSERT_TRUE(PT.translate(Va, Direct));
+      sim::Translation Cached;
+      ASSERT_TRUE(Cache.translate(Va, Cached));
+      EXPECT_EQ(Cache.isCachedHuge(Va >> 21), Direct.PageBytes == (2u << 20))
+          << "va " << std::hex << Va;
+    }
+  };
+
+  CheckSweep(3);
+  // Split pages out of the huge mapping (mbind-style single-page moves),
+  // then rebuild huge pages with a full-range remap; every mutation bumps
+  // the epoch, and translate()'s revalidation must keep the one-load
+  // probe truthful — a stale huge tag after a split would misroute the
+  // whole 512-page region in the replay loop.
+  Xoshiro256 Rng(77);
+  for (int Round = 0; Round < 3; ++Round) {
+    for (int I = 0; I < 8; ++I) {
+      uint64_t PageVa =
+          Obj.va() + (Rng.nextBounded(Obj.mappedBytes()) & ~uint64_t{4095});
+      PT.movePage(PageVa, Round % 2 ? sim::TierId::Fast : sim::TierId::Slow);
+    }
+    Cache.revalidate();
+    CheckSweep(100 + Round);
+    ASSERT_TRUE(PT.remapRange(Obj.va(), Obj.mappedBytes(),
+                              Round % 2 ? sim::TierId::Slow : sim::TierId::Fast,
+                              /*PreferHuge=*/true));
+    Cache.revalidate();
+    CheckSweep(200 + Round);
   }
 }
 

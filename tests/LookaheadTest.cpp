@@ -1,0 +1,330 @@
+//===----------------------------------------------------------------------===//
+// Lookahead migration scheduling: planner trend prediction, the advisory
+// staged-ahead pipeline's placement-identity guarantee (with and without
+// injected staging faults mid-prefetch), and the adaptive epoch back-off
+// with drift re-arming. The contract under test is the one LookaheadPlanner.h
+// states: predictions are advisory — a wrong, faulted, or cancelled one
+// costs a staging buffer, never a placement different from what a run
+// without lookahead produces.
+//===----------------------------------------------------------------------===//
+
+#include "analyzer/LookaheadPlanner.h"
+#include "core/Runtime.h"
+#include "fault/FaultInjection.h"
+#include "sim/MachineConfig.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace atmem;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Planner: synthetic classification streams.
+//===----------------------------------------------------------------------===//
+
+/// One object's classification with uniform zero promotion: Priority and
+/// Critical as given, Theta fixed, Weight for the Eq. 4 ranking.
+analyzer::ObjectClassification makeClass(mem::ObjectId Id,
+                                         std::vector<double> Priority,
+                                         std::vector<uint8_t> Critical,
+                                         double Theta, double Weight) {
+  analyzer::ObjectClassification Cls;
+  Cls.Object = Id;
+  Cls.ChunkBytes = 1 << 20;
+  Cls.MappedBytes = Priority.size() << 20;
+  Cls.Local.Priority = std::move(Priority);
+  Cls.Local.Critical = std::move(Critical);
+  Cls.Local.Theta = Theta;
+  Cls.Promotion.Promoted.assign(Cls.Local.Critical.size(), 0);
+  Cls.Promotion.Weight = Weight;
+  return Cls;
+}
+
+class LookaheadPlannerTest : public ::testing::Test {
+protected:
+  void observe(analyzer::LookaheadPlanner &P,
+               std::vector<analyzer::ObjectClassification> Classes,
+               uint64_t Renominated = 0, uint64_t RolledBack = 0,
+               uint64_t Skipped = 0) {
+    P.observeEpoch(Classes, Renominated, RolledBack, Skipped);
+  }
+};
+
+TEST_F(LookaheadPlannerTest, RisingUnselectedChunkPredictedSelectedNot) {
+  analyzer::LookaheadPlanner P;
+  // Chunk 0 is already selected (no point predicting it); chunk 1 ramps
+  // toward theta; chunk 2 is flat background.
+  observe(P, {makeClass(1, {10.0, 2.0, 0.1}, {1, 0, 0}, 8.0, 10.0)});
+  EXPECT_TRUE(P.predict().empty()) << "one observation carries no trend";
+  observe(P, {makeClass(1, {10.0, 5.0, 0.1}, {1, 0, 0}, 8.0, 10.0)});
+
+  std::vector<analyzer::LookaheadPrediction> Out = P.predict();
+  // Chunk 1: velocity EWMA = 0.5 * (5-2) = 1.5, predicted 6.5 >= 0.75 * 8.
+  ASSERT_EQ(Out.size(), 1u);
+  EXPECT_EQ(Out[0].Object, 1u);
+  EXPECT_EQ(Out[0].Chunk, 1u);
+  EXPECT_GE(Out[0].PredictedPriority, 0.75 * 8.0);
+}
+
+TEST_F(LookaheadPlannerTest, VelocityFloorFiltersThresholdHover) {
+  analyzer::LookaheadPlannerConfig Config;
+  Config.MinVelocityFraction = 0.05;
+  analyzer::LookaheadPlanner P(Config);
+  // A chunk parked just under theta with zero velocity extrapolates above
+  // the PredictThetaFraction cut, but it is not *warming* — without the
+  // velocity floor it would be re-predicted (and re-cancelled) forever.
+  observe(P, {makeClass(1, {10.0, 7.5}, {1, 0}, 8.0, 10.0)});
+  observe(P, {makeClass(1, {10.0, 7.5}, {1, 0}, 8.0, 10.0)});
+  EXPECT_TRUE(P.predict().empty());
+
+  // The same priority reached with velocity above the floor predicts.
+  analyzer::LookaheadPlanner Q(Config);
+  observe(Q, {makeClass(1, {10.0, 6.0}, {1, 0}, 8.0, 10.0)});
+  observe(Q, {makeClass(1, {10.0, 7.5}, {1, 0}, 8.0, 10.0)});
+  ASSERT_EQ(Q.predict().size(), 1u);
+}
+
+TEST_F(LookaheadPlannerTest, SelectionChurnSuppressesPrediction) {
+  analyzer::LookaheadPlanner P;
+  observe(P, {makeClass(1, {10.0, 2.0, 9.0, 9.0}, {1, 0, 1, 1}, 8.0, 10.0)});
+  // Half the chunks flip selection: churn 0.5 > MaxChurnForPredict 0.25,
+  // so even the cleanly rising chunk 1 is not extrapolated.
+  observe(P, {makeClass(1, {10.0, 5.0, 9.0, 9.0}, {1, 0, 0, 0}, 8.0, 10.0)});
+  EXPECT_TRUE(P.predict().empty());
+
+  // Migration-layer churn (a rollback) suppresses the same way.
+  analyzer::LookaheadPlanner Q;
+  observe(Q, {makeClass(1, {10.0, 2.0}, {1, 0}, 8.0, 10.0)});
+  observe(Q, {makeClass(1, {10.0, 5.0}, {1, 0}, 8.0, 10.0)},
+          /*Renominated=*/0, /*RolledBack=*/1);
+  EXPECT_TRUE(Q.predict().empty());
+}
+
+TEST_F(LookaheadPlannerTest, PredictionsSortedAndCapped) {
+  analyzer::LookaheadPlannerConfig Config;
+  Config.MaxChunksPerEpoch = 2;
+  analyzer::LookaheadPlanner P(Config);
+  // Three rising chunks with distinct slopes; only the two steepest
+  // survive the cap, in descending predicted-priority order.
+  observe(P, {makeClass(1, {10.0, 2.0, 2.0, 2.0}, {1, 0, 0, 0}, 8.0, 10.0)});
+  observe(P, {makeClass(1, {10.0, 5.0, 7.0, 6.0}, {1, 0, 0, 0}, 8.0, 10.0)});
+
+  std::vector<analyzer::LookaheadPrediction> Out = P.predict();
+  ASSERT_EQ(Out.size(), 2u);
+  EXPECT_EQ(Out[0].Chunk, 2u);
+  EXPECT_EQ(Out[1].Chunk, 3u);
+  EXPECT_GT(Out[0].PredictedPriority, Out[1].PredictedPriority);
+}
+
+TEST_F(LookaheadPlannerTest, FreedObjectTrendDropped) {
+  analyzer::LookaheadPlanner P;
+  observe(P, {makeClass(1, {10.0, 2.0}, {1, 0}, 8.0, 10.0),
+              makeClass(2, {10.0, 2.0}, {1, 0}, 8.0, 5.0)});
+  // Object 1 disappears (freed): its rising trend must not survive into
+  // predictions, and object 2 keeps its own history.
+  observe(P, {makeClass(2, {10.0, 5.0}, {1, 0}, 8.0, 5.0)});
+
+  std::vector<analyzer::LookaheadPrediction> Out = P.predict();
+  ASSERT_EQ(Out.size(), 1u);
+  EXPECT_EQ(Out[0].Object, 2u);
+}
+
+TEST_F(LookaheadPlannerTest, ConvergenceNeedsChurnFreeStreak) {
+  analyzer::LookaheadPlanner P; // ConvergenceEpochs = 2.
+  auto Stable = [&] {
+    observe(P, {makeClass(1, {10.0, 0.1}, {1, 0}, 8.0, 10.0)});
+  };
+  Stable(); // First sighting seeds state; no flips counted.
+  EXPECT_FALSE(P.converged());
+  Stable();
+  ASSERT_TRUE(P.converged());
+
+  // A selection flip resets the streak: two clean epochs are needed again.
+  observe(P, {makeClass(1, {10.0, 9.0}, {1, 1}, 8.0, 10.0)});
+  EXPECT_FALSE(P.converged());
+  observe(P, {makeClass(1, {10.0, 9.0}, {1, 1}, 8.0, 10.0)});
+  EXPECT_FALSE(P.converged());
+  observe(P, {makeClass(1, {10.0, 9.0}, {1, 1}, 8.0, 10.0)});
+  ASSERT_TRUE(P.converged());
+  // Migration-layer churn resets it the same way.
+  observe(P, {makeClass(1, {10.0, 9.0}, {1, 1}, 8.0, 10.0)}, /*Renominated=*/1);
+  EXPECT_FALSE(P.converged());
+}
+
+//===----------------------------------------------------------------------===//
+// Runtime: the staged-ahead pipeline end to end on a ramping workload.
+//===----------------------------------------------------------------------===//
+
+/// Miniature of the micro_lookahead bench workload: 4 steady hot chunks
+/// over 2% background noise on all 64 chunks, plus a 2-chunk warming
+/// region ramping 0.04 -> 0.10 -> 1.0 of hot intensity — under the pooled
+/// log-space selection's catch (~0.14x hot) during the ramp, so only its
+/// velocity identifies it. Deterministic; the tail epochs replay the
+/// epoch-2 stream so placement converges.
+struct RampWorkload {
+  static constexpr uint64_t ChunkBytes = 128 << 10;
+  static constexpr uint32_t HotChunks = 4;
+  static constexpr uint32_t WarmFirst = 8;
+  static constexpr uint32_t WarmChunks = 2;
+  static constexpr uint32_t TotalChunks = 64;
+  static constexpr uint64_t HotAccesses = 60000;
+
+  static uint64_t elems() {
+    return TotalChunks * ChunkBytes / sizeof(uint64_t);
+  }
+  static double warmWeight(uint32_t Epoch) {
+    return Epoch == 0 ? 0.04 : Epoch == 1 ? 0.10 : 1.0;
+  }
+
+  /// Hot chunks this epoch start at \p HotBase (shifting it models drift).
+  static void run(core::TrackedArray<uint64_t> &Arr, uint32_t Epoch,
+                  uint32_t HotBase = 0) {
+    constexpr uint64_t Mul = 6364136223846793005ull;
+    constexpr uint64_t Add = 1442695040888963407ull;
+    uint64_t ChunkElems = ChunkBytes / sizeof(uint64_t);
+    uint64_t State = 0x243f6a8885a308d3ull + std::min(Epoch, 2u);
+    auto Hammer = [&](uint32_t Chunk, uint64_t Accesses) {
+      uint64_t Base = Chunk * ChunkElems;
+      for (uint64_t I = 0; I < Accesses; ++I) {
+        State = State * Mul + Add;
+        Arr[Base + ((State >> 17) & (ChunkElems - 1))] += 1;
+      }
+    };
+    for (uint32_t C = 0; C < TotalChunks; ++C)
+      Hammer(C, HotAccesses / 50);
+    for (uint32_t C = 0; C < HotChunks; ++C)
+      Hammer(HotBase + C, HotAccesses);
+    uint64_t Warm = static_cast<uint64_t>(HotAccesses * warmWeight(Epoch));
+    for (uint32_t C = 0; C < WarmChunks; ++C)
+      Hammer(WarmFirst + C, Warm);
+  }
+};
+
+core::RuntimeConfig rampConfig(bool LookaheadOn) {
+  core::RuntimeConfig Config;
+  Config.Machine = sim::nvmDramTestbed(1.0 / 1024);
+  Config.ChunkBytesOverride = RampWorkload::ChunkBytes;
+  Config.Lookahead.Enabled = LookaheadOn;
+  Config.Lookahead.Planner.PredictThetaFraction = 0.2;
+  Config.Lookahead.ConvergedEpochsToBackoff = 1;
+  return Config;
+}
+
+/// Runs \p Epochs of the ramp and returns the final per-chunk tiers (the
+/// placement the identity assertions compare).
+std::vector<sim::TierId> runRamp(bool LookaheadOn, uint32_t Epochs,
+                                 core::LookaheadStats *Stats = nullptr) {
+  core::Runtime Rt(rampConfig(LookaheadOn));
+  core::TrackedArray<uint64_t> Arr =
+      Rt.allocate<uint64_t>("field", RampWorkload::elems());
+  for (uint64_t I = 0; I < Arr.size(); ++I)
+    Arr.raw()[I] = I;
+  for (uint32_t E = 0; E < Epochs; ++E) {
+    Rt.profilingStart();
+    Rt.beginIteration();
+    RampWorkload::run(Arr, E);
+    Rt.endIteration();
+    Rt.optimize();
+  }
+  if (Stats)
+    *Stats = Rt.lookaheadStats();
+  const mem::DataObject &Obj = Rt.registry().object(Arr.objectId());
+  std::vector<sim::TierId> Tiers;
+  for (uint32_t C = 0; C < Obj.numChunks(); ++C)
+    Tiers.push_back(Obj.chunkTier(C));
+  return Tiers;
+}
+
+/// Lookahead fault sites are process-global; keep them clean per test.
+class LookaheadRuntimeTest : public ::testing::Test {
+protected:
+  void SetUp() override { fault::FaultRegistry::instance().disarmAll(); }
+  void TearDown() override { fault::FaultRegistry::instance().disarmAll(); }
+
+  static void armEvery(const char *SiteName) {
+    fault::FaultPlan Plan;
+    Plan.Mode = fault::Trigger::EveryKth;
+    Plan.N = 1;
+    fault::FaultRegistry::instance().arm(SiteName, Plan);
+  }
+};
+
+TEST_F(LookaheadRuntimeTest, CommittedPrefetchMatchesDemandPlacement) {
+  std::vector<sim::TierId> Off = runRamp(/*LookaheadOn=*/false, 6);
+  core::LookaheadStats Stats;
+  std::vector<sim::TierId> On = runRamp(/*LookaheadOn=*/true, 6, &Stats);
+  // The pipeline really ran — the warming region was staged ahead and the
+  // fresh plan confirmed it — and placement is still chunk-for-chunk what
+  // the demand path alone produces.
+  EXPECT_GE(Stats.StagedRanges, 1u);
+  EXPECT_GE(Stats.CommittedRanges, 1u);
+  EXPECT_EQ(Off, On);
+  // The committed prefetch absorbed its staging copy into the overlap.
+  EXPECT_GT(Stats.OverlappedSimSec, 0.0);
+}
+
+TEST_F(LookaheadRuntimeTest, StagingAllocFaultMidPrefetchIsPlacementNoop) {
+  std::vector<sim::TierId> Off = runRamp(/*LookaheadOn=*/false, 6);
+  armEvery("lookahead.staging_alloc");
+  core::LookaheadStats Stats;
+  std::vector<sim::TierId> On = runRamp(/*LookaheadOn=*/true, 6, &Stats);
+  // Every staging allocation failed: nothing staged, nothing committed,
+  // and the demand path produced the identical placement one epoch later.
+  EXPECT_GT(fault::FaultRegistry::instance().fires("lookahead.staging_alloc"),
+            0u);
+  EXPECT_EQ(Stats.StagedRanges, 0u);
+  EXPECT_EQ(Stats.CommittedRanges, 0u);
+  EXPECT_EQ(Off, On);
+}
+
+TEST_F(LookaheadRuntimeTest, CopyFaultMidPrefetchCancelsAndPlacementMatches) {
+  std::vector<sim::TierId> Off = runRamp(/*LookaheadOn=*/false, 6);
+  armEvery("lookahead.copy");
+  core::LookaheadStats Stats;
+  std::vector<sim::TierId> On = runRamp(/*LookaheadOn=*/true, 6, &Stats);
+  // The overlapped copy failed mid-prefetch: the boundary must cancel the
+  // staged range (never commit a range whose copy did not finish) and
+  // fall back to the demand migration, placement identical.
+  EXPECT_GE(Stats.StagedRanges, 1u);
+  EXPECT_GE(Stats.CopyFaults, 1u);
+  EXPECT_GE(Stats.CancelledRanges, 1u);
+  EXPECT_EQ(Stats.CommittedRanges, 0u);
+  EXPECT_EQ(Off, On);
+}
+
+TEST_F(LookaheadRuntimeTest, BackoffEngagesWhenConvergedAndDriftRearms) {
+  core::Runtime Rt(rampConfig(/*LookaheadOn=*/true));
+  core::TrackedArray<uint64_t> Arr =
+      Rt.allocate<uint64_t>("field", RampWorkload::elems());
+  for (uint64_t I = 0; I < Arr.size(); ++I)
+    Arr.raw()[I] = I;
+
+  auto Epoch = [&](uint32_t E, uint32_t HotBase) {
+    Rt.profilingStart();
+    Rt.beginIteration();
+    RampWorkload::run(Arr, E, HotBase);
+    Rt.endIteration();
+    Rt.optimize();
+  };
+
+  // Ramp then converged tail: the adaptive scheduler must start skipping
+  // analysis epochs once the placement settles.
+  for (uint32_t E = 0; E < 8; ++E)
+    Epoch(E, /*HotBase=*/0);
+  uint64_t BackedOff = Rt.lookaheadStats().BackedOffEpochs;
+  EXPECT_GE(BackedOff, 1u);
+
+  // Drift: the hot region jumps to untouched chunks. The slow-tier miss
+  // share re-arms analysis out of the back-off window, and within a few
+  // epochs the new hot chunks are on the fast tier.
+  for (uint32_t E = 0; E < 4; ++E)
+    Epoch(/*Epoch=*/2, /*HotBase=*/40);
+  const mem::DataObject &Obj = Rt.registry().object(Arr.objectId());
+  for (uint32_t C = 40; C < 40 + RampWorkload::HotChunks; ++C)
+    EXPECT_EQ(Obj.chunkTier(C), sim::TierId::Fast) << "chunk " << C;
+}
+
+} // namespace
