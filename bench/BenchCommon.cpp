@@ -220,8 +220,14 @@ void bench::writeBenchResults(const std::string &BenchName,
                               const BenchOptions &Options,
                               const std::vector<BenchRecord> &Records,
                               double TotalWallMs) {
-  if (Options.JsonPath.empty())
+  // Telemetry artifacts (metrics, trace, decision log trailer + close,
+  // time series) finalize even when the timing JSON is disabled — the
+  // flight recorder must not lose its trailer to a '--json ""' run.
+  if (Options.JsonPath.empty()) {
+    if (!obs::exportIfConfigured(Options.Telemetry))
+      std::fprintf(stderr, "warning: telemetry artifact export failed\n");
     return;
+  }
   std::FILE *Out = std::fopen(Options.JsonPath.c_str(), "w");
   if (!Out) {
     std::fprintf(stderr, "warning: cannot write '%s'\n",
@@ -239,6 +245,8 @@ void bench::writeBenchResults(const std::string &BenchName,
   std::fprintf(Out, "  \"compiler\": \"%s\",\n", support::compilerId());
   std::fprintf(Out, "  \"cpu_model\": \"%s\",\n",
                support::cpuModel().c_str());
+  std::fprintf(Out, "  \"peak_rss_bytes\": %llu,\n",
+               static_cast<unsigned long long>(support::peakRssBytes()));
   std::fprintf(Out, "  \"total_wall_ms\": %.3f,\n", TotalWallMs);
   std::fprintf(Out, "  \"runs\": [\n");
   for (size_t I = 0; I < Records.size(); ++I) {

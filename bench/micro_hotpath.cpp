@@ -247,6 +247,7 @@ int main(int Argc, const char **Argv) {
                  "  \"git_sha\": \"%s\",\n"
                  "  \"compiler\": \"%s\",\n"
                  "  \"cpu_model\": \"%s\",\n"
+                 "  \"peak_rss_bytes\": %llu,\n"
                  "  \"tracked_access\": {\n"
                  "    \"accesses\": %llu,\n"
                  "    \"wall_ms\": %.3f,\n"
@@ -264,6 +265,7 @@ int main(int Argc, const char **Argv) {
                  std::thread::hardware_concurrency(),
                  support::gitSha(), support::compilerId(),
                  support::cpuModel().c_str(),
+                 static_cast<unsigned long long>(support::peakRssBytes()),
                  static_cast<unsigned long long>(Tracked.Events),
                  Tracked.WallMs, Tracked.perSec(),
                  static_cast<unsigned long long>(Reference.Events),

@@ -231,6 +231,7 @@ int main(int Argc, const char **Argv) {
         "  \"git_sha\": \"%s\",\n"
         "  \"compiler\": \"%s\",\n"
         "  \"cpu_model\": \"%s\",\n"
+        "  \"peak_rss_bytes\": %llu,\n"
         "  \"epochs\": %u,\n"
         "  \"lookahead_off\": {\"iter_sec\": %.9f, \"migrate_sec\": %.9f},\n"
         "  \"lookahead_on\": {\"iter_sec\": %.9f, \"migrate_sec\": %.9f,\n"
@@ -242,7 +243,9 @@ int main(int Argc, const char **Argv) {
         Parser.getFlag("quick") ? "true" : "false",
         std::max(1u, std::thread::hardware_concurrency()),
         support::gitSha(), support::compilerId(),
-        support::cpuModel().c_str(), W.Epochs, Off.IterSec, Off.MigrateSec,
+        support::cpuModel().c_str(),
+        static_cast<unsigned long long>(support::peakRssBytes()), W.Epochs,
+        Off.IterSec, Off.MigrateSec,
         On.IterSec, On.MigrateSec,
         static_cast<unsigned long long>(On.Lk.PredictedChunks),
         static_cast<unsigned long long>(On.Lk.StagedRanges),

@@ -7,12 +7,15 @@ repository's bench_output.txt — back into CSV files, one per table, so the
 paper's figures can be re-plotted with any tool.
 
 It also ingests the decision-log JSONL export (``atmem_explain run.atdl
---jsonl decisions.jsonl``) and prints a per-object promotion summary.
+--jsonl decisions.jsonl``) and prints a per-object promotion summary, and
+the per-epoch time series (``atmem_run --timeseries-out ts.jsonl``),
+which it flattens into one plotting-ready CSV with an epoch column.
 
 Usage:
     scripts/extract_results.py bench_output.txt -o results/
     scripts/extract_results.py bench_output.txt --list
     scripts/extract_results.py --decisions decisions.jsonl
+    scripts/extract_results.py --timeseries ts.jsonl -o results/
 """
 
 import argparse
@@ -161,6 +164,73 @@ def summarize_decisions(path):
     return 0
 
 
+# Column order of the time-series CSV: epoch first, then the gauges in
+# the order the runtime emits them, so plots line up across runs.
+TIMESERIES_COLUMNS = [
+    "epoch", "accesses", "misses_fast", "misses_slow",
+    "slow_miss_fraction", "drain_misses_per_sec", "migration_bytes",
+    "migration_ranges", "retries", "rollbacks", "migrate_sim_sec",
+    "lookahead_staged", "lookahead_cancelled", "lookahead_overlap_sec",
+    "fast_data_ratio", "optimize_wall_us",
+]
+
+
+def extract_timeseries(path, outdir):
+    """Flatten an atmem-timeseries-v1 JSONL export into one CSV.
+
+    The first line must be the schema header; every following line is one
+    epoch object. Unknown keys are appended as extra columns so the CSV
+    never silently drops data from a newer runtime.
+    """
+    samples = []
+    declared = None
+    with open(path, encoding="utf-8") as fh:
+        for line_no, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as err:
+                print(f"{path}:{line_no}: bad JSON: {err}", file=sys.stderr)
+                return 1
+            if line_no == 1:
+                if rec.get("schema") != "atmem-timeseries-v1":
+                    print(f"{path}: not an atmem-timeseries-v1 export "
+                          f"(schema {rec.get('schema')!r})", file=sys.stderr)
+                    return 1
+                declared = rec.get("epochs")
+                continue
+            samples.append(rec)
+
+    if not samples:
+        print("no epoch samples found", file=sys.stderr)
+        return 1
+    if declared is not None and declared != len(samples):
+        print(f"warning: header declared {declared} epochs, "
+              f"found {len(samples)}", file=sys.stderr)
+
+    columns = list(TIMESERIES_COLUMNS)
+    for rec in samples:
+        for key in rec:
+            if key not in columns:
+                columns.append(key)
+
+    os.makedirs(outdir, exist_ok=True)
+    out_path = os.path.join(
+        outdir, sanitize(os.path.basename(path)) + ".csv")
+    with open(out_path, "w", encoding="utf-8") as out:
+        out.write(",".join(columns) + "\n")
+        for rec in samples:
+            out.write(",".join(str(rec.get(col, "")) for col in columns)
+                      + "\n")
+    last = samples[-1]
+    print(f"wrote {out_path} ({len(samples)} epochs; final slow-miss "
+          f"fraction {last.get('slow_miss_fraction', 'n/a')}, fast-data "
+          f"ratio {last.get('fast_data_ratio', 'n/a')})")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("log", nargs="?", help="saved benchmark output")
@@ -172,12 +242,19 @@ def main():
                         help="decision-log JSONL export (atmem_explain "
                              "--jsonl); prints a per-object promotion "
                              "summary instead of table CSVs")
+    parser.add_argument("--timeseries", metavar="JSONL",
+                        help="per-epoch time-series export (atmem_run "
+                             "--timeseries-out); writes one plotting-ready "
+                             "CSV into the output directory")
     args = parser.parse_args()
 
     if args.decisions:
         return summarize_decisions(args.decisions)
+    if args.timeseries:
+        return extract_timeseries(args.timeseries, args.outdir)
     if not args.log:
-        parser.error("either a benchmark log or --decisions is required")
+        parser.error("either a benchmark log, --decisions, or --timeseries "
+                     "is required")
 
     with open(args.log, encoding="utf-8", errors="replace") as fh:
         lines = fh.readlines()

@@ -8,7 +8,12 @@
 # was recorded on the same host class (same cpu_model and
 # host_hardware_threads — CI runners differ wildly, numbers only compare
 # within a class), the run fails when the batched drain rate drops more
-# than 20% below it. Cross-host-class runs just record the new point.
+# than 20% below it.
+#
+# Exit codes: 0 gate passed; 1 regression or harness failure; 42 skipped —
+# no committed baseline, or the baseline is from a different host class,
+# so there was nothing comparable to gate against (the new trajectory
+# points are still written). CI treats 42 as success-without-gating.
 #
 # Usage: scripts/perf_smoke.sh [build-dir]   (default: build)
 set -eu
@@ -43,8 +48,23 @@ else
   echo "perf_smoke: $LOOKAHEAD not built, skipping lookahead point" >&2
 fi
 
-if [ -f "$BASELINE" ]; then
-  python3 - "$BASELINE" "$OUT" <<'EOF'
+OBS="$REPO_ROOT/$BUILD_DIR/bench/micro_obs"
+if [ -x "$OBS" ]; then
+  OBS_OUT="$REPO_ROOT/BENCH_obs.json"
+  "$OBS" --quick --json "$OBS_OUT"
+  python3 -m json.tool "$OBS_OUT" > /dev/null
+  echo "perf_smoke: wrote $OBS_OUT"
+else
+  echo "perf_smoke: $OBS not built, skipping decision-log sink point" >&2
+fi
+
+if [ ! -f "$BASELINE" ]; then
+  echo "perf_smoke: no committed BENCH_hotpath.json baseline; skipping the" \
+       "regression gate (exit 42)" >&2
+  exit 42
+fi
+
+python3 - "$BASELINE" "$OUT" <<'EOF'
 import json, sys
 
 with open(sys.argv[1]) as f:
@@ -57,9 +77,10 @@ def host_class(doc):
             doc.get("host_hardware_threads", 0))
 
 if "unknown" in host_class(base) or host_class(base) != host_class(new):
-    print("perf_smoke: baseline from different host class %r, not gating"
-          % (host_class(base),))
-    sys.exit(0)
+    print("perf_smoke: baseline host class %r does not match this host; "
+          "skipping the regression gate (exit 42)" % (host_class(base),),
+          file=sys.stderr)
+    sys.exit(42)
 
 old = base["miss_drain"]["batched"]["misses_per_sec"]
 cur = new["miss_drain"]["batched"]["misses_per_sec"]
@@ -72,4 +93,3 @@ if cur < floor:
           file=sys.stderr)
     sys.exit(1)
 EOF
-fi

@@ -109,10 +109,20 @@ RunResult baseline::runExperiment(const RunConfig &Config) {
   if (Config.MeasureTlb)
     Rt.setReplayTlb(&ReplayTlb);
   uint32_t Iterations = std::max<uint32_t>(Config.MeasuredIterations, 1);
+  bool Reoptimize = Config.OptimizeEachIteration && UsesAtmem;
   for (uint32_t I = 0; I < Iterations; ++I) {
+    if (Reoptimize)
+      Rt.profilingStart();
     Rt.beginIteration();
     Kernel->runIteration();
     Result.IterStats.add(Rt.endIteration());
+    if (Reoptimize) {
+      // One more profile -> analyze -> migrate epoch per iteration; the
+      // decision log grows one epoch per pass, which is what the ring
+      // crash-recovery machinery exercises.
+      Rt.profilingStop();
+      Result.Migration += Rt.optimize();
+    }
   }
   // RunningStat::mean() is Sum/N with the same accumulation order as the
   // historical TotalSec loop, so reported times are bit-identical.

@@ -75,6 +75,12 @@ struct RunConfig {
   /// Host threads for the parallel tracked-execution engine (see
   /// core::RuntimeConfig::SimThreads); 1 keeps the serial engine.
   uint32_t SimThreads = 1;
+  /// Re-profile and re-optimize around every measured iteration instead
+  /// of the paper's single second-iteration optimize. Each iteration then
+  /// opens its own decision-log epoch — the multi-epoch mode the ring-log
+  /// crash-recovery test (and any long-running adaptive study) needs.
+  /// Off by default: the paper's methodology is unchanged.
+  bool OptimizeEachIteration = false;
   /// Telemetry collection/export forwarded into the runtime (see
   /// core::RuntimeConfig::Telemetry). Disabled by default.
   obs::TelemetryConfig Telemetry;

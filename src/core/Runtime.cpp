@@ -1,11 +1,18 @@
 #include "core/Runtime.h"
 
 #include "obs/DecisionLog.h"
+#include "obs/Export.h"
+#include "obs/RingLog.h"
+#include "obs/StatsSocket.h"
+#include "obs/TimeSeries.h"
 #include "obs/Trace.h"
 #include "sim/Tlb.h"
 #include "support/Logging.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
 #include <thread>
 
 using namespace atmem;
@@ -206,9 +213,43 @@ Runtime::Runtime(RuntimeConfig ConfigIn)
                                            &Error))
       logError("decision log: %s", Error.c_str());
   }
+  if (!Config.Telemetry.DecisionLogRingPath.empty()) {
+    // The crash-resilient always-on variant of the flight recorder: same
+    // records, mmap'd ring segments instead of a flat file. Shares the
+    // process-wide log with the same first-opener-wins semantics.
+    obs::RingLogOptions Options;
+    if (Config.Telemetry.RingSegmentBytes != 0)
+      Options.SegmentBytes = Config.Telemetry.RingSegmentBytes;
+    if (Config.Telemetry.RingMaxBytes != 0)
+      Options.MaxBytes = Config.Telemetry.RingMaxBytes;
+    std::string Error;
+    if (!obs::openDecisionLogRing(Config.Telemetry.DecisionLogRingPath,
+                                  Options, &Error))
+      logError("decision ring: %s", Error.c_str());
+  }
+  if (!Config.Telemetry.TimeSeriesPath.empty() ||
+      !Config.Telemetry.OpenMetricsPath.empty() ||
+      !Config.Telemetry.StatsSocketPath.empty())
+    obs::TimeSeries::instance().setEnabled(true);
+  if (!Config.Telemetry.StatsSocketPath.empty()) {
+    updatePlacementJson();
+    StatsServer = std::make_unique<obs::StatsServer>();
+    std::string Error;
+    if (!StatsServer->start(Config.Telemetry.StatsSocketPath,
+                            [this] { return statsSnapshotJson(); }, &Error)) {
+      logError("stats socket: %s", Error.c_str());
+      StatsServer.reset();
+    }
+  }
 }
 
-Runtime::~Runtime() { shutdownLookahead(); }
+Runtime::~Runtime() {
+  // The accept thread captures `this`; it must be gone before any member
+  // it reads (and before the lookahead teardown churns placement).
+  if (StatsServer)
+    StatsServer->stop();
+  shutdownLookahead();
+}
 
 void Runtime::parallelTracked(uint64_t Begin, uint64_t End,
                               const TrackedBody &Body, uint64_t ChunkSize) {
@@ -253,6 +294,16 @@ mem::MigrationResult Runtime::optimize() {
     EpochRenominated = 0;
     EpochRollbacks = 0;
   }
+
+  // Epoch bookkeeping for the time-series sample built at the bottom.
+  // Wall-clock is only read when somebody consumes it, so a runtime with
+  // no time-series/socket output takes exactly the old path.
+  const bool TsEnabled = obs::TimeSeries::instance().enabled();
+  const uint64_t RollbacksBefore = EpochRollbacks;
+  EpochRetries = 0;
+  std::chrono::steady_clock::time_point WallStart;
+  if (TsEnabled)
+    WallStart = std::chrono::steady_clock::now();
 
   obs::SpanScope OptimizeSpan("runtime.optimize", "runtime");
 
@@ -412,7 +463,131 @@ mem::MigrationResult Runtime::optimize() {
   OptimizeSpan.arg("bytes_moved", static_cast<double>(Result.BytesMoved))
       .arg("ranges", static_cast<double>(Result.Ranges))
       .arg("sim_sec", Result.SimSeconds);
+  if (TsEnabled || StatsServer) {
+    double WallUs = 0.0;
+    if (TsEnabled)
+      WallUs = std::chrono::duration<double, std::micro>(
+                   std::chrono::steady_clock::now() - WallStart)
+                   .count();
+    captureEpochSample(Result, RollbacksBefore, WallUs);
+  }
   return Result;
+}
+
+void Runtime::captureEpochSample(const mem::MigrationResult &Result,
+                                 uint64_t RollbacksBefore, double WallUs) {
+  ++OptimizeEpochs;
+  if (obs::TimeSeries::instance().enabled()) {
+    obs::EpochSample S;
+    S.Epoch = OptimizeEpochs;
+    S.Accesses = Stats.Accesses;
+    S.MissesFast = Stats.TierMisses[sim::tierIndex(sim::TierId::Fast)];
+    S.MissesSlow = Stats.TierMisses[sim::tierIndex(sim::TierId::Slow)];
+    uint64_t Misses = S.MissesFast + S.MissesSlow;
+    S.SlowMissFraction =
+        Misses == 0 ? 0.0
+                    : static_cast<double>(S.MissesSlow) /
+                          static_cast<double>(Misses);
+    double IterSec = M.kernelModel().estimate(Stats).seconds();
+    S.DrainMissesPerSec =
+        IterSec > 0.0 ? static_cast<double>(Misses) / IterSec : 0.0;
+    S.MigrationBytes = Result.BytesMoved;
+    S.MigrationRanges = Result.Ranges;
+    S.Retries = EpochRetries;
+    S.Rollbacks = EpochRollbacks - RollbacksBefore;
+    S.MigrateSimSec = Result.SimSeconds;
+    // The lookahead stats are cumulative; the sample reports this epoch's
+    // delta so the series plots activity, not running totals.
+    S.LookaheadStaged = LkStats.StagedRanges - TsPrevStaged;
+    S.LookaheadCancelled = LkStats.CancelledRanges - TsPrevCancelled;
+    S.LookaheadOverlapSec = LkStats.OverlappedSimSec - TsPrevOverlap;
+    TsPrevStaged = LkStats.StagedRanges;
+    TsPrevCancelled = LkStats.CancelledRanges;
+    TsPrevOverlap = LkStats.OverlappedSimSec;
+    S.FastDataRatio = fastDataRatio();
+    S.OptimizeWallUs = WallUs;
+    obs::TimeSeries::instance().record(S);
+  }
+  if (StatsServer)
+    updatePlacementJson();
+}
+
+void Runtime::updatePlacementJson() {
+  std::string Out = "[";
+  char Buf[256];
+  bool First = true;
+  for (const mem::DataObject *Obj : Registry.liveObjects()) {
+    uint64_t FastBytes = Obj->bytesOn(sim::TierId::Fast);
+    // bytesOn() counts whole mapped chunks, so the residency fraction is
+    // relative to mappedBytes (sizeBytes rounded up to the chunk grid).
+    uint64_t Mapped = Obj->mappedBytes();
+    std::string Name;
+    for (char C : Obj->name()) {
+      if (C == '"' || C == '\\')
+        Name += '\\';
+      if (static_cast<unsigned char>(C) >= 0x20)
+        Name += C;
+    }
+    std::snprintf(Buf, sizeof(Buf),
+                  "%s{\"name\": \"%s\", \"bytes\": %" PRIu64
+                  ", \"chunks\": %" PRIu32 ", \"fast_bytes\": %" PRIu64
+                  ", \"fast_fraction\": %.6f}",
+                  First ? "" : ", ", Name.c_str(), Obj->sizeBytes(),
+                  Obj->numChunks(), FastBytes,
+                  Mapped == 0 ? 0.0
+                              : static_cast<double>(FastBytes) /
+                                    static_cast<double>(Mapped));
+    Out += Buf;
+    First = false;
+  }
+  Out += "]";
+  std::lock_guard<std::mutex> Lock(StatsMutex);
+  PlacementJson = std::move(Out);
+}
+
+std::string Runtime::statsSnapshotJson() {
+  // Runs on the accept thread: everything read here is either immutable,
+  // internally synchronized (metric registry, time series, ring head
+  // atomics), or the mutex-guarded placement snapshot. Live runtime
+  // structures are never touched.
+  obs::RingHead Head = obs::ringHead();
+  std::string Placement;
+  {
+    std::lock_guard<std::mutex> Lock(StatsMutex);
+    Placement = PlacementJson;
+  }
+  if (Placement.empty())
+    Placement = "[]";
+  std::vector<obs::EpochSample> Samples =
+      obs::TimeSeries::instance().snapshot();
+
+  char Buf[512];
+  std::string Out = "{\n  \"schema\": \"atmem-stats-v1\",\n";
+  std::snprintf(Buf, sizeof(Buf),
+                "  \"epoch\": %" PRIu64 ",\n  \"ring\": {\"segment\": %" PRIu64
+                ", \"offset\": %" PRIu64 ", \"next_seq\": %" PRIu64 "},\n",
+                Samples.empty() ? 0 : Samples.back().Epoch, Head.Segment,
+                Head.Offset, Head.NextSeq);
+  Out += Buf;
+  if (!Samples.empty()) {
+    const obs::EpochSample &S = Samples.back();
+    std::snprintf(Buf, sizeof(Buf),
+                  "  \"last_epoch\": {\"epoch\": %" PRIu64
+                  ", \"slow_miss_fraction\": %.6f, \"migration_bytes\": "
+                  "%" PRIu64 ", \"migration_ranges\": %" PRIu64
+                  ", \"retries\": %" PRIu64 ", \"rollbacks\": %" PRIu64
+                  ", \"fast_data_ratio\": %.6f, \"optimize_wall_us\": %.1f},\n",
+                  S.Epoch, S.SlowMissFraction, S.MigrationBytes,
+                  S.MigrationRanges, S.Retries, S.Rollbacks, S.FastDataRatio,
+                  S.OptimizeWallUs);
+    Out += Buf;
+  }
+  Out += "  \"metrics\":\n";
+  Out += obs::metricsJson(obs::Registry::instance().snapshot(), "  ");
+  Out += ",\n  \"placement\": ";
+  Out += Placement;
+  Out += "\n}\n";
+  return Out;
 }
 
 void Runtime::demoteUnselected(mem::Migrator &Mig,
@@ -463,6 +638,7 @@ void Runtime::demoteUnselected(mem::Migrator &Mig,
       if (Status == mem::MigrationStatus::Retryable &&
           Retries < Config.MigrationMaxRetries) {
         ++Retries;
+        ++EpochRetries;
         Result.SimSeconds += Config.MigrationRetryBackoffSec * Retries;
         countRetry();
         recordDecisionEvents(*Obj, Remaining, sim::TierId::Slow,
@@ -509,6 +685,7 @@ void Runtime::promoteWithRecovery(mem::Migrator &Mig, mem::DataObject &Obj,
     if (Status == mem::MigrationStatus::Retryable &&
         Retries < Config.MigrationMaxRetries) {
       ++Retries;
+      ++EpochRetries;
       Result.SimSeconds += Config.MigrationRetryBackoffSec * Retries;
       countRetry();
       recordDecisionEvents(Obj, Remaining, sim::TierId::Fast,

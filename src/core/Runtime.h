@@ -36,11 +36,17 @@
 
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 namespace atmem {
+
+namespace obs {
+class StatsServer;
+}
+
 namespace core {
 
 /// Which migration mechanism optimize() uses.
@@ -442,6 +448,37 @@ private:
   /// True while a "runtime.iteration" trace span is open (beginIteration
   /// ran with telemetry enabled; endIteration closes it).
   bool IterationSpanOpen = false;
+  /// \name Live observability (inert unless Telemetry configures it)
+  /// @{
+  /// 1-based ordinal of optimize() calls that ran a full epoch (skipped
+  /// converged epochs do not count) — the time-series x axis.
+  uint64_t OptimizeEpochs = 0;
+  /// Migration retries of the epoch being built (companion to
+  /// EpochRenominated/EpochRollbacks, reset every optimize()).
+  uint64_t EpochRetries = 0;
+  /// LkStats values at the previous epoch boundary, so samples report
+  /// per-epoch deltas of the cumulative lookahead counters.
+  uint64_t TsPrevStaged = 0;
+  uint64_t TsPrevCancelled = 0;
+  double TsPrevOverlap = 0.0;
+  /// Snapshot server for --stats-socket (null when not requested, so the
+  /// only cost in that mode is a pointer null check at shutdown).
+  std::unique_ptr<obs::StatsServer> StatsServer;
+  /// Placement summary served by the socket: rebuilt under StatsMutex at
+  /// each epoch boundary so the accept thread never walks live registry
+  /// structures concurrently with a migration.
+  std::mutex StatsMutex;
+  std::string PlacementJson;
+  /// @}
+
+  /// Captures this epoch's time-series sample and refreshes the stats
+  /// snapshot (no-ops when neither sink is configured).
+  void captureEpochSample(const mem::MigrationResult &Result,
+                          uint64_t RollbacksBefore, double WallUs);
+  /// Rebuilds PlacementJson from the live registry (epoch boundary only).
+  void updatePlacementJson();
+  /// Renders the document served to each stats-socket connection.
+  std::string statsSnapshotJson();
 };
 
 /// A typed view over a registered data object. Every element access is

@@ -229,24 +229,59 @@ const char *obs::thetaWinnerName(ThetaWinner Winner) {
 // Writer
 //===----------------------------------------------------------------------===//
 
-struct DecisionLog::Impl {
-  std::mutex Mutex;
-  std::FILE *File = nullptr;
-  std::string Path;
-  uint64_t Epoch = 0;
-  uint64_t RecordCount = 0;
-  uint32_t NextNameId = 0;
-  std::unordered_map<std::string, uint32_t> NameIds;
-  bool WriteFailed = false;
+namespace {
 
-  /// Appends one length-prefixed record. Caller holds Mutex.
-  void emit(const std::string &Payload) {
+/// The classic flat-file destination: length-prefixed records appended
+/// with stdio, exactly the byte stream the pre-sink writer produced.
+class FileSink : public DecisionSink {
+public:
+  FileSink(std::FILE *File, std::string Path)
+      : File(File), Path(std::move(Path)) {}
+  ~FileSink() override {
+    if (File)
+      std::fclose(File);
+  }
+
+  void append(const std::string &Payload) override {
     std::string Framed;
     Framed.reserve(Payload.size() + 4);
     putU32(Framed, static_cast<uint32_t>(Payload.size()));
     Framed += Payload;
     if (std::fwrite(Framed.data(), 1, Framed.size(), File) != Framed.size())
       WriteFailed = true;
+  }
+
+  bool finish(std::string *Error) override {
+    bool Ok = !WriteFailed;
+    if (std::fclose(File) != 0)
+      Ok = false;
+    File = nullptr;
+    if (!Ok)
+      setError(Error, "write failure on decision log '" + Path + "'");
+    return Ok;
+  }
+
+  const std::string &path() const override { return Path; }
+
+private:
+  std::FILE *File;
+  std::string Path;
+  bool WriteFailed = false;
+};
+
+} // namespace
+
+struct DecisionLog::Impl {
+  std::mutex Mutex;
+  std::unique_ptr<DecisionSink> Sink;
+  uint64_t Epoch = 0;
+  uint64_t RecordCount = 0;
+  uint32_t NextNameId = 0;
+  std::unordered_map<std::string, uint32_t> NameIds;
+
+  /// Hands one record payload to the sink. Caller holds Mutex.
+  void emit(const std::string &Payload) {
+    Sink->append(Payload);
     ++RecordCount;
   }
 };
@@ -264,27 +299,38 @@ DecisionLog::Impl &DecisionLog::impl() {
 bool DecisionLog::open(const std::string &Path, std::string *Error) {
   Impl &I = impl();
   std::lock_guard<std::mutex> Lock(I.Mutex);
-  if (I.File)
+  if (I.Sink)
     return true; // Already recording; share the open log.
   std::FILE *File = std::fopen(Path.c_str(), "wb");
   if (!File) {
     setError(Error, "cannot open '" + Path + "' for writing");
     return false;
   }
-  std::string Header(Magic, sizeof(Magic));
-  putU32(Header, FormatVersion);
+  std::string Header = decisionLogHeaderBytes();
   if (std::fwrite(Header.data(), 1, Header.size(), File) != Header.size()) {
     std::fclose(File);
     setError(Error, "cannot write header to '" + Path + "'");
     return false;
   }
-  I.File = File;
-  I.Path = Path;
+  I.Sink = std::make_unique<FileSink>(File, Path);
   I.Epoch = 0;
   I.RecordCount = 0;
   I.NextNameId = 0;
   I.NameIds.clear();
-  I.WriteFailed = false;
+  detail::GDecisionLogOpen.store(true, std::memory_order_relaxed);
+  return true;
+}
+
+bool DecisionLog::openSink(std::unique_ptr<DecisionSink> Sink) {
+  Impl &I = impl();
+  std::lock_guard<std::mutex> Lock(I.Mutex);
+  if (I.Sink)
+    return true; // Already recording; share the open log.
+  I.Sink = std::move(Sink);
+  I.Epoch = 0;
+  I.RecordCount = 0;
+  I.NextNameId = 0;
+  I.NameIds.clear();
   detail::GDecisionLogOpen.store(true, std::memory_order_relaxed);
   return true;
 }
@@ -292,40 +338,34 @@ bool DecisionLog::open(const std::string &Path, std::string *Error) {
 bool DecisionLog::close(std::string *Error) {
   Impl &I = impl();
   std::lock_guard<std::mutex> Lock(I.Mutex);
-  if (!I.File)
+  if (!I.Sink)
     return true;
   detail::GDecisionLogOpen.store(false, std::memory_order_relaxed);
   std::string Payload;
   putU8(Payload, static_cast<uint8_t>(DecisionKind::Trailer));
   putU64(Payload, I.RecordCount);
   I.emit(Payload);
-  bool Ok = !I.WriteFailed;
-  if (std::fclose(I.File) != 0)
-    Ok = false;
-  I.File = nullptr;
-  std::string Path = std::move(I.Path);
-  I.Path.clear();
-  if (!Ok)
-    setError(Error, "write failure on decision log '" + Path + "'");
+  bool Ok = I.Sink->finish(Error);
+  I.Sink.reset();
   return Ok;
 }
 
 bool DecisionLog::isOpen() const {
   Impl &I = const_cast<DecisionLog *>(this)->impl();
   std::lock_guard<std::mutex> Lock(I.Mutex);
-  return I.File != nullptr;
+  return I.Sink != nullptr;
 }
 
 std::string DecisionLog::path() const {
   Impl &I = const_cast<DecisionLog *>(this)->impl();
   std::lock_guard<std::mutex> Lock(I.Mutex);
-  return I.Path;
+  return I.Sink ? I.Sink->path() : std::string();
 }
 
 uint64_t DecisionLog::beginEpoch() {
   Impl &I = impl();
   std::lock_guard<std::mutex> Lock(I.Mutex);
-  if (!I.File)
+  if (!I.Sink)
     return 0;
   ++I.Epoch;
   std::string Payload;
@@ -338,7 +378,7 @@ uint64_t DecisionLog::beginEpoch() {
 uint32_t DecisionLog::nameId(const std::string &Name) {
   Impl &I = impl();
   std::lock_guard<std::mutex> Lock(I.Mutex);
-  if (!I.File)
+  if (!I.Sink)
     return 0;
   auto It = I.NameIds.find(Name);
   if (It != I.NameIds.end())
@@ -357,7 +397,7 @@ uint32_t DecisionLog::nameId(const std::string &Name) {
 void DecisionLog::recordObject(const ObjectEpochRecord &Record) {
   Impl &I = impl();
   std::lock_guard<std::mutex> Lock(I.Mutex);
-  if (!I.File)
+  if (!I.Sink)
     return;
   ObjectEpochRecord Stamped = Record;
   Stamped.Epoch = I.Epoch;
@@ -369,7 +409,7 @@ void DecisionLog::recordObject(const ObjectEpochRecord &Record) {
 void DecisionLog::recordChunk(const ChunkDecisionRecord &Record) {
   Impl &I = impl();
   std::lock_guard<std::mutex> Lock(I.Mutex);
-  if (!I.File)
+  if (!I.Sink)
     return;
   ChunkDecisionRecord Stamped = Record;
   Stamped.Epoch = I.Epoch;
@@ -381,7 +421,7 @@ void DecisionLog::recordChunk(const ChunkDecisionRecord &Record) {
 void DecisionLog::recordMigration(const MigrationEventRecord &Record) {
   Impl &I = impl();
   std::lock_guard<std::mutex> Lock(I.Mutex);
-  if (!I.File)
+  if (!I.Sink)
     return;
   MigrationEventRecord Stamped = Record;
   Stamped.Epoch = I.Epoch;
@@ -398,6 +438,133 @@ const std::string &DecisionArtifact::name(uint32_t Id) const {
   static const std::string Empty;
   auto It = Names.find(Id);
   return It == Names.end() ? Empty : It->second;
+}
+
+std::string obs::decisionLogHeaderBytes() {
+  std::string Header(Magic, sizeof(Magic));
+  putU32(Header, FormatVersion);
+  return Header;
+}
+
+std::string obs::encodeDecisionPayload(const DecisionRecord &Rec) {
+  std::string Payload;
+  switch (Rec.Kind) {
+  case DecisionKind::NameDef:
+    putU8(Payload, static_cast<uint8_t>(DecisionKind::NameDef));
+    putU32(Payload, Rec.NameId);
+    putU32(Payload, static_cast<uint32_t>(Rec.Name.size()));
+    Payload += Rec.Name;
+    break;
+  case DecisionKind::EpochBegin:
+    putU8(Payload, static_cast<uint8_t>(DecisionKind::EpochBegin));
+    putU64(Payload, Rec.Epoch);
+    break;
+  case DecisionKind::ObjectEpoch:
+    encodeObject(Payload, Rec.Object);
+    break;
+  case DecisionKind::ChunkDecision:
+    encodeChunk(Payload, Rec.Chunk);
+    break;
+  case DecisionKind::MigrationEvent:
+    encodeMigration(Payload, Rec.Migration);
+    break;
+  case DecisionKind::Trailer:
+    putU8(Payload, static_cast<uint8_t>(DecisionKind::Trailer));
+    putU64(Payload, Rec.Epoch);
+    break;
+  }
+  return Payload;
+}
+
+bool obs::decodeDecisionPayload(const uint8_t *Data, size_t Size,
+                                size_t ErrorOffset, DecisionRecord &Rec,
+                                std::string *Error) {
+  Cursor C{Data, Size};
+  uint8_t Kind = C.u8();
+  switch (static_cast<DecisionKind>(Kind)) {
+  case DecisionKind::NameDef: {
+    Rec.Kind = DecisionKind::NameDef;
+    Rec.NameId = C.u32();
+    uint32_t StrLen = C.u32();
+    if (!C.need(StrLen)) {
+      setError(Error, "truncated NameDef string");
+      return false;
+    }
+    Rec.Name.assign(reinterpret_cast<const char *>(C.Data + C.Pos), StrLen);
+    C.Pos += StrLen;
+    break;
+  }
+  case DecisionKind::EpochBegin:
+    Rec.Kind = DecisionKind::EpochBegin;
+    Rec.Epoch = C.u64();
+    break;
+  case DecisionKind::ObjectEpoch: {
+    Rec.Kind = DecisionKind::ObjectEpoch;
+    ObjectEpochRecord &R = Rec.Object;
+    R.Epoch = C.u64();
+    R.Object = C.u32();
+    R.NameId = C.u32();
+    R.NumChunks = C.u32();
+    R.ChunkBytes = C.u64();
+    R.SamplePeriod = C.u64();
+    R.Weight = C.f64();
+    R.WeightRank = C.u32();
+    R.RankedObjects = C.u32();
+    R.TrThreshold = C.f64();
+    R.Theta = C.f64();
+    R.ThetaPercentile = C.f64();
+    R.ThetaDerivative = C.f64();
+    R.ThetaNoiseFloor = C.f64();
+    R.Winner = static_cast<ThetaWinner>(C.u8());
+    R.SampledCritical = C.u32();
+    R.PromotedCount = C.u32();
+    break;
+  }
+  case DecisionKind::ChunkDecision: {
+    Rec.Kind = DecisionKind::ChunkDecision;
+    ChunkDecisionRecord &R = Rec.Chunk;
+    R.Epoch = C.u64();
+    R.Object = C.u32();
+    R.Chunk = C.u32();
+    R.Samples = C.u64();
+    R.EstimatedMisses = C.f64();
+    R.Priority = C.f64();
+    R.Flags = C.u8();
+    R.NodeTreeRatio = C.f64();
+    break;
+  }
+  case DecisionKind::MigrationEvent: {
+    Rec.Kind = DecisionKind::MigrationEvent;
+    MigrationEventRecord &R = Rec.Migration;
+    R.Epoch = C.u64();
+    R.Object = C.u32();
+    R.FirstChunk = C.u32();
+    R.NumChunks = C.u32();
+    R.TargetFast = C.u8();
+    R.Phase = static_cast<DecisionPhase>(C.u8());
+    R.FaultSiteNameId = C.u32();
+    R.Priority = C.f64();
+    break;
+  }
+  case DecisionKind::Trailer:
+    Rec.Kind = DecisionKind::Trailer;
+    Rec.Epoch = C.u64();
+    if (!C.Ok) {
+      setError(Error, "truncated trailer");
+      return false;
+    }
+    return true;
+  default:
+    setError(Error, "unknown record kind " + std::to_string(Kind) +
+                        " at offset " + std::to_string(ErrorOffset));
+    return false;
+  }
+  if (!C.Ok || C.Pos != C.Size) {
+    setError(Error, "malformed record payload at offset " +
+                        std::to_string(ErrorOffset));
+    return false;
+  }
+  return true;
 }
 
 bool obs::readDecisionLog(const std::string &Path, DecisionArtifact &Out,
@@ -449,100 +616,21 @@ bool obs::readDecisionLog(const std::string &Path, DecisionArtifact &Out,
                           std::to_string(Pos));
       return false;
     }
-    Cursor C{Data + Pos, Len};
-    Pos += Len;
     DecisionRecord Rec;
-    uint8_t Kind = C.u8();
-    switch (static_cast<DecisionKind>(Kind)) {
-    case DecisionKind::NameDef: {
-      Rec.Kind = DecisionKind::NameDef;
-      Rec.NameId = C.u32();
-      uint32_t StrLen = C.u32();
-      if (!C.need(StrLen)) {
-        setError(Error, "truncated NameDef string");
-        return false;
-      }
-      Rec.Name.assign(reinterpret_cast<const char *>(C.Data + C.Pos),
-                      StrLen);
-      C.Pos += StrLen;
-      Out.Names[Rec.NameId] = Rec.Name;
-      break;
-    }
-    case DecisionKind::EpochBegin:
-      Rec.Kind = DecisionKind::EpochBegin;
-      Rec.Epoch = C.u64();
-      break;
-    case DecisionKind::ObjectEpoch: {
-      Rec.Kind = DecisionKind::ObjectEpoch;
-      ObjectEpochRecord &R = Rec.Object;
-      R.Epoch = C.u64();
-      R.Object = C.u32();
-      R.NameId = C.u32();
-      R.NumChunks = C.u32();
-      R.ChunkBytes = C.u64();
-      R.SamplePeriod = C.u64();
-      R.Weight = C.f64();
-      R.WeightRank = C.u32();
-      R.RankedObjects = C.u32();
-      R.TrThreshold = C.f64();
-      R.Theta = C.f64();
-      R.ThetaPercentile = C.f64();
-      R.ThetaDerivative = C.f64();
-      R.ThetaNoiseFloor = C.f64();
-      R.Winner = static_cast<ThetaWinner>(C.u8());
-      R.SampledCritical = C.u32();
-      R.PromotedCount = C.u32();
-      break;
-    }
-    case DecisionKind::ChunkDecision: {
-      Rec.Kind = DecisionKind::ChunkDecision;
-      ChunkDecisionRecord &R = Rec.Chunk;
-      R.Epoch = C.u64();
-      R.Object = C.u32();
-      R.Chunk = C.u32();
-      R.Samples = C.u64();
-      R.EstimatedMisses = C.f64();
-      R.Priority = C.f64();
-      R.Flags = C.u8();
-      R.NodeTreeRatio = C.f64();
-      break;
-    }
-    case DecisionKind::MigrationEvent: {
-      Rec.Kind = DecisionKind::MigrationEvent;
-      MigrationEventRecord &R = Rec.Migration;
-      R.Epoch = C.u64();
-      R.Object = C.u32();
-      R.FirstChunk = C.u32();
-      R.NumChunks = C.u32();
-      R.TargetFast = C.u8();
-      R.Phase = static_cast<DecisionPhase>(C.u8());
-      R.FaultSiteNameId = C.u32();
-      R.Priority = C.f64();
-      break;
-    }
-    case DecisionKind::Trailer: {
-      Out.TrailerCount = C.u64();
+    if (!decodeDecisionPayload(Data + Pos, Len, Pos, Rec, Error))
+      return false;
+    Pos += Len;
+    if (Rec.Kind == DecisionKind::Trailer) {
+      Out.TrailerCount = Rec.Epoch;
       Out.HasTrailer = true;
-      if (!C.Ok) {
-        setError(Error, "truncated trailer");
-        return false;
-      }
       if (Pos != Size) {
         setError(Error, "data after trailer");
         return false;
       }
       return true;
     }
-    default:
-      setError(Error, "unknown record kind " + std::to_string(Kind) +
-                          " at offset " + std::to_string(Pos - Len));
-      return false;
-    }
-    if (!C.Ok || C.Pos != C.Size) {
-      setError(Error, "malformed record payload at offset " +
-                          std::to_string(Pos - Len));
-      return false;
-    }
+    if (Rec.Kind == DecisionKind::NameDef)
+      Out.Names[Rec.NameId] = Rec.Name;
     Out.Records.push_back(std::move(Rec));
   }
   // EOF without a trailer: the producer crashed or is still running. The
@@ -671,6 +759,69 @@ bool obs::validateDecisionLog(const DecisionArtifact &Artifact,
   if (Stats)
     *Stats = Local;
   return true;
+}
+
+const char *obs::decisionLogHealthName(DecisionLogHealth Health) {
+  switch (Health) {
+  case DecisionLogHealth::Ok:
+    return "ok";
+  case DecisionLogHealth::Empty:
+    return "empty";
+  case DecisionLogHealth::Headerless:
+    return "headerless";
+  case DecisionLogHealth::Truncated:
+    return "truncated";
+  case DecisionLogHealth::Corrupt:
+    return "corrupt";
+  case DecisionLogHealth::Unreadable:
+    return "unreadable";
+  }
+  return "unknown";
+}
+
+DecisionLogHealth obs::diagnoseDecisionLog(const std::string &Path,
+                                           std::string *Detail) {
+  std::FILE *File = std::fopen(Path.c_str(), "rb");
+  if (!File) {
+    setError(Detail, "cannot open '" + Path + "'");
+    return DecisionLogHealth::Unreadable;
+  }
+  // Probe size and magic first so empty and headerless files get their
+  // own classes ahead of the reader's generic bad-magic error.
+  char Head[8];
+  size_t HeadN = std::fread(Head, 1, sizeof(Head), File);
+  std::fclose(File);
+  if (HeadN == 0) {
+    setError(Detail, "file is empty");
+    return DecisionLogHealth::Empty;
+  }
+  if (HeadN < sizeof(Head) || std::memcmp(Head, Magic, sizeof(Magic)) != 0) {
+    setError(Detail, "missing ATDL header (not a decision log)");
+    return DecisionLogHealth::Headerless;
+  }
+
+  DecisionArtifact Artifact;
+  std::string Error;
+  if (!readDecisionLog(Path, Artifact, &Error)) {
+    setError(Detail, Error);
+    // Every reader error about a record cut short carries the word
+    // "truncated"; the rest is structural corruption (bad version,
+    // unknown kind, malformed payload, data after trailer).
+    return Error.find("truncated") != std::string::npos
+               ? DecisionLogHealth::Truncated
+               : DecisionLogHealth::Corrupt;
+  }
+  if (Artifact.Records.empty() && !Artifact.HasTrailer) {
+    setError(Detail, "header only: no records and no trailer");
+    return DecisionLogHealth::Empty;
+  }
+  if (!validateDecisionLog(Artifact, &Error)) {
+    setError(Detail, Error);
+    return Artifact.HasTrailer ? DecisionLogHealth::Corrupt
+                               : DecisionLogHealth::Truncated;
+  }
+  setError(Detail, "ok");
+  return DecisionLogHealth::Ok;
 }
 
 bool obs::crossCheckDecisionMetrics(const DecisionArtifact &Artifact,

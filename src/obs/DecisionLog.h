@@ -37,6 +37,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -144,6 +145,30 @@ struct MigrationEventRecord {
   double Priority = 0.0;        ///< Best Eq. 1 PR in the range (if known).
 };
 
+/// Destination of the serialized atdl-v1 record stream. The DecisionLog
+/// owns the serializer (interning, epoch stamping, the record payloads);
+/// a sink owns the bytes' final resting place and its own framing: the
+/// file sink length-prefixes records into a flat file, the ring sink
+/// (RingLog.h) adds sequence numbers and CRCs inside mmap'd rotating
+/// segments, and the null sink discards everything (serializer-cost
+/// measurement). All calls arrive under the DecisionLog mutex.
+class DecisionSink {
+public:
+  virtual ~DecisionSink() = default;
+
+  /// Appends one serialized record payload (u8 kind + little-endian
+  /// fields, unframed). Write failures are latched and reported by
+  /// finish().
+  virtual void append(const std::string &Payload) = 0;
+
+  /// Flushes and releases the destination. False (with \p Error when
+  /// non-null) when any write failed along the way.
+  virtual bool finish(std::string *Error) = 0;
+
+  /// Where the records are going (diagnostics; DecisionLog::path()).
+  virtual const std::string &path() const = 0;
+};
+
 /// The process-wide decision-log writer. Thread-safe: record emission is
 /// serialized by a mutex (all emitting sites are cold control paths).
 /// Epochs are stamped at record time from the writer's current epoch, so
@@ -161,6 +186,12 @@ public:
   /// already open is a no-op returning true (several runtimes may share
   /// one process-wide log, as bench jobs do). False on I/O failure.
   bool open(const std::string &Path, std::string *Error = nullptr);
+
+  /// Routes the record stream into an arbitrary sink. The ring and null
+  /// front-ends in RingLog.h come through here; open() is sugar for a
+  /// file sink. Keeps the already-open no-op semantics of open(): when a
+  /// log is running the new sink is discarded and true is returned.
+  bool openSink(std::unique_ptr<DecisionSink> Sink);
 
   /// Writes the trailer and closes. No-op returning true when nothing is
   /// open. False on I/O failure (the file is still closed).
@@ -238,6 +269,26 @@ struct DecisionLogStats {
   uint64_t PrefetchCancelled = 0;  ///< Staged-ahead ranges dropped.
 };
 
+/// \name Low-level atdl-v1 codec
+/// Shared by the file reader below and the ring recovery reader
+/// (RingLog.h), so every sink speaks byte-identical record payloads.
+/// @{
+
+/// The 8-byte file header (magic "ATDL" + u32 version).
+std::string decisionLogHeaderBytes();
+
+/// Serializes one record as an (unframed) payload. For Trailer records
+/// the claimed record count is taken from \p Rec.Epoch.
+std::string encodeDecisionPayload(const DecisionRecord &Rec);
+
+/// Decodes one record payload of \p Size bytes. \p ErrorOffset is the
+/// payload's position in its container, used only in error messages. For
+/// Trailer records the claimed count lands in \p Rec.Epoch.
+bool decodeDecisionPayload(const uint8_t *Data, size_t Size,
+                           size_t ErrorOffset, DecisionRecord &Rec,
+                           std::string *Error = nullptr);
+/// @}
+
 /// Decodes \p Path into \p Out. False (with \p Error) on I/O failure, bad
 /// magic/version, or a record that does not parse.
 bool readDecisionLog(const std::string &Path, DecisionArtifact &Out,
@@ -252,6 +303,27 @@ bool readDecisionLog(const std::string &Path, DecisionArtifact &Out,
 bool validateDecisionLog(const DecisionArtifact &Artifact,
                          std::string *Error = nullptr,
                          DecisionLogStats *Stats = nullptr);
+
+/// Coarse health classification of a decision-log file. Produced by
+/// diagnoseDecisionLog() and mapped onto distinct process exit codes by
+/// tools/atmem_obs_check, so scripts can tell a torn log from a missing
+/// one without parsing diagnostics.
+enum class DecisionLogHealth : uint8_t {
+  Ok = 0,     ///< Reads and validates cleanly.
+  Empty,      ///< Zero bytes, or a bare header with no records at all.
+  Headerless, ///< Too short for a header or wrong magic.
+  Truncated,  ///< Cut mid-record, or complete records but no trailer.
+  Corrupt,    ///< Structurally invalid (bad kind, references, version).
+  Unreadable, ///< The file cannot be opened or read.
+};
+
+/// Human label for \p Health ("ok", "empty", "headerless", ...).
+const char *decisionLogHealthName(DecisionLogHealth Health);
+
+/// Classifies the file at \p Path, storing the underlying reader or
+/// validator diagnostic in \p Detail when non-null.
+DecisionLogHealth diagnoseDecisionLog(const std::string &Path,
+                                      std::string *Detail = nullptr);
 
 /// Cross-checks a validated artifact against an "atmem-metrics-v1"
 /// document from the same run: committed ranges vs migrator.ranges,

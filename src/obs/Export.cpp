@@ -1,6 +1,7 @@
 #include "obs/Export.h"
 
 #include "obs/DecisionLog.h"
+#include "obs/TimeSeries.h"
 #include "obs/Trace.h"
 
 #include <cinttypes>
@@ -234,7 +235,11 @@ bool obs::exportIfConfigured(const TelemetryConfig &Config) {
     Ok = Tracer::instance().writeChromeTrace(Config.TracePath) && Ok;
   // The decision log streams during the run; "export" is finalization
   // (trailer + close). A no-op when no log was ever opened.
-  if (!Config.DecisionLogPath.empty())
+  if (!Config.DecisionLogPath.empty() || !Config.DecisionLogRingPath.empty())
     Ok = DecisionLog::instance().close() && Ok;
+  if (!Config.TimeSeriesPath.empty())
+    Ok = writeTimeSeriesJsonl(Config.TimeSeriesPath) && Ok;
+  if (!Config.OpenMetricsPath.empty())
+    Ok = writeTimeSeriesOpenMetrics(Config.OpenMetricsPath) && Ok;
   return Ok;
 }

@@ -1,0 +1,566 @@
+#include "obs/RingLog.h"
+
+#include "fault/FaultInjection.h"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+using namespace atmem;
+using namespace atmem::obs;
+
+namespace {
+
+constexpr char RingMagic[4] = {'A', 'T', 'D', 'R'};
+constexpr uint32_t RingVersion = 1;
+constexpr size_t SegmentHeaderBytes = 16; // magic + u32 version + u64 seq.
+constexpr size_t FrameHeaderBytes = 16;   // u32 len + u32 crc + u64 seq.
+constexpr uint64_t MinSegmentBytes = 4096;
+
+void setError(std::string *Error, const std::string &Message) {
+  if (Error)
+    *Error = Message;
+}
+
+uint32_t crc32(const uint8_t *Data, size_t N) {
+  static const std::array<uint32_t, 256> Table = [] {
+    std::array<uint32_t, 256> T{};
+    for (uint32_t I = 0; I < 256; ++I) {
+      uint32_t C = I;
+      for (int K = 0; K < 8; ++K)
+        C = (C & 1) ? (0xedb88320u ^ (C >> 1)) : (C >> 1);
+      T[I] = C;
+    }
+    return T;
+  }();
+  uint32_t C = 0xffffffffu;
+  for (size_t I = 0; I < N; ++I)
+    C = Table[(C ^ Data[I]) & 0xff] ^ (C >> 8);
+  return C ^ 0xffffffffu;
+}
+
+void storeU32(uint8_t *At, uint32_t V) {
+  for (int I = 0; I < 4; ++I)
+    At[I] = static_cast<uint8_t>((V >> (8 * I)) & 0xff);
+}
+
+void storeU64(uint8_t *At, uint64_t V) {
+  for (int I = 0; I < 8; ++I)
+    At[I] = static_cast<uint8_t>((V >> (8 * I)) & 0xff);
+}
+
+uint32_t loadU32(const uint8_t *At) {
+  uint32_t V = 0;
+  for (int I = 0; I < 4; ++I)
+    V |= static_cast<uint32_t>(At[I]) << (8 * I);
+  return V;
+}
+
+uint64_t loadU64(const uint8_t *At) {
+  uint64_t V = 0;
+  for (int I = 0; I < 8; ++I)
+    V |= static_cast<uint64_t>(At[I]) << (8 * I);
+  return V;
+}
+
+std::string segmentPath(const std::string &Base, uint64_t Index) {
+  char Suffix[16];
+  std::snprintf(Suffix, sizeof(Suffix), ".%06llu",
+                static_cast<unsigned long long>(Index));
+  return Base + Suffix;
+}
+
+/// Splits \p Path into its directory (defaulting to ".") and file name.
+void splitPath(const std::string &Path, std::string &Dir,
+               std::string &Name) {
+  size_t Slash = Path.find_last_of('/');
+  if (Slash == std::string::npos) {
+    Dir = ".";
+    Name = Path;
+  } else {
+    Dir = Slash == 0 ? "/" : Path.substr(0, Slash);
+    Name = Path.substr(Slash + 1);
+  }
+}
+
+/// True when \p Suffix is one or more decimal digits; parses them.
+bool parseIndex(const std::string &Suffix, uint64_t &Index) {
+  if (Suffix.empty() || Suffix.size() > 12)
+    return false;
+  Index = 0;
+  for (char C : Suffix) {
+    if (C < '0' || C > '9')
+      return false;
+    Index = Index * 10 + static_cast<uint64_t>(C - '0');
+  }
+  return true;
+}
+
+struct Segment {
+  uint64_t Index;
+  std::string Path;
+};
+
+/// All live segments of the ring rooted at \p Base, sorted by index.
+std::vector<Segment> scanSegments(const std::string &Base) {
+  std::string Dir, Name;
+  splitPath(Base, Dir, Name);
+  std::string Prefix = Name + ".";
+  std::vector<Segment> Segments;
+  DIR *D = ::opendir(Dir.c_str());
+  if (!D)
+    return Segments;
+  while (struct dirent *Entry = ::readdir(D)) {
+    std::string EntryName = Entry->d_name;
+    if (EntryName.size() <= Prefix.size() ||
+        EntryName.compare(0, Prefix.size(), Prefix) != 0)
+      continue;
+    uint64_t Index;
+    if (!parseIndex(EntryName.substr(Prefix.size()), Index))
+      continue;
+    Segments.push_back({Index, (Dir == "." ? std::string() : Dir + "/") +
+                                   EntryName});
+  }
+  ::closedir(D);
+  std::sort(Segments.begin(), Segments.end(),
+            [](const Segment &A, const Segment &B) {
+              return A.Index < B.Index;
+            });
+  return Segments;
+}
+
+/// True when \p Path names an existing file starting with the ATDR magic.
+bool hasRingMagic(const std::string &Path) {
+  std::FILE *File = std::fopen(Path.c_str(), "rb");
+  if (!File)
+    return false;
+  char Head[4];
+  size_t N = std::fread(Head, 1, sizeof(Head), File);
+  std::fclose(File);
+  return N == sizeof(Head) &&
+         std::memcmp(Head, RingMagic, sizeof(RingMagic)) == 0;
+}
+
+/// Strips a `.NNNNNN` segment suffix when \p Path is itself a segment
+/// file, yielding the ring base.
+std::string resolveRingBase(const std::string &Path) {
+  size_t Dot = Path.find_last_of('.');
+  if (Dot != std::string::npos && Dot + 1 < Path.size()) {
+    uint64_t Index;
+    if (parseIndex(Path.substr(Dot + 1), Index) && hasRingMagic(Path))
+      return Path.substr(0, Dot);
+  }
+  return Path;
+}
+
+//===----------------------------------------------------------------------===//
+// Ring head publication
+//===----------------------------------------------------------------------===//
+
+std::atomic<uint64_t> GHeadSegment{0};
+std::atomic<uint64_t> GHeadOffset{0};
+std::atomic<uint64_t> GHeadSeq{0};
+
+void publishHead(uint64_t Segment, uint64_t Offset, uint64_t NextSeq) {
+  GHeadSegment.store(Segment, std::memory_order_relaxed);
+  GHeadOffset.store(Offset, std::memory_order_relaxed);
+  GHeadSeq.store(NextSeq, std::memory_order_relaxed);
+}
+
+//===----------------------------------------------------------------------===//
+// Writer sink
+//===----------------------------------------------------------------------===//
+
+class RingSink : public DecisionSink {
+public:
+  RingSink(std::string Base, const RingLogOptions &Options)
+      : Base(std::move(Base)), RingWriteSite("obs.ring_write") {
+    SegmentBytes = std::max(Options.SegmentBytes, MinSegmentBytes);
+    MaxSegments =
+        std::max<uint64_t>(2, Options.MaxBytes / SegmentBytes);
+  }
+
+  ~RingSink() override { closeSegment(); }
+
+  /// Removes stale segments of this base and maps segment 0. Must be
+  /// called (successfully) before the sink is handed to the DecisionLog.
+  bool start(std::string *Error) {
+    for (const Segment &Old : scanSegments(Base))
+      ::unlink(Old.Path.c_str());
+    if (!createSegment(0)) {
+      setError(Error, "cannot create ring segment '" +
+                          segmentPath(Base, 0) + "'");
+      return false;
+    }
+    return true;
+  }
+
+  void append(const std::string &Payload) override {
+    // Remember NameDefs regardless of write outcome: rotation replays
+    // the dictionary at every new segment head so the surviving window
+    // stays self-contained after old segments age out.
+    if (!Payload.empty() &&
+        static_cast<DecisionKind>(static_cast<uint8_t>(Payload[0])) ==
+            DecisionKind::NameDef)
+      NameDefs.push_back(Payload);
+    if (!Map) {
+      WriteFailed = true;
+      return;
+    }
+    if (RingWriteSite.shouldFail()) {
+      WriteFailed = true; // Injected device failure: drop, head unmoved.
+      return;
+    }
+    if (!writeFrame(Payload))
+      WriteFailed = true;
+  }
+
+  bool finish(std::string *Error) override {
+    closeSegment();
+    publishHead(0, 0, 0);
+    if (WriteFailed) {
+      setError(Error, "write failure on decision ring '" + Base + "'");
+      return false;
+    }
+    return true;
+  }
+
+  const std::string &path() const override { return Base; }
+
+private:
+  bool createSegment(uint64_t Index) {
+    std::string Path = segmentPath(Base, Index);
+    int Fd = ::open(Path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+    if (Fd < 0)
+      return false;
+    if (::ftruncate(Fd, static_cast<off_t>(SegmentBytes)) != 0) {
+      ::close(Fd);
+      ::unlink(Path.c_str());
+      return false;
+    }
+    void *Mem = ::mmap(nullptr, SegmentBytes, PROT_READ | PROT_WRITE,
+                       MAP_SHARED, Fd, 0);
+    ::close(Fd); // The mapping keeps the file alive.
+    if (Mem == MAP_FAILED)
+      return false;
+    Map = static_cast<uint8_t *>(Mem);
+    CurIndex = Index;
+    std::memcpy(Map, RingMagic, sizeof(RingMagic));
+    storeU32(Map + 4, RingVersion);
+    storeU64(Map + 8, NextSeq);
+    Offset = SegmentHeaderBytes;
+    publishHead(CurIndex, Offset, NextSeq);
+    return true;
+  }
+
+  void closeSegment() {
+    if (!Map)
+      return;
+    // No msync: mmap'd stores live in the kernel page cache, which
+    // survives process death (the crash model here); media durability
+    // is not a goal of the flight recorder.
+    ::munmap(Map, SegmentBytes);
+    Map = nullptr;
+  }
+
+  /// Frames \p Payload at the head, rotating first when it cannot fit.
+  /// Rotation replay passes AllowRotate = false so an oversized name
+  /// dictionary cannot recurse into endless fresh segments.
+  bool writeFrame(const std::string &Payload, bool AllowRotate = true) {
+    size_t Frame = FrameHeaderBytes + Payload.size();
+    if (Offset + Frame > SegmentBytes) {
+      if (!AllowRotate || !rotate())
+        return false;
+      if (Offset + Frame > SegmentBytes)
+        return false; // Larger than a whole segment; cannot ever fit.
+    }
+    uint8_t *At = Map + Offset;
+    const auto *Bytes = reinterpret_cast<const uint8_t *>(Payload.data());
+    storeU32(At + 4, crc32(Bytes, Payload.size()));
+    storeU64(At + 8, NextSeq);
+    std::memcpy(At + FrameHeaderBytes, Payload.data(), Payload.size());
+    // Length last: until it lands, a concurrent or post-crash reader
+    // sees the zero fill and treats the frame as not yet written.
+    storeU32(At, static_cast<uint32_t>(Payload.size()));
+    Offset += Frame;
+    ++NextSeq;
+    publishHead(CurIndex, Offset, NextSeq);
+    return true;
+  }
+
+  /// Opens the next segment, replays the name dictionary into it, and
+  /// unlinks segments beyond the byte cap.
+  bool rotate() {
+    closeSegment();
+    if (!createSegment(CurIndex + 1))
+      return false;
+    // The replay bypasses the fault site: it is internal bookkeeping,
+    // not a record emission.
+    for (const std::string &Def : NameDefs)
+      if (!writeFrame(Def, /*AllowRotate=*/false))
+        return false;
+    while (CurIndex - LowIndex + 1 > MaxSegments) {
+      ::unlink(segmentPath(Base, LowIndex).c_str());
+      ++LowIndex;
+    }
+    return true;
+  }
+
+  std::string Base;
+  fault::Site RingWriteSite;
+  uint64_t SegmentBytes;
+  uint64_t MaxSegments;
+  uint8_t *Map = nullptr;
+  uint64_t Offset = 0;
+  uint64_t CurIndex = 0;
+  uint64_t LowIndex = 0;
+  uint64_t NextSeq = 0;
+  std::vector<std::string> NameDefs;
+  bool WriteFailed = false;
+};
+
+/// Discards everything: the serializer-cost baseline for micro_obs.
+class NullSink : public DecisionSink {
+public:
+  void append(const std::string &Payload) override { Bytes += Payload.size(); }
+  bool finish(std::string *) override { return true; }
+  const std::string &path() const override {
+    static const std::string Name = "<null>";
+    return Name;
+  }
+
+private:
+  uint64_t Bytes = 0;
+};
+
+} // namespace
+
+RingHead obs::ringHead() {
+  RingHead Head;
+  Head.Segment = GHeadSegment.load(std::memory_order_relaxed);
+  Head.Offset = GHeadOffset.load(std::memory_order_relaxed);
+  Head.NextSeq = GHeadSeq.load(std::memory_order_relaxed);
+  return Head;
+}
+
+bool obs::openDecisionLogRing(const std::string &BasePath,
+                              const RingLogOptions &Options,
+                              std::string *Error) {
+  if (DecisionLog::instance().isOpen())
+    return true; // Share the open log; do not disturb its segments.
+  auto Sink = std::make_unique<RingSink>(BasePath, Options);
+  if (!Sink->start(Error))
+    return false;
+  return DecisionLog::instance().openSink(std::move(Sink));
+}
+
+bool obs::openDecisionLogNull() {
+  return DecisionLog::instance().openSink(std::make_unique<NullSink>());
+}
+
+std::vector<std::string> obs::ringSegmentFiles(const std::string &BasePath) {
+  std::vector<std::string> Paths;
+  for (const Segment &S : scanSegments(resolveRingBase(BasePath)))
+    Paths.push_back(S.Path);
+  return Paths;
+}
+
+bool obs::isRingLog(const std::string &Path) {
+  if (hasRingMagic(Path))
+    return true;
+  return !scanSegments(Path).empty();
+}
+
+//===----------------------------------------------------------------------===//
+// Recovery reader
+//===----------------------------------------------------------------------===//
+
+bool obs::readRingLog(const std::string &BasePath, DecisionArtifact &Out,
+                      std::string *Error, RingRecoveryStats *Stats) {
+  Out = DecisionArtifact();
+  RingRecoveryStats Local;
+  std::string Base = resolveRingBase(BasePath);
+  std::vector<Segment> Segments = scanSegments(Base);
+  if (Segments.empty()) {
+    setError(Error, "no ring segments found for '" + Base + "'");
+    return false;
+  }
+
+  // Decode the frame stream across segments, stopping at the first torn
+  // frame: a zero length is the clean end of a segment's used region; a
+  // CRC or sequence mismatch is a torn or lost write; a sequence gap
+  // between segments means rotation outran this scan.
+  std::vector<DecisionRecord> Stream;
+  bool SawTrailer = false;
+  uint64_t ExpectedSeq = 0;
+  bool First = true;
+  uint64_t PrevIndex = 0;
+  bool Torn = false;
+  for (const Segment &Seg : Segments) {
+    if (Torn)
+      break;
+    if (!First && Seg.Index != PrevIndex + 1)
+      break; // Index gap: the older window ended here.
+    std::FILE *File = std::fopen(Seg.Path.c_str(), "rb");
+    if (!File)
+      break;
+    std::string Bytes;
+    char Buf[1 << 16];
+    size_t N;
+    while ((N = std::fread(Buf, 1, sizeof(Buf), File)) > 0)
+      Bytes.append(Buf, N);
+    std::fclose(File);
+    const auto *Data = reinterpret_cast<const uint8_t *>(Bytes.data());
+    size_t Size = Bytes.size();
+    if (Size < SegmentHeaderBytes ||
+        std::memcmp(Data, RingMagic, sizeof(RingMagic)) != 0 ||
+        loadU32(Data + 4) != RingVersion) {
+      if (First) {
+        setError(Error, "bad ring segment header in '" + Seg.Path + "'");
+        return false;
+      }
+      break; // A half-created successor segment: stop cleanly.
+    }
+    uint64_t BaseSeq = loadU64(Data + 8);
+    if (First)
+      ExpectedSeq = BaseSeq;
+    else if (BaseSeq != ExpectedSeq)
+      break; // Sequence gap across the rotation boundary.
+    First = false;
+    PrevIndex = Seg.Index;
+    ++Local.Segments;
+
+    size_t Pos = SegmentHeaderBytes;
+    while (Pos + FrameHeaderBytes <= Size) {
+      uint32_t Len = loadU32(Data + Pos);
+      if (Len == 0)
+        break; // Zero fill: end of this segment's used region.
+      if (Pos + FrameHeaderBytes + Len > Size) {
+        Torn = true;
+        ++Local.TornFrames;
+        break;
+      }
+      uint32_t Crc = loadU32(Data + Pos + 4);
+      uint64_t Seq = loadU64(Data + Pos + 8);
+      const uint8_t *Payload = Data + Pos + FrameHeaderBytes;
+      if (Crc != crc32(Payload, Len) || Seq != ExpectedSeq) {
+        Torn = true;
+        ++Local.TornFrames;
+        break;
+      }
+      DecisionRecord Rec;
+      if (!decodeDecisionPayload(Payload, Len, Pos, Rec, nullptr)) {
+        Torn = true;
+        ++Local.TornFrames;
+        break;
+      }
+      ++Local.FramesRead;
+      ++ExpectedSeq;
+      Pos += FrameHeaderBytes + Len;
+      if (Rec.Kind == DecisionKind::Trailer) {
+        SawTrailer = true;
+        break;
+      }
+      Stream.push_back(std::move(Rec));
+    }
+    if (SawTrailer)
+      break;
+  }
+  Local.CleanClose = SawTrailer;
+
+  // Salvage whole epochs. NameDefs are hoisted (deduplicated, first
+  // occurrence wins) ahead of the epoch stream so every reference
+  // resolves regardless of where rotation replayed the dictionary.
+  std::vector<DecisionRecord> NameDefs;
+  for (const DecisionRecord &Rec : Stream)
+    if (Rec.Kind == DecisionKind::NameDef &&
+        !Out.Names.count(Rec.NameId)) {
+      Out.Names[Rec.NameId] = Rec.Name;
+      NameDefs.push_back(Rec);
+    }
+
+  size_t FirstEpoch = Stream.size();
+  size_t End = SawTrailer ? Stream.size() : 0;
+  for (size_t I = 0; I < Stream.size(); ++I)
+    if (Stream[I].Kind == DecisionKind::EpochBegin) {
+      if (FirstEpoch == Stream.size())
+        FirstEpoch = I;
+      if (!SawTrailer)
+        End = I; // The last EpochBegin opens the epoch we must drop.
+    }
+
+  Out.Version = 1;
+  Out.Records = std::move(NameDefs);
+  for (size_t I = 0; I < Stream.size(); ++I) {
+    if (Stream[I].Kind == DecisionKind::NameDef)
+      continue;
+    if (I < FirstEpoch) {
+      ++Local.DroppedHead;
+      continue;
+    }
+    if (I >= End) {
+      ++Local.DroppedTail;
+      continue;
+    }
+    if (Stream[I].Kind == DecisionKind::EpochBegin)
+      ++Local.SalvagedEpochs;
+    Out.Records.push_back(std::move(Stream[I]));
+  }
+  // Normalize into a trailer-complete artifact: the salvage is a
+  // consistent prefix of the run, and downstream validation should hold.
+  Out.TrailerCount = Out.Records.size();
+  Out.HasTrailer = true;
+
+  if (Stats)
+    *Stats = Local;
+  return true;
+}
+
+bool obs::readDecisionLogAny(const std::string &Path, DecisionArtifact &Out,
+                             std::string *Error, RingRecoveryStats *Stats,
+                             bool *WasRing) {
+  bool Ring = isRingLog(Path);
+  if (WasRing)
+    *WasRing = Ring;
+  if (Ring)
+    return readRingLog(Path, Out, Error, Stats);
+  return readDecisionLog(Path, Out, Error);
+}
+
+bool obs::writeDecisionLogFile(const DecisionArtifact &Artifact,
+                               const std::string &Path,
+                               std::string *Error) {
+  std::FILE *File = std::fopen(Path.c_str(), "wb");
+  if (!File) {
+    setError(Error, "cannot open '" + Path + "' for writing");
+    return false;
+  }
+  std::string Bytes = decisionLogHeaderBytes();
+  auto frame = [&Bytes](const std::string &Payload) {
+    uint8_t Len[4];
+    storeU32(Len, static_cast<uint32_t>(Payload.size()));
+    Bytes.append(reinterpret_cast<const char *>(Len), sizeof(Len));
+    Bytes += Payload;
+  };
+  for (const DecisionRecord &Rec : Artifact.Records)
+    frame(encodeDecisionPayload(Rec));
+  DecisionRecord Trailer;
+  Trailer.Kind = DecisionKind::Trailer;
+  Trailer.Epoch = Artifact.Records.size();
+  frame(encodeDecisionPayload(Trailer));
+  bool Ok = std::fwrite(Bytes.data(), 1, Bytes.size(), File) == Bytes.size();
+  if (std::fclose(File) != 0)
+    Ok = false;
+  if (!Ok)
+    setError(Error, "write failure on '" + Path + "'");
+  return Ok;
+}

@@ -1,0 +1,146 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ATMem reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Crash-resilient ring destination for the decision log. Where the file
+/// sink appends an unbounded flat file, the ring sink writes the same
+/// atdl-v1 record payloads into a rotating set of fixed-size mmap'd
+/// segment files under a hard byte cap — the always-on mode: a serving
+/// runtime can leave decision capture enabled indefinitely and a crash
+/// (even SIGKILL) loses at most the epoch that was in flight, because
+/// mmap'd stores live in the kernel page cache and survive the process.
+///
+/// On-disk layout ("atdr-v1"): a ring rooted at BasePath consists of
+/// segment files `BasePath.NNNNNN` with monotonically increasing indices
+/// (rotation deletes the oldest, so live indices form a contiguous
+/// window). Each segment is exactly SegmentBytes long, zero-filled, and
+/// starts with a 16-byte header:
+///
+///   magic "ATDR" | u32 version | u64 sequence number of the first record
+///
+/// followed by framed records:
+///
+///   u32 payload length | u32 CRC-32 of payload | u64 sequence | payload
+///
+/// A zero length marks the end of the used region. Payloads are exactly
+/// the DecisionLog record payloads (u8 kind + little-endian fields), so
+/// both sinks share one serializer. Sequence numbers increase by one per
+/// record across segments; the CRC plus the sequence chain is how the
+/// recovery reader detects torn writes: it stops at the first frame that
+/// fails either check.
+///
+/// Rotation re-emits every interned NameDef at the head of each new
+/// segment, making the surviving window self-contained after old
+/// segments age out; the recovery reader deduplicates them. Recovery
+/// salvages whole epochs only: records before the first EpochBegin of
+/// the surviving window and records of the final, unterminated epoch
+/// (no following EpochBegin or Trailer) are dropped, and the result is
+/// normalized into a trailer-complete DecisionArtifact that passes
+/// validateDecisionLog() and every downstream tool.
+///
+/// Writes go through the `obs.ring_write` fault-injection site: an
+/// injected failure drops that record (latched into the sink's failure
+/// flag) without advancing the ring head, modelling a full or failing
+/// device while keeping the segment structure intact.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ATMEM_OBS_RINGLOG_H
+#define ATMEM_OBS_RINGLOG_H
+
+#include "obs/DecisionLog.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace atmem {
+namespace obs {
+
+/// Geometry of a ring log. Defaults keep sixteen 256 KiB segments — a
+/// few thousand epochs of a typical run — under a 4 MiB cap.
+struct RingLogOptions {
+  /// Size of every segment file. Clamped up to a small minimum so the
+  /// header plus one maximal record always fits.
+  uint64_t SegmentBytes = 256 << 10;
+  /// Hard cap across all live segments; rotation unlinks the oldest
+  /// segment beyond max(2, MaxBytes / SegmentBytes) live files.
+  uint64_t MaxBytes = 4 << 20;
+};
+
+/// Last-published write position of the active ring sink. All zeros when
+/// no ring is open.
+struct RingHead {
+  uint64_t Segment = 0; ///< Index of the segment being written.
+  uint64_t Offset = 0;  ///< Byte offset of the next frame in it.
+  uint64_t NextSeq = 0; ///< Sequence number the next record will carry.
+};
+
+/// Lock-free snapshot of the ring head, safe from any thread (the stats
+/// socket reads it while the runtime writes records).
+RingHead ringHead();
+
+/// Routes the process-wide DecisionLog into a ring rooted at \p BasePath
+/// (existing segments of that base are removed first, like fopen "wb").
+/// Same sharing semantics as DecisionLog::open(): a no-op returning true
+/// when a log is already open. False (with \p Error) when the first
+/// segment cannot be created.
+bool openDecisionLogRing(const std::string &BasePath,
+                         const RingLogOptions &Options = RingLogOptions(),
+                         std::string *Error = nullptr);
+
+/// Routes the DecisionLog into a sink that discards every byte — the
+/// serializer-cost baseline for bench/micro_obs.
+bool openDecisionLogNull();
+
+/// What the recovery reader saw while salvaging a ring.
+struct RingRecoveryStats {
+  uint64_t Segments = 0;      ///< Segment files scanned.
+  uint64_t FramesRead = 0;    ///< Frames that passed CRC + sequence.
+  uint64_t TornFrames = 0;    ///< Frames dropped by CRC/sequence/decode.
+  uint64_t DroppedHead = 0;   ///< Records before the first EpochBegin.
+  uint64_t DroppedTail = 0;   ///< Records of the unterminated last epoch.
+  uint64_t SalvagedEpochs = 0; ///< Complete epochs in the artifact.
+  bool CleanClose = false;    ///< A Trailer record was present.
+};
+
+/// True when \p Path looks like a ring: it has `Path.NNNNNN` segments,
+/// or is itself a segment file with the ATDR magic.
+bool isRingLog(const std::string &Path);
+
+/// Salvages the ring rooted at \p BasePath (a base name or any one of
+/// its segment files) into a normalized, trailer-complete artifact.
+/// False (with \p Error) when no segments exist or the first segment's
+/// header is unreadable. Partial salvage — torn frames, a missing
+/// trailer — is success; \p Stats reports what was dropped.
+bool readRingLog(const std::string &BasePath, DecisionArtifact &Out,
+                 std::string *Error = nullptr,
+                 RingRecoveryStats *Stats = nullptr);
+
+/// Reads \p Path as either a flat atdl file or a ring (dispatching on
+/// isRingLog), so tools accept both transparently. \p WasRing, when
+/// non-null, reports which reader ran; \p Stats is filled only for
+/// rings.
+bool readDecisionLogAny(const std::string &Path, DecisionArtifact &Out,
+                        std::string *Error = nullptr,
+                        RingRecoveryStats *Stats = nullptr,
+                        bool *WasRing = nullptr);
+
+/// Re-encodes \p Artifact as a flat atdl-v1 file with a trailer — the
+/// export path for salvaged rings. False (with \p Error) on I/O failure.
+bool writeDecisionLogFile(const DecisionArtifact &Artifact,
+                          const std::string &Path,
+                          std::string *Error = nullptr);
+
+/// The segment files of the ring rooted at \p BasePath, sorted by index
+/// (diagnostics and tests).
+std::vector<std::string> ringSegmentFiles(const std::string &BasePath);
+
+} // namespace obs
+} // namespace atmem
+
+#endif // ATMEM_OBS_RINGLOG_H

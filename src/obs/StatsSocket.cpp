@@ -1,0 +1,183 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ATMem reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// UNIX-domain stats socket server and one-shot client.
+///
+//===----------------------------------------------------------------------===//
+
+#include "obs/StatsSocket.h"
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <thread>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace atmem {
+namespace obs {
+
+namespace {
+
+/// sockaddr_un carries a fixed 108-byte path on Linux; longer paths
+/// cannot be bound at all, so fail them up front with a clear message.
+bool fillAddress(const std::string &Path, sockaddr_un &Addr,
+                 std::string *Error) {
+  if (Path.empty() || Path.size() >= sizeof(Addr.sun_path)) {
+    if (Error)
+      *Error = "stats socket path '" + Path + "' is empty or longer than " +
+               std::to_string(sizeof(Addr.sun_path) - 1) + " bytes";
+    return false;
+  }
+  memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+  return true;
+}
+
+void writeAll(int Fd, const std::string &Body) {
+  size_t Off = 0;
+  while (Off < Body.size()) {
+    ssize_t N = write(Fd, Body.data() + Off, Body.size() - Off);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return; // Client went away; nothing to do.
+    }
+    Off += static_cast<size_t>(N);
+  }
+}
+
+} // namespace
+
+struct StatsServer::Impl {
+  int ListenFd = -1;
+  std::string Path;
+  Provider Render;
+  std::thread AcceptThread;
+  std::atomic<bool> Stop{false};
+
+  /// Accept loop: poll with a short timeout so stop() converges without
+  /// a wakeup channel; each connection gets one rendered document.
+  void run() {
+    while (!Stop.load(std::memory_order_relaxed)) {
+      pollfd Pfd{ListenFd, POLLIN, 0};
+      int Ready = poll(&Pfd, 1, /*timeout_ms=*/100);
+      if (Ready <= 0)
+        continue;
+      int Conn = accept(ListenFd, nullptr, nullptr);
+      if (Conn < 0)
+        continue;
+      writeAll(Conn, Render());
+      close(Conn);
+    }
+  }
+};
+
+StatsServer::StatsServer() : I(new Impl()) {}
+
+StatsServer::~StatsServer() {
+  stop();
+  delete I;
+}
+
+bool StatsServer::start(const std::string &Path, Provider Render,
+                        std::string *Error) {
+  if (I->ListenFd >= 0)
+    return true;
+  sockaddr_un Addr;
+  if (!fillAddress(Path, Addr, Error))
+    return false;
+  int Fd = socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    if (Error)
+      *Error = std::string("cannot create stats socket: ") + strerror(errno);
+    return false;
+  }
+  unlink(Path.c_str()); // Replace a stale socket file, like fopen "wb".
+  if (bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0 ||
+      listen(Fd, /*backlog=*/8) != 0) {
+    if (Error)
+      *Error = "cannot bind stats socket '" + Path + "': " + strerror(errno);
+    close(Fd);
+    return false;
+  }
+  I->ListenFd = Fd;
+  I->Path = Path;
+  I->Render = std::move(Render);
+  I->Stop.store(false, std::memory_order_relaxed);
+  I->AcceptThread = std::thread([this] { I->run(); });
+  return true;
+}
+
+void StatsServer::stop() {
+  if (I->ListenFd < 0)
+    return;
+  I->Stop.store(true, std::memory_order_relaxed);
+  if (I->AcceptThread.joinable())
+    I->AcceptThread.join();
+  close(I->ListenFd);
+  I->ListenFd = -1;
+  unlink(I->Path.c_str());
+  I->Path.clear();
+  I->Render = nullptr;
+}
+
+bool StatsServer::running() const { return I->ListenFd >= 0; }
+
+const std::string &StatsServer::path() const { return I->Path; }
+
+bool statsSocketFetch(const std::string &Path, std::string &Out,
+                      std::string *Error) {
+  Out.clear();
+  sockaddr_un Addr;
+  if (!fillAddress(Path, Addr, Error))
+    return false;
+  int Fd = socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    if (Error)
+      *Error = std::string("cannot create socket: ") + strerror(errno);
+    return false;
+  }
+  if (connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    if (Error)
+      *Error = "cannot connect to stats socket '" + Path +
+               "': " + strerror(errno);
+    close(Fd);
+    return false;
+  }
+  char Buf[4096];
+  for (;;) {
+    ssize_t N = read(Fd, Buf, sizeof(Buf));
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      if (Error)
+        *Error = std::string("read failure on stats socket: ") +
+                 strerror(errno);
+      close(Fd);
+      return false;
+    }
+    if (N == 0)
+      break;
+    Out.append(Buf, static_cast<size_t>(N));
+  }
+  close(Fd);
+  if (Out.empty()) {
+    if (Error)
+      *Error = "stats socket returned an empty snapshot";
+    return false;
+  }
+  return true;
+}
+
+} // namespace obs
+} // namespace atmem

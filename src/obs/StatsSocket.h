@@ -1,0 +1,75 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ATMem reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Live inspection endpoint: a UNIX-domain-socket snapshot server the
+/// Runtime starts when --stats-socket is given, and the matching one-shot
+/// client used by tools/atmem_top and the tests.
+///
+/// The protocol is deliberately trivial — connect, read one JSON
+/// document until EOF, close — so `nc -U` and scripts work as well as
+/// atmem_top. The server does not know what it serves: the owner hands
+/// it a provider callback that renders the current snapshot (metrics,
+/// placement, ring head), keeping this layer free of core dependencies
+/// and the provider free to lock whatever the snapshot needs. The accept
+/// loop runs on its own thread and never touches the access hot path;
+/// when no server is started the runtime cost is one null check at
+/// shutdown.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ATMEM_OBS_STATSSOCKET_H
+#define ATMEM_OBS_STATSSOCKET_H
+
+#include <functional>
+#include <string>
+
+namespace atmem {
+namespace obs {
+
+/// One-shot snapshot server over a UNIX domain socket.
+class StatsServer {
+public:
+  /// Renders the document served to each connection. Called on the
+  /// accept thread; must be safe to call concurrently with the owner's
+  /// normal operation.
+  using Provider = std::function<std::string()>;
+
+  StatsServer();
+  ~StatsServer(); ///< Implies stop().
+
+  StatsServer(const StatsServer &) = delete;
+  StatsServer &operator=(const StatsServer &) = delete;
+
+  /// Binds \p Path (an existing socket file there is replaced, like
+  /// fopen "wb") and starts the accept thread. False (with \p Error)
+  /// when the socket cannot be created or bound; true and a no-op when
+  /// already started.
+  bool start(const std::string &Path, Provider Render,
+             std::string *Error = nullptr);
+
+  /// Joins the accept thread and unlinks the socket file. Idempotent.
+  void stop();
+
+  bool running() const;
+  const std::string &path() const;
+
+private:
+  struct Impl;
+  Impl *I;
+};
+
+/// Client side: connects to \p Path, reads until EOF into \p Out. False
+/// (with \p Error) when the socket is absent or the read fails. Used by
+/// atmem_top and the tests.
+bool statsSocketFetch(const std::string &Path, std::string &Out,
+                      std::string *Error = nullptr);
+
+} // namespace obs
+} // namespace atmem
+
+#endif // ATMEM_OBS_STATSSOCKET_H

@@ -211,11 +211,27 @@ struct TelemetryConfig {
   /// concurrent runtimes share one log); exportIfConfigured() writes the
   /// trailer and closes it.
   std::string DecisionLogPath;
+  /// Ring-sink base path for the decision log ("" = no ring). Mutually
+  /// exclusive with DecisionLogPath in practice (whichever the Runtime
+  /// opens first wins — the process-wide log is shared). Segments are
+  /// written as DecisionLogRingPath.NNNNNN; see obs/RingLog.h.
+  std::string DecisionLogRingPath;
+  /// Ring geometry (0 = the RingLogOptions defaults).
+  uint64_t RingSegmentBytes = 0;
+  uint64_t RingMaxBytes = 0;
+  /// Per-epoch time-series JSONL path ("" = no file).
+  std::string TimeSeriesPath;
+  /// Per-epoch time-series OpenMetrics text path ("" = no file).
+  std::string OpenMetricsPath;
+  /// UNIX-domain stats socket path ("" = no live endpoint).
+  std::string StatsSocketPath;
 
   /// Enabled if any output is requested.
   bool anyOutput() const {
     return !MetricsPath.empty() || !TracePath.empty() ||
-           !DecisionLogPath.empty();
+           !DecisionLogPath.empty() || !DecisionLogRingPath.empty() ||
+           !TimeSeriesPath.empty() || !OpenMetricsPath.empty() ||
+           !StatsSocketPath.empty();
   }
 };
 

@@ -1,0 +1,198 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ATMem reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Epoch time-series store and the JSONL / OpenMetrics serializers.
+///
+//===----------------------------------------------------------------------===//
+
+#include "obs/TimeSeries.h"
+
+#include <atomic>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <mutex>
+
+namespace atmem {
+namespace obs {
+
+struct TimeSeries::Impl {
+  std::atomic<bool> Enabled{false};
+  mutable std::mutex Mutex;
+  std::vector<EpochSample> Samples;
+};
+
+TimeSeries::TimeSeries() : I(new Impl()) {}
+
+TimeSeries &TimeSeries::instance() {
+  static TimeSeries TS;
+  return TS;
+}
+
+bool TimeSeries::enabled() const {
+  return I->Enabled.load(std::memory_order_relaxed);
+}
+
+void TimeSeries::setEnabled(bool On) {
+  I->Enabled.store(On, std::memory_order_relaxed);
+}
+
+void TimeSeries::record(const EpochSample &Sample) {
+  if (!enabled())
+    return;
+  std::lock_guard<std::mutex> Lock(I->Mutex);
+  I->Samples.push_back(Sample);
+}
+
+std::vector<EpochSample> TimeSeries::snapshot() const {
+  std::lock_guard<std::mutex> Lock(I->Mutex);
+  return I->Samples;
+}
+
+void TimeSeries::clear() {
+  std::lock_guard<std::mutex> Lock(I->Mutex);
+  I->Samples.clear();
+}
+
+namespace {
+
+void appendf(std::string &Out, const char *Fmt, ...) {
+  char Buf[256];
+  va_list Args;
+  va_start(Args, Fmt);
+  int N = vsnprintf(Buf, sizeof(Buf), Fmt, Args);
+  va_end(Args);
+  if (N > 0)
+    Out.append(Buf, static_cast<size_t>(N) < sizeof(Buf)
+                        ? static_cast<size_t>(N)
+                        : sizeof(Buf) - 1);
+}
+
+/// %.17g round-trips doubles exactly; integers print without exponent.
+void appendDouble(std::string &Out, double Value) {
+  appendf(Out, "%.17g", Value);
+}
+
+bool writeStringToFile(const std::string &Path, const std::string &Body,
+                       std::string *Error) {
+  FILE *File = fopen(Path.c_str(), "wb");
+  if (!File) {
+    if (Error)
+      *Error = "cannot open '" + Path + "' for writing";
+    return false;
+  }
+  size_t Written = fwrite(Body.data(), 1, Body.size(), File);
+  bool Ok = Written == Body.size();
+  if (fclose(File) != 0)
+    Ok = false;
+  if (!Ok && Error)
+    *Error = "write failure on '" + Path + "'";
+  return Ok;
+}
+
+} // namespace
+
+std::string timeSeriesJsonl(const std::vector<EpochSample> &Samples) {
+  std::string Out;
+  appendf(Out, "{\"schema\":\"atmem-timeseries-v1\",\"epochs\":%zu}\n",
+          Samples.size());
+  for (const EpochSample &S : Samples) {
+    appendf(Out,
+            "{\"epoch\":%" PRIu64 ",\"accesses\":%" PRIu64
+            ",\"misses_fast\":%" PRIu64 ",\"misses_slow\":%" PRIu64,
+            S.Epoch, S.Accesses, S.MissesFast, S.MissesSlow);
+    Out += ",\"slow_miss_fraction\":";
+    appendDouble(Out, S.SlowMissFraction);
+    Out += ",\"drain_misses_per_sec\":";
+    appendDouble(Out, S.DrainMissesPerSec);
+    appendf(Out,
+            ",\"migration_bytes\":%" PRIu64 ",\"migration_ranges\":%" PRIu64
+            ",\"retries\":%" PRIu64 ",\"rollbacks\":%" PRIu64,
+            S.MigrationBytes, S.MigrationRanges, S.Retries, S.Rollbacks);
+    Out += ",\"migrate_sim_sec\":";
+    appendDouble(Out, S.MigrateSimSec);
+    appendf(Out,
+            ",\"lookahead_staged\":%" PRIu64 ",\"lookahead_cancelled\":%" PRIu64,
+            S.LookaheadStaged, S.LookaheadCancelled);
+    Out += ",\"lookahead_overlap_sec\":";
+    appendDouble(Out, S.LookaheadOverlapSec);
+    Out += ",\"fast_data_ratio\":";
+    appendDouble(Out, S.FastDataRatio);
+    Out += ",\"optimize_wall_us\":";
+    appendDouble(Out, S.OptimizeWallUs);
+    Out += "}\n";
+  }
+  return Out;
+}
+
+namespace {
+
+/// One OpenMetrics gauge family: a TYPE line, then one labelled sample
+/// per epoch produced by \p Value.
+template <typename Fn>
+void emitFamily(std::string &Out, const char *Name,
+                const std::vector<EpochSample> &Samples, Fn Value) {
+  appendf(Out, "# TYPE %s gauge\n", Name);
+  for (const EpochSample &S : Samples) {
+    appendf(Out, "%s{epoch=\"%" PRIu64 "\"} ", Name, S.Epoch);
+    appendDouble(Out, Value(S));
+    Out += "\n";
+  }
+}
+
+} // namespace
+
+std::string timeSeriesOpenMetrics(const std::vector<EpochSample> &Samples) {
+  std::string Out;
+  auto U = [](uint64_t V) { return static_cast<double>(V); };
+  emitFamily(Out, "atmem_epoch_accesses", Samples,
+             [&](const EpochSample &S) { return U(S.Accesses); });
+  emitFamily(Out, "atmem_epoch_misses_fast", Samples,
+             [&](const EpochSample &S) { return U(S.MissesFast); });
+  emitFamily(Out, "atmem_epoch_misses_slow", Samples,
+             [&](const EpochSample &S) { return U(S.MissesSlow); });
+  emitFamily(Out, "atmem_epoch_slow_miss_fraction", Samples,
+             [](const EpochSample &S) { return S.SlowMissFraction; });
+  emitFamily(Out, "atmem_epoch_drain_misses_per_sec", Samples,
+             [](const EpochSample &S) { return S.DrainMissesPerSec; });
+  emitFamily(Out, "atmem_epoch_migration_bytes", Samples,
+             [&](const EpochSample &S) { return U(S.MigrationBytes); });
+  emitFamily(Out, "atmem_epoch_migration_ranges", Samples,
+             [&](const EpochSample &S) { return U(S.MigrationRanges); });
+  emitFamily(Out, "atmem_epoch_migration_retries", Samples,
+             [&](const EpochSample &S) { return U(S.Retries); });
+  emitFamily(Out, "atmem_epoch_migration_rollbacks", Samples,
+             [&](const EpochSample &S) { return U(S.Rollbacks); });
+  emitFamily(Out, "atmem_epoch_migrate_sim_sec", Samples,
+             [](const EpochSample &S) { return S.MigrateSimSec; });
+  emitFamily(Out, "atmem_epoch_lookahead_staged", Samples,
+             [&](const EpochSample &S) { return U(S.LookaheadStaged); });
+  emitFamily(Out, "atmem_epoch_lookahead_cancelled", Samples,
+             [&](const EpochSample &S) { return U(S.LookaheadCancelled); });
+  emitFamily(Out, "atmem_epoch_lookahead_overlap_sec", Samples,
+             [](const EpochSample &S) { return S.LookaheadOverlapSec; });
+  emitFamily(Out, "atmem_epoch_fast_data_ratio", Samples,
+             [](const EpochSample &S) { return S.FastDataRatio; });
+  emitFamily(Out, "atmem_epoch_optimize_wall_us", Samples,
+             [](const EpochSample &S) { return S.OptimizeWallUs; });
+  Out += "# EOF\n";
+  return Out;
+}
+
+bool writeTimeSeriesJsonl(const std::string &Path, std::string *Error) {
+  return writeStringToFile(
+      Path, timeSeriesJsonl(TimeSeries::instance().snapshot()), Error);
+}
+
+bool writeTimeSeriesOpenMetrics(const std::string &Path, std::string *Error) {
+  return writeStringToFile(
+      Path, timeSeriesOpenMetrics(TimeSeries::instance().snapshot()), Error);
+}
+
+} // namespace obs
+} // namespace atmem

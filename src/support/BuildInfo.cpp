@@ -59,5 +59,23 @@ const std::string &cpuModel() {
   return Model;
 }
 
+uint64_t peakRssBytes() {
+  std::FILE *F = std::fopen("/proc/self/status", "r");
+  if (!F)
+    return 0;
+  uint64_t Bytes = 0;
+  char Line[256];
+  while (std::fgets(Line, sizeof(Line), F)) {
+    if (std::strncmp(Line, "VmHWM:", 6) != 0)
+      continue;
+    unsigned long long Kb = 0;
+    if (std::sscanf(Line + 6, "%llu", &Kb) == 1)
+      Bytes = static_cast<uint64_t>(Kb) * 1024;
+    break;
+  }
+  std::fclose(F);
+  return Bytes;
+}
+
 } // namespace support
 } // namespace atmem

@@ -17,6 +17,7 @@
 #ifndef ATMEM_SUPPORT_BUILDINFO_H
 #define ATMEM_SUPPORT_BUILDINFO_H
 
+#include <cstdint>
 #include <string>
 
 namespace atmem {
@@ -33,6 +34,12 @@ const char *compilerId();
 /// Host CPU model name, parsed once from /proc/cpuinfo ("unknown" when the
 /// field is absent, e.g. on non-Linux hosts).
 const std::string &cpuModel();
+
+/// Peak resident set size of this process in bytes (VmHWM from
+/// /proc/self/status), or 0 where the kernel does not expose it. Read at
+/// call time: emitters sample it right before writing their result file,
+/// when the high-water mark already covers the measured work.
+uint64_t peakRssBytes();
 
 } // namespace support
 } // namespace atmem

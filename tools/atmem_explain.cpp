@@ -20,6 +20,7 @@
 
 #include "obs/DecisionExplain.h"
 #include "obs/DecisionLog.h"
+#include "obs/RingLog.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -34,7 +35,10 @@ namespace {
 int usage(const char *Prog) {
   std::fprintf(
       stderr,
-      "usage: %s <decision-log.bin> [action]\n"
+      "usage: %s <decision-log.bin | ring-base-path> [action]\n"
+      "\n"
+      "accepts flat atdl-v1 logs and crash-resilient atdr-v1 rings\n"
+      "(pass the ring base path or any <base>.NNNNNN segment file)\n"
       "\n"
       "actions (default: --summary):\n"
       "  --summary                     per-epoch, per-object overview\n"
@@ -76,11 +80,24 @@ int main(int Argc, const char **Argv) {
 
   std::string LogPath = Argv[1];
   obs::DecisionArtifact Artifact;
+  obs::RingRecoveryStats Recovery;
+  bool WasRing = false;
   std::string Error;
-  if (!obs::readDecisionLog(LogPath, Artifact, &Error)) {
+  // Flat atdl files and atdr rings (base path or any segment) are both
+  // accepted; rings go through the crash-recovery reader, so a log from a
+  // killed run explains its complete epochs like any other.
+  if (!obs::readDecisionLogAny(LogPath, Artifact, &Error, &Recovery,
+                               &WasRing)) {
     std::fprintf(stderr, "error: %s: %s\n", LogPath.c_str(), Error.c_str());
     return 1;
   }
+  if (WasRing && !Recovery.CleanClose)
+    std::fprintf(stderr,
+                 "note: %s: crash-recovered ring (%llu epochs salvaged, "
+                 "%llu tail records of the in-flight epoch dropped)\n",
+                 LogPath.c_str(),
+                 static_cast<unsigned long long>(Recovery.SalvagedEpochs),
+                 static_cast<unsigned long long>(Recovery.DroppedTail));
   if (!obs::validateDecisionLog(Artifact, &Error)) {
     std::fprintf(stderr, "error: %s: invalid decision log: %s\n",
                  LogPath.c_str(), Error.c_str());
@@ -168,7 +185,7 @@ int main(int Argc, const char **Argv) {
       return 2;
     }
     obs::DecisionArtifact Other;
-    if (!obs::readDecisionLog(Rest[0], Other, &Error)) {
+    if (!obs::readDecisionLogAny(Rest[0], Other, &Error)) {
       std::fprintf(stderr, "error: %s: %s\n", Rest[0], Error.c_str());
       return 1;
     }

@@ -12,16 +12,26 @@
 /// --trace-out --decision-log`; exit status is non-zero on the first
 /// violation, with the reason on stderr.
 ///
+/// --decision-log accepts both flat atdl-v1 files and atdr-v1 rings (pass
+/// the ring base path or any segment file); rings are salvaged by the
+/// crash-recovery reader first and the salvage statistics are reported.
+///
+/// Unhealthy decision logs exit with a code naming the failure class, so
+/// scripts can tell a crash-truncated log from a file that was never a
+/// decision log at all (see ExitCodes below; also listed in --help).
+///
 /// Examples:
 ///   atmem_obs_check --metrics m.json
 ///   atmem_obs_check --metrics m.json --trace t.json
 ///   atmem_obs_check --decision-log run.atdl --metrics m.json
+///   atmem_obs_check --decision-log run.atdr   # ring base path
 ///
 //===----------------------------------------------------------------------===//
 
 #include "obs/DecisionLog.h"
 #include "obs/Export.h"
 #include "obs/Json.h"
+#include "obs/RingLog.h"
 #include "support/Options.h"
 
 #include <cstdio>
@@ -29,6 +39,37 @@
 using namespace atmem;
 
 namespace {
+
+/// Exit codes, most specific wins when several checks fail. Documented in
+/// the --help text; keep the two in sync.
+enum ExitCodes {
+  ExitOk = 0,         ///< Every requested artifact is valid.
+  ExitInvalid = 1,    ///< Schema/validation/cross-check failure.
+  ExitUsage = 2,      ///< Bad flags or nothing to check.
+  ExitEmpty = 3,      ///< Decision log empty (or header-only).
+  ExitHeaderless = 4, ///< Decision log lacks the ATDL header entirely.
+  ExitTruncated = 5,  ///< Decision log cut off mid-record (torn write).
+  ExitCorrupt = 6,    ///< Decision log decodes but violates invariants.
+  ExitUnreadable = 7, ///< Decision log cannot be opened/read.
+};
+
+int exitCodeFor(obs::DecisionLogHealth Health) {
+  switch (Health) {
+  case obs::DecisionLogHealth::Ok:
+    return ExitOk;
+  case obs::DecisionLogHealth::Empty:
+    return ExitEmpty;
+  case obs::DecisionLogHealth::Headerless:
+    return ExitHeaderless;
+  case obs::DecisionLogHealth::Truncated:
+    return ExitTruncated;
+  case obs::DecisionLogHealth::Corrupt:
+    return ExitCorrupt;
+  case obs::DecisionLogHealth::Unreadable:
+    return ExitUnreadable;
+  }
+  return ExitInvalid;
+}
 
 bool checkFile(const std::string &Path, const char *What,
                bool (*Validate)(const obs::JsonValue &, std::string *)) {
@@ -48,26 +89,54 @@ bool checkFile(const std::string &Path, const char *What,
   return true;
 }
 
-/// Decodes and validates a decision-log file: magic/version header,
-/// monotone epoch ids, resolvable name references, record-count trailer.
-/// When \p MetricsPath names a metrics snapshot from the same run, the
-/// log's aggregate counts are cross-checked against its migration.* and
+/// Decodes and validates a decision log — a flat atdl-v1 file or an
+/// atdr-v1 ring, dispatched transparently. Flat files that fail get a
+/// health diagnosis (empty / headerless / truncated / corrupt /
+/// unreadable) and the matching exit code via \p ExitCode. When
+/// \p MetricsPath names a metrics snapshot from the same run, the log's
+/// aggregate counts are cross-checked against its migration.* and
 /// analyzer.* counters.
-bool checkDecisionLog(const std::string &Path,
-                      const std::string &MetricsPath) {
+bool checkDecisionLog(const std::string &Path, const std::string &MetricsPath,
+                      int &ExitCode) {
   obs::DecisionArtifact Artifact;
+  obs::RingRecoveryStats Recovery;
+  bool WasRing = false;
   std::string Error;
-  if (!obs::readDecisionLog(Path, Artifact, &Error)) {
-    std::fprintf(stderr, "error: decision log '%s': %s\n", Path.c_str(),
-                 Error.c_str());
+  if (!obs::readDecisionLogAny(Path, Artifact, &Error, &Recovery, &WasRing)) {
+    std::string Detail;
+    obs::DecisionLogHealth Health =
+        WasRing ? obs::DecisionLogHealth::Unreadable
+                : obs::diagnoseDecisionLog(Path, &Detail);
+    if (Detail.empty())
+      Detail = Error;
+    std::fprintf(stderr, "error: decision log '%s': %s: %s\n", Path.c_str(),
+                 obs::decisionLogHealthName(Health), Detail.c_str());
+    ExitCode = exitCodeFor(Health);
     return false;
   }
   obs::DecisionLogStats Stats;
   if (!obs::validateDecisionLog(Artifact, &Error, &Stats)) {
-    std::fprintf(stderr, "error: decision log '%s': %s\n", Path.c_str(),
-                 Error.c_str());
+    std::string Detail;
+    obs::DecisionLogHealth Health =
+        WasRing ? obs::DecisionLogHealth::Corrupt
+                : obs::diagnoseDecisionLog(Path, &Detail);
+    std::fprintf(stderr, "error: decision log '%s': %s: %s\n", Path.c_str(),
+                 obs::decisionLogHealthName(Health), Error.c_str());
+    ExitCode = exitCodeFor(Health);
     return false;
   }
+  if (WasRing)
+    std::printf("decision ring '%s': salvaged %llu epochs from %llu "
+                "segments (%llu frames, %llu torn, %llu dropped head, "
+                "%llu dropped tail, %s close)\n",
+                Path.c_str(),
+                static_cast<unsigned long long>(Recovery.SalvagedEpochs),
+                static_cast<unsigned long long>(Recovery.Segments),
+                static_cast<unsigned long long>(Recovery.FramesRead),
+                static_cast<unsigned long long>(Recovery.TornFrames),
+                static_cast<unsigned long long>(Recovery.DroppedHead),
+                static_cast<unsigned long long>(Recovery.DroppedTail),
+                Recovery.CleanClose ? "clean" : "crash");
   std::printf("decision log '%s': ok (%zu records, %llu epochs, "
               "%llu objects, %llu chunk decisions, %llu promoted)\n",
               Path.c_str(), Artifact.Records.size(),
@@ -98,18 +167,24 @@ bool checkDecisionLog(const std::string &Path,
 } // namespace
 
 int main(int Argc, const char **Argv) {
-  OptionParser Parser("atmem_obs_check: validate telemetry artifacts "
-                      "(metrics snapshots, Chrome trace exports, and "
-                      "placement-decision flight recorder files)");
+  OptionParser Parser(
+      "atmem_obs_check: validate telemetry artifacts (metrics snapshots, "
+      "Chrome trace exports, and placement-decision flight recorder files "
+      "or rings).\n"
+      "Exit codes: 0 all artifacts valid; 1 schema/validation/cross-check "
+      "failure; 2 usage error; decision-log health classes: 3 empty, "
+      "4 headerless (not a decision log), 5 truncated (torn write), "
+      "6 corrupt (decodes but violates invariants), 7 unreadable (I/O).");
   Parser.addString("metrics", "",
                    "atmem-metrics-v1 snapshot to validate ('' skips); with "
                    "--decision-log, also cross-checked against the log");
   Parser.addString("trace", "",
                    "Chrome trace-event JSON to validate ('' skips)");
   Parser.addString("decision-log", "",
-                   "atdl-v1 decision log to validate ('' skips)");
+                   "atdl-v1 decision log or atdr-v1 ring (base path or any "
+                   "segment) to validate ('' skips)");
   if (!Parser.parse(Argc, Argv))
-    return 1;
+    return ExitUsage;
 
   std::string MetricsPath = Parser.getString("metrics");
   std::string TracePath = Parser.getString("trace");
@@ -117,15 +192,21 @@ int main(int Argc, const char **Argv) {
   if (MetricsPath.empty() && TracePath.empty() && DecisionPath.empty()) {
     std::fprintf(stderr, "error: nothing to check (pass --metrics, "
                          "--trace and/or --decision-log)\n");
-    return 1;
+    return ExitUsage;
   }
 
   bool Ok = true;
+  int ExitCode = ExitInvalid;
   if (!MetricsPath.empty())
     Ok = checkFile(MetricsPath, "metrics", obs::validateMetricsJson) && Ok;
   if (!TracePath.empty())
     Ok = checkFile(TracePath, "trace", obs::validateTraceJson) && Ok;
-  if (!DecisionPath.empty())
-    Ok = checkDecisionLog(DecisionPath, MetricsPath) && Ok;
-  return Ok ? 0 : 1;
+  if (!DecisionPath.empty()) {
+    int LogExit = ExitInvalid;
+    if (!checkDecisionLog(DecisionPath, MetricsPath, LogExit)) {
+      Ok = false;
+      ExitCode = LogExit; // The health class is the most specific signal.
+    }
+  }
+  return Ok ? ExitOk : ExitCode;
 }

@@ -90,6 +90,29 @@ int main(int Argc, const char **Argv) {
                    "record every placement decision (theta terms, weights, "
                    "TR', migration lifecycle) to this binary flight-recorder "
                    "file; inspect with atmem_explain");
+  Parser.addString("decision-log-ring", "",
+                   "record placement decisions into a crash-resilient mmap "
+                   "ring (segments <path>.NNNNNN under a byte cap) instead "
+                   "of an unbounded file; survives SIGKILL losing at most "
+                   "the in-flight epoch");
+  Parser.addUnsigned("ring-segment-bytes", 0,
+                     "ring segment size in bytes (0 = default 256 KiB)");
+  Parser.addUnsigned("ring-max-bytes", 0,
+                     "hard cap across all ring segments (0 = default 4 MiB)");
+  Parser.addString("timeseries-out", "",
+                   "write per-epoch gauge snapshots as JSONL to this path "
+                   "(atmem-timeseries-v1; plot with extract_results.py "
+                   "--timeseries)");
+  Parser.addString("openmetrics-out", "",
+                   "write the per-epoch series as OpenMetrics text to this "
+                   "path");
+  Parser.addString("stats-socket", "",
+                   "serve live metrics/placement/ring-head JSON snapshots "
+                   "on this UNIX socket path (inspect with atmem_top)");
+  Parser.addFlag("reoptimize",
+                 "re-profile and re-optimize around every measured "
+                 "iteration (one decision-log epoch per iteration) instead "
+                 "of the single second-iteration optimize");
   Parser.addString("fault-spec", "", fault::faultSpecHelp());
   if (!Parser.parse(Argc, Argv))
     return 1;
@@ -132,6 +155,12 @@ int main(int Argc, const char **Argv) {
   Telemetry.MetricsPath = Parser.getString("metrics-out");
   Telemetry.TracePath = Parser.getString("trace-out");
   Telemetry.DecisionLogPath = Parser.getString("decision-log");
+  Telemetry.DecisionLogRingPath = Parser.getString("decision-log-ring");
+  Telemetry.RingSegmentBytes = Parser.getUnsigned("ring-segment-bytes");
+  Telemetry.RingMaxBytes = Parser.getUnsigned("ring-max-bytes");
+  Telemetry.TimeSeriesPath = Parser.getString("timeseries-out");
+  Telemetry.OpenMetricsPath = Parser.getString("openmetrics-out");
+  Telemetry.StatsSocketPath = Parser.getString("stats-socket");
   Telemetry.Enabled = Telemetry.anyOutput();
 
   // Load or generate the graph.
@@ -179,6 +208,7 @@ int main(int Argc, const char **Argv) {
     Config.MeasureTlb = Parser.getFlag("tlb");
     Config.SimThreads = static_cast<uint32_t>(
         std::max<uint64_t>(Parser.getUnsigned("sim-threads"), 1));
+    Config.OptimizeEachIteration = Parser.getFlag("reoptimize");
     Config.Telemetry = Telemetry;
     return baseline::runExperiment(Config);
   };
@@ -233,5 +263,14 @@ int main(int Argc, const char **Argv) {
   if (!Telemetry.DecisionLogPath.empty())
     std::printf("decision log written to %s\n",
                 Telemetry.DecisionLogPath.c_str());
+  if (!Telemetry.DecisionLogRingPath.empty())
+    std::printf("decision ring written to %s.NNNNNN\n",
+                Telemetry.DecisionLogRingPath.c_str());
+  if (!Telemetry.TimeSeriesPath.empty())
+    std::printf("time series written to %s\n",
+                Telemetry.TimeSeriesPath.c_str());
+  if (!Telemetry.OpenMetricsPath.empty())
+    std::printf("openmetrics written to %s\n",
+                Telemetry.OpenMetricsPath.c_str());
   return 0;
 }

@@ -1,0 +1,176 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ATMem reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// atmem_top: live inspection of a running ATMem process through its
+/// --stats-socket endpoint. One-shot by default (fetch, render, exit);
+/// --watch re-fetches on an interval like top(1). --raw dumps the JSON
+/// snapshot untouched for scripts.
+///
+/// Rendered view: per-object tier residency bars, the last epoch's
+/// counters (slow-miss fraction, migration bytes/ranges/retries/
+/// rollbacks), cumulative migration totals from the metric registry, and
+/// the decision ring's head position when a ring is enabled.
+///
+/// Examples:
+///   atmem_top --socket /tmp/atmem.sock
+///   atmem_top --socket /tmp/atmem.sock --watch 2
+///   atmem_top --socket /tmp/atmem.sock --raw
+///
+//===----------------------------------------------------------------------===//
+
+#include "obs/Json.h"
+#include "obs/StatsSocket.h"
+#include "support/Options.h"
+#include "support/StringUtils.h"
+
+#include <cstdio>
+#include <string>
+#include <thread>
+
+using namespace atmem;
+
+namespace {
+
+double numberOr(const obs::JsonValue *Obj, const char *Key, double Default) {
+  if (!Obj)
+    return Default;
+  const obs::JsonValue *V = Obj->findNumber(Key);
+  return V ? V->NumberVal : Default;
+}
+
+/// A tier-residency bar: '#' for the fast-tier share, '.' for the rest.
+std::string residencyBar(double Fraction, uint32_t Width) {
+  if (Fraction < 0.0)
+    Fraction = 0.0;
+  if (Fraction > 1.0)
+    Fraction = 1.0;
+  auto Fast = static_cast<uint32_t>(Fraction * Width + 0.5);
+  return std::string(Fast, '#') + std::string(Width - Fast, '.');
+}
+
+/// Renders one fetched snapshot.
+bool render(const std::string &Body) {
+  obs::JsonValue Doc;
+  std::string Error;
+  if (!obs::parseJson(Body, Doc, &Error)) {
+    std::fprintf(stderr, "error: malformed snapshot: %s\n", Error.c_str());
+    return false;
+  }
+  const obs::JsonValue *Schema = Doc.findString("schema");
+  if (!Schema || Schema->StringVal != "atmem-stats-v1") {
+    std::fprintf(stderr, "error: not an atmem-stats-v1 snapshot\n");
+    return false;
+  }
+
+  std::printf("epoch %llu",
+              static_cast<unsigned long long>(numberOr(&Doc, "epoch", 0)));
+  if (const obs::JsonValue *Ring = Doc.find("ring"))
+    std::printf("   ring head seg %llu off %llu seq %llu",
+                static_cast<unsigned long long>(
+                    numberOr(Ring, "segment", 0)),
+                static_cast<unsigned long long>(numberOr(Ring, "offset", 0)),
+                static_cast<unsigned long long>(
+                    numberOr(Ring, "next_seq", 0)));
+  std::printf("\n");
+
+  if (const obs::JsonValue *Last = Doc.find("last_epoch")) {
+    std::printf("last epoch: slow-miss %5.1f%%  migrated %s in %llu ranges"
+                "  retries %llu  rollbacks %llu  fast-data %5.1f%%  "
+                "optimize %.0f us\n",
+                numberOr(Last, "slow_miss_fraction", 0) * 100.0,
+                formatBytes(static_cast<uint64_t>(
+                                numberOr(Last, "migration_bytes", 0)))
+                    .c_str(),
+                static_cast<unsigned long long>(
+                    numberOr(Last, "migration_ranges", 0)),
+                static_cast<unsigned long long>(numberOr(Last, "retries", 0)),
+                static_cast<unsigned long long>(
+                    numberOr(Last, "rollbacks", 0)),
+                numberOr(Last, "fast_data_ratio", 0) * 100.0,
+                numberOr(Last, "optimize_wall_us", 0));
+  }
+
+  if (const obs::JsonValue *Metrics = Doc.find("metrics"))
+    if (const obs::JsonValue *Counters = Metrics->find("counters")) {
+      const obs::JsonValue *Ranges = Counters->findNumber("migrator.ranges");
+      const obs::JsonValue *Retries =
+          Counters->findNumber("migration.retries");
+      const obs::JsonValue *Rolled =
+          Counters->findNumber("migration.rolled_back");
+      std::printf("totals: %llu migrated ranges, %llu retries, "
+                  "%llu rollbacks\n",
+                  static_cast<unsigned long long>(
+                      Ranges ? Ranges->NumberVal : 0),
+                  static_cast<unsigned long long>(
+                      Retries ? Retries->NumberVal : 0),
+                  static_cast<unsigned long long>(
+                      Rolled ? Rolled->NumberVal : 0));
+    }
+
+  const obs::JsonValue *Placement = Doc.find("placement");
+  if (Placement && Placement->isArray() && !Placement->Array.empty()) {
+    std::printf("%-20s %10s %8s %-32s %s\n", "object", "bytes", "chunks",
+                "fast-tier residency", "fast");
+    for (const obs::JsonValue &Obj : Placement->Array) {
+      const obs::JsonValue *Name = Obj.findString("name");
+      double Fraction = numberOr(&Obj, "fast_fraction", 0);
+      std::printf("%-20s %10s %8llu %-32s %5.1f%%\n",
+                  Name ? Name->StringVal.c_str() : "?",
+                  formatBytes(static_cast<uint64_t>(
+                                  numberOr(&Obj, "bytes", 0)))
+                      .c_str(),
+                  static_cast<unsigned long long>(numberOr(&Obj, "chunks", 0)),
+                  residencyBar(Fraction, 32).c_str(), Fraction * 100.0);
+    }
+  }
+  return true;
+}
+
+} // namespace
+
+int main(int Argc, const char **Argv) {
+  OptionParser Parser(
+      "atmem_top: inspect a running ATMem process through the UNIX-socket "
+      "snapshot endpoint it serves under --stats-socket. One-shot by "
+      "default; --watch N refreshes every N seconds until interrupted.");
+  Parser.addString("socket", "", "stats socket path the target process "
+                                 "was started with (required)");
+  Parser.addUnsigned("watch", 0,
+                     "refresh interval in seconds (0 = fetch once)");
+  Parser.addFlag("raw", "print the raw JSON snapshot instead of the "
+                        "rendered view");
+  if (!Parser.parse(Argc, Argv))
+    return 2;
+
+  std::string Socket = Parser.getString("socket");
+  if (Socket.empty()) {
+    std::fprintf(stderr, "error: --socket is required\n");
+    return 2;
+  }
+  uint64_t Interval = Parser.getUnsigned("watch");
+
+  for (;;) {
+    std::string Body;
+    std::string Error;
+    if (!obs::statsSocketFetch(Socket, Body, &Error)) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      return 1;
+    }
+    if (Parser.getFlag("raw")) {
+      std::fputs(Body.c_str(), stdout);
+    } else {
+      if (!render(Body))
+        return 1;
+    }
+    if (Interval == 0)
+      return 0;
+    std::printf("\n");
+    std::fflush(stdout);
+    std::this_thread::sleep_for(std::chrono::seconds(Interval));
+  }
+}
