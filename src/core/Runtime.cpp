@@ -528,12 +528,14 @@ void Runtime::updatePlacementJson() {
       if (static_cast<unsigned char>(C) >= 0x20)
         Name += C;
     }
+    // The name goes through std::string appends (it is caller-controlled
+    // and unbounded); only the fixed-width numeric tail uses snprintf.
+    Out += First ? "{\"name\": \"" : ", {\"name\": \"";
+    Out += Name;
     std::snprintf(Buf, sizeof(Buf),
-                  "%s{\"name\": \"%s\", \"bytes\": %" PRIu64
-                  ", \"chunks\": %" PRIu32 ", \"fast_bytes\": %" PRIu64
-                  ", \"fast_fraction\": %.6f}",
-                  First ? "" : ", ", Name.c_str(), Obj->sizeBytes(),
-                  Obj->numChunks(), FastBytes,
+                  "\", \"bytes\": %" PRIu64 ", \"chunks\": %" PRIu32
+                  ", \"fast_bytes\": %" PRIu64 ", \"fast_fraction\": %.6f}",
+                  Obj->sizeBytes(), Obj->numChunks(), FastBytes,
                   Mapped == 0 ? 0.0
                               : static_cast<double>(FastBytes) /
                                     static_cast<double>(Mapped));

@@ -289,7 +289,11 @@ private:
     storeU64(At + 8, NextSeq);
     std::memcpy(At + FrameHeaderBytes, Payload.data(), Payload.size());
     // Length last: until it lands, a concurrent or post-crash reader
-    // sees the zero fill and treats the frame as not yet written.
+    // sees the zero fill and treats the frame as not yet written. The
+    // fence stops the compiler from sinking the CRC/seq/payload stores
+    // below the length store; the CRC remains the backstop torn-write
+    // detector for anything the hardware or kernel reorders.
+    std::atomic_signal_fence(std::memory_order_release);
     storeU32(At, static_cast<uint32_t>(Payload.size()));
     Offset += Frame;
     ++NextSeq;
@@ -389,91 +393,109 @@ bool obs::readRingLog(const std::string &BasePath, DecisionArtifact &Out,
   Out = DecisionArtifact();
   RingRecoveryStats Local;
   std::string Base = resolveRingBase(BasePath);
-  std::vector<Segment> Segments = scanSegments(Base);
-  if (Segments.empty()) {
-    setError(Error, "no ring segments found for '" + Base + "'");
-    return false;
-  }
 
   // Decode the frame stream across segments, stopping at the first torn
   // frame: a zero length is the clean end of a segment's used region; a
   // CRC or sequence mismatch is a torn or lost write; a sequence gap
-  // between segments means rotation outran this scan.
+  // between segments means rotation outran this scan. If the *first*
+  // scanned segment cannot be opened (a live writer may rotate it away
+  // between scan and open), rescan once; a second failure is a real
+  // read error, not an empty ring.
   std::vector<DecisionRecord> Stream;
   bool SawTrailer = false;
-  uint64_t ExpectedSeq = 0;
-  bool First = true;
-  uint64_t PrevIndex = 0;
-  bool Torn = false;
-  for (const Segment &Seg : Segments) {
-    if (Torn)
-      break;
-    if (!First && Seg.Index != PrevIndex + 1)
-      break; // Index gap: the older window ended here.
-    std::FILE *File = std::fopen(Seg.Path.c_str(), "rb");
-    if (!File)
-      break;
-    std::string Bytes;
-    char Buf[1 << 16];
-    size_t N;
-    while ((N = std::fread(Buf, 1, sizeof(Buf), File)) > 0)
-      Bytes.append(Buf, N);
-    std::fclose(File);
-    const auto *Data = reinterpret_cast<const uint8_t *>(Bytes.data());
-    size_t Size = Bytes.size();
-    if (Size < SegmentHeaderBytes ||
-        std::memcmp(Data, RingMagic, sizeof(RingMagic)) != 0 ||
-        loadU32(Data + 4) != RingVersion) {
-      if (First) {
-        setError(Error, "bad ring segment header in '" + Seg.Path + "'");
-        return false;
-      }
-      break; // A half-created successor segment: stop cleanly.
+  for (int Attempt = 0;; ++Attempt) {
+    std::vector<Segment> Segments = scanSegments(Base);
+    if (Segments.empty()) {
+      setError(Error, "no ring segments found for '" + Base + "'");
+      return false;
     }
-    uint64_t BaseSeq = loadU64(Data + 8);
-    if (First)
-      ExpectedSeq = BaseSeq;
-    else if (BaseSeq != ExpectedSeq)
-      break; // Sequence gap across the rotation boundary.
-    First = false;
-    PrevIndex = Seg.Index;
-    ++Local.Segments;
+    Stream.clear();
+    SawTrailer = false;
+    Local = RingRecoveryStats();
+    std::string FirstOpenFailure;
+    uint64_t ExpectedSeq = 0;
+    bool First = true;
+    uint64_t PrevIndex = 0;
+    bool Torn = false;
+    for (const Segment &Seg : Segments) {
+      if (Torn)
+        break;
+      if (!First && Seg.Index != PrevIndex + 1)
+        break; // Index gap: the older window ended here.
+      std::FILE *File = std::fopen(Seg.Path.c_str(), "rb");
+      if (!File) {
+        if (First)
+          FirstOpenFailure = Seg.Path;
+        break; // A later segment vanishing just ends the window early.
+      }
+      std::string Bytes;
+      char Buf[1 << 16];
+      size_t N;
+      while ((N = std::fread(Buf, 1, sizeof(Buf), File)) > 0)
+        Bytes.append(Buf, N);
+      std::fclose(File);
+      const auto *Data = reinterpret_cast<const uint8_t *>(Bytes.data());
+      size_t Size = Bytes.size();
+      if (Size < SegmentHeaderBytes ||
+          std::memcmp(Data, RingMagic, sizeof(RingMagic)) != 0 ||
+          loadU32(Data + 4) != RingVersion) {
+        if (First) {
+          setError(Error, "bad ring segment header in '" + Seg.Path + "'");
+          return false;
+        }
+        break; // A half-created successor segment: stop cleanly.
+      }
+      uint64_t BaseSeq = loadU64(Data + 8);
+      if (First)
+        ExpectedSeq = BaseSeq;
+      else if (BaseSeq != ExpectedSeq)
+        break; // Sequence gap across the rotation boundary.
+      First = false;
+      PrevIndex = Seg.Index;
+      ++Local.Segments;
 
-    size_t Pos = SegmentHeaderBytes;
-    while (Pos + FrameHeaderBytes <= Size) {
-      uint32_t Len = loadU32(Data + Pos);
-      if (Len == 0)
-        break; // Zero fill: end of this segment's used region.
-      if (Pos + FrameHeaderBytes + Len > Size) {
-        Torn = true;
-        ++Local.TornFrames;
-        break;
+      size_t Pos = SegmentHeaderBytes;
+      while (Pos + FrameHeaderBytes <= Size) {
+        uint32_t Len = loadU32(Data + Pos);
+        if (Len == 0)
+          break; // Zero fill: end of this segment's used region.
+        if (Pos + FrameHeaderBytes + Len > Size) {
+          Torn = true;
+          ++Local.TornFrames;
+          break;
+        }
+        uint32_t Crc = loadU32(Data + Pos + 4);
+        uint64_t Seq = loadU64(Data + Pos + 8);
+        const uint8_t *Payload = Data + Pos + FrameHeaderBytes;
+        if (Crc != crc32(Payload, Len) || Seq != ExpectedSeq) {
+          Torn = true;
+          ++Local.TornFrames;
+          break;
+        }
+        DecisionRecord Rec;
+        if (!decodeDecisionPayload(Payload, Len, Pos, Rec, nullptr)) {
+          Torn = true;
+          ++Local.TornFrames;
+          break;
+        }
+        ++Local.FramesRead;
+        ++ExpectedSeq;
+        Pos += FrameHeaderBytes + Len;
+        if (Rec.Kind == DecisionKind::Trailer) {
+          SawTrailer = true;
+          break;
+        }
+        Stream.push_back(std::move(Rec));
       }
-      uint32_t Crc = loadU32(Data + Pos + 4);
-      uint64_t Seq = loadU64(Data + Pos + 8);
-      const uint8_t *Payload = Data + Pos + FrameHeaderBytes;
-      if (Crc != crc32(Payload, Len) || Seq != ExpectedSeq) {
-        Torn = true;
-        ++Local.TornFrames;
+      if (SawTrailer)
         break;
-      }
-      DecisionRecord Rec;
-      if (!decodeDecisionPayload(Payload, Len, Pos, Rec, nullptr)) {
-        Torn = true;
-        ++Local.TornFrames;
-        break;
-      }
-      ++Local.FramesRead;
-      ++ExpectedSeq;
-      Pos += FrameHeaderBytes + Len;
-      if (Rec.Kind == DecisionKind::Trailer) {
-        SawTrailer = true;
-        break;
-      }
-      Stream.push_back(std::move(Rec));
     }
-    if (SawTrailer)
+    if (FirstOpenFailure.empty())
       break;
+    if (Attempt > 0) {
+      setError(Error, "cannot open ring segment '" + FirstOpenFailure + "'");
+      return false;
+    }
   }
   Local.CleanClose = SawTrailer;
 

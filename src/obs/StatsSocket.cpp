@@ -46,11 +46,13 @@ bool fillAddress(const std::string &Path, sockaddr_un &Addr,
 void writeAll(int Fd, const std::string &Body) {
   size_t Off = 0;
   while (Off < Body.size()) {
-    ssize_t N = write(Fd, Body.data() + Off, Body.size() - Off);
+    // MSG_NOSIGNAL: a client that disconnects mid-snapshot must surface
+    // as EPIPE here, not as a SIGPIPE that kills the serving runtime.
+    ssize_t N = send(Fd, Body.data() + Off, Body.size() - Off, MSG_NOSIGNAL);
     if (N < 0) {
       if (errno == EINTR)
         continue;
-      return; // Client went away; nothing to do.
+      return; // EPIPE etc.: client went away; nothing to do.
     }
     Off += static_cast<size_t>(N);
   }
