@@ -1,0 +1,53 @@
+#!/usr/bin/env sh
+# End-to-end learned-ranker pipeline over a freshly recorded planted
+# workload: record a deterministic multi-epoch decision log, verify it
+# replays with zero drift (exit 3 from atmem_replay fails the script),
+# train an atmem-ranker-v1 model from it, and re-replay A/B under a
+# budget that forces the policies apart. atmem_train already rejects any
+# candidate losing to the Eq. 1-5 heuristic on next-epoch hit fraction
+# or exceeding 1.1x its migration churn, so a successful run proves the
+# full record -> train -> replay loop and the quality gates in one shot.
+#
+# The committed golden artifacts under tests/golden/ are checked too, so
+# an analyzer change that drifts from the recorded placements fails here
+# the same way it fails in ranker_tests.
+#
+# Usage: scripts/ranker_ab.sh [build-dir]   (default: build)
+set -eu
+
+BUILD_DIR="${1:-build}"
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+RECORDER="$REPO_ROOT/$BUILD_DIR/examples/planted_recorder"
+TRAIN="$REPO_ROOT/$BUILD_DIR/tools/atmem_train"
+REPLAY="$REPO_ROOT/$BUILD_DIR/tools/atmem_replay"
+WORK="$REPO_ROOT/$BUILD_DIR/ranker_ab"
+# The planted workload's stable hot block (64 chunks) plus two: tight
+# enough that selection order decides the next-epoch hit fraction.
+BUDGET=$((66 * 4096))
+
+for BIN in "$RECORDER" "$TRAIN" "$REPLAY"; do
+  if [ ! -x "$BIN" ]; then
+    echo "ranker_ab: $BIN not built" >&2
+    exit 1
+  fi
+done
+mkdir -p "$WORK"
+
+echo "ranker_ab: replaying committed golden log (drift gate)"
+"$REPLAY" "$REPO_ROOT/tests/golden/planted_hotset.atdl" \
+  --model "$REPO_ROOT/tests/golden/ranker.json" --budget "$BUDGET"
+
+echo "ranker_ab: recording fresh planted workload"
+"$RECORDER" --out "$WORK/planted.atdl" --epochs 8 --seed 42 > /dev/null
+
+echo "ranker_ab: drift-checking the fresh log"
+"$REPLAY" "$WORK/planted.atdl" > /dev/null
+
+echo "ranker_ab: training"
+"$TRAIN" "$WORK/planted.atdl" --out "$WORK/ranker.json" --budget "$BUDGET"
+
+echo "ranker_ab: A/B report"
+"$REPLAY" "$WORK/planted.atdl" --model "$WORK/ranker.json" \
+  --budget "$BUDGET"
+
+echo "ranker_ab: all gates passed"

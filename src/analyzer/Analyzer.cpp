@@ -43,40 +43,34 @@ void publishObjectMetrics(const std::string &ObjName,
 /// global rank, the Eq. 5 TR' as used) followed by one ChunkDecision per
 /// informative chunk (sampled, critical, or promoted — cold chunks are
 /// implied by their absence). \p GlobalFlipped marks the chunks the pooled
-/// ranking stage flipped critical.
-void recordDecisions(const std::vector<const mem::DataObject *> &Objects,
+/// ranking stage flipped critical. When a learned ranker ran, the flags
+/// written here are its final verdicts — the log records what the
+/// pipeline decided, whichever policy decided it.
+void recordDecisions(const std::vector<ObjectProfileInput> &Inputs,
                      const std::vector<LocalSelection> &Selections,
                      const std::vector<PromotionResult> &Promotions,
-                     const std::vector<prof::ObjectProfile> &Profiles,
                      const std::vector<std::vector<uint8_t>> &GlobalFlipped,
                      uint64_t SamplePeriod) {
   obs::DecisionLog &Log = obs::DecisionLog::instance();
 
   // Global weight ranks: 1-based, descending weight among the objects
   // that carry any critical chunk (W > 0); ties rank by object order.
-  std::vector<size_t> Order;
-  for (size_t I = 0; I < Promotions.size(); ++I)
-    if (Promotions[I].Weight > 0.0)
-      Order.push_back(I);
-  std::stable_sort(Order.begin(), Order.end(), [&](size_t A, size_t B) {
-    return Promotions[A].Weight > Promotions[B].Weight;
-  });
-  std::vector<uint32_t> Rank(Promotions.size(), 0);
-  for (size_t R = 0; R < Order.size(); ++R)
-    Rank[Order[R]] = static_cast<uint32_t>(R + 1);
+  uint32_t RankedObjects = 0;
+  std::vector<uint32_t> Rank = rankerWeightRanks(Promotions, &RankedObjects);
 
-  for (size_t I = 0; I < Objects.size(); ++I) {
+  for (size_t I = 0; I < Inputs.size(); ++I) {
+    const ObjectProfileInput &In = Inputs[I];
     const LocalSelection &Sel = Selections[I];
     const PromotionResult &Promo = Promotions[I];
     obs::ObjectEpochRecord Obj;
-    Obj.Object = Objects[I]->id();
-    Obj.NameId = Log.nameId(Objects[I]->name());
+    Obj.Object = In.Object;
+    Obj.NameId = Log.nameId(In.Name);
     Obj.NumChunks = static_cast<uint32_t>(Sel.Priority.size());
-    Obj.ChunkBytes = Objects[I]->chunkBytes();
+    Obj.ChunkBytes = In.ChunkBytes;
     Obj.SamplePeriod = SamplePeriod;
     Obj.Weight = Promo.Weight;
     Obj.WeightRank = Rank[I];
-    Obj.RankedObjects = static_cast<uint32_t>(Order.size());
+    Obj.RankedObjects = RankedObjects;
     Obj.TrThreshold = Promo.Threshold;
     Obj.Theta = Sel.Theta;
     Obj.ThetaPercentile = Sel.ThetaPercentile;
@@ -87,7 +81,7 @@ void recordDecisions(const std::vector<const mem::DataObject *> &Objects,
     Obj.PromotedCount = Promo.PromotedCount;
     Log.recordObject(Obj);
 
-    const std::vector<uint64_t> &Samples = Profiles[I].Samples;
+    const std::vector<uint64_t> &Samples = In.Samples;
     for (size_t C = 0; C < Sel.Priority.size(); ++C) {
       bool Flipped = !GlobalFlipped[I].empty() && GlobalFlipped[I][C];
       bool Critical = Sel.Critical[C] != 0;
@@ -96,12 +90,11 @@ void recordDecisions(const std::vector<const mem::DataObject *> &Objects,
       if (SampleCount == 0 && !Critical && !Promoted)
         continue; // Cold chunk: implied by absence.
       obs::ChunkDecisionRecord Chunk;
-      Chunk.Object = Objects[I]->id();
+      Chunk.Object = In.Object;
       Chunk.Chunk = static_cast<uint32_t>(C);
       Chunk.Samples = SampleCount;
-      Chunk.EstimatedMisses = C < Profiles[I].EstimatedMisses.size()
-                                  ? Profiles[I].EstimatedMisses[C]
-                                  : 0.0;
+      Chunk.EstimatedMisses =
+          C < In.EstimatedMisses.size() ? In.EstimatedMisses[C] : 0.0;
       Chunk.Priority = Sel.Priority[C];
       if (Critical && !Flipped)
         Chunk.Flags |= obs::DecisionChunkSampledCritical;
@@ -121,6 +114,27 @@ void recordDecisions(const std::vector<const mem::DataObject *> &Objects,
 std::vector<ObjectClassification>
 Analyzer::classify(mem::DataObjectRegistry &Registry,
                    const prof::ProfileSource &Profiler) const {
+  std::vector<const mem::DataObject *> Objects =
+      std::as_const(Registry).liveObjects();
+  std::vector<ObjectProfileInput> Inputs;
+  Inputs.reserve(Objects.size());
+  for (const mem::DataObject *Obj : Objects) {
+    prof::ObjectProfile Profile = Profiler.profileFor(Obj->id());
+    ObjectProfileInput In;
+    In.Object = Obj->id();
+    In.Name = Obj->name();
+    In.ChunkBytes = Obj->chunkBytes();
+    In.MappedBytes = Obj->mappedBytes();
+    In.EstimatedMisses = std::move(Profile.EstimatedMisses);
+    In.Samples = std::move(Profile.Samples);
+    Inputs.push_back(std::move(In));
+  }
+  return classifyInputs(Inputs, Profiler.period());
+}
+
+std::vector<ObjectClassification>
+Analyzer::classifyInputs(const std::vector<ObjectProfileInput> &Inputs,
+                         uint64_t SamplePeriod) const {
   // Apply the selectivity bias to all three selection stages (the
   // Section 7.2 sensitivity sweep): the local percentile, the global
   // ranking threshold (below), and the promotion epsilon.
@@ -133,22 +147,16 @@ Analyzer::classify(mem::DataObjectRegistry &Registry,
   obs::SpanScope ClassifySpan("analyzer.classify", "analyzer");
 
   // The flight recorder needs evidence classify() otherwise discards:
-  // raw per-chunk samples and which chunks the global ranking flipped.
+  // which chunks the global ranking flipped.
   const bool DecisionLogOn = obs::DecisionLog::enabled();
-  std::vector<prof::ObjectProfile> Profiles;
+  const bool RankerActive = Config.Ranker != nullptr;
   std::vector<std::vector<uint8_t>> GlobalFlipped;
 
   std::vector<LocalSelection> Selections;
-  std::vector<const mem::DataObject *> Objects =
-      std::as_const(Registry).liveObjects();
-  for (const mem::DataObject *Obj : Objects) {
-    prof::ObjectProfile Profile = Profiler.profileFor(Obj->id());
-    Selections.push_back(Selector.select(Profile.EstimatedMisses,
-                                         Obj->chunkBytes(),
-                                         Profiler.period()));
-    if (DecisionLogOn)
-      Profiles.push_back(std::move(Profile));
-  }
+  Selections.reserve(Inputs.size());
+  for (const ObjectProfileInput &In : Inputs)
+    Selections.push_back(
+        Selector.select(In.EstimatedMisses, In.ChunkBytes, SamplePeriod));
   if (DecisionLogOn)
     GlobalFlipped.resize(Selections.size());
 
@@ -192,7 +200,10 @@ Analyzer::classify(mem::DataObjectRegistry &Registry,
   GlobalPromoter Promoter(PromoterCfg);
   std::vector<PromotionResult> Promotions;
   if (Config.EnablePromotion) {
-    Promotions = Promoter.promoteAll(Selections, DecisionLogOn);
+    // Node tracing feeds both the flight recorder and the ranker's
+    // node_tree_ratio feature; promotion decisions are identical with it
+    // on or off.
+    Promotions = Promoter.promoteAll(Selections, DecisionLogOn || RankerActive);
   } else {
     Promotions.resize(Selections.size());
     for (size_t I = 0; I < Selections.size(); ++I) {
@@ -201,23 +212,45 @@ Analyzer::classify(mem::DataObjectRegistry &Registry,
     }
   }
 
+  // Learned-ranker re-scoring: every heuristic verdict above is input to
+  // the model, and the model's decisions land back in the same flags, so
+  // planning, migration, telemetry and the flight recorder all see one
+  // consistent selection. Never entered without a configured model — the
+  // heuristic path stays bit-identical.
+  if (RankerActive) {
+    std::vector<std::vector<uint64_t>> SampleVecs;
+    std::vector<std::vector<double>> MissVecs;
+    std::vector<uint64_t> ChunkBytesVec;
+    SampleVecs.reserve(Inputs.size());
+    MissVecs.reserve(Inputs.size());
+    ChunkBytesVec.reserve(Inputs.size());
+    for (const ObjectProfileInput &In : Inputs) {
+      SampleVecs.push_back(In.Samples);
+      MissVecs.push_back(In.EstimatedMisses);
+      ChunkBytesVec.push_back(In.ChunkBytes);
+    }
+    RankerPolicy Policy(*Config.Ranker);
+    Policy.apply(Selections, Promotions, SampleVecs, MissVecs, ChunkBytesVec,
+                 DecisionLogOn ? &GlobalFlipped : nullptr);
+  }
+
   if (DecisionLogOn)
-    recordDecisions(Objects, Selections, Promotions, Profiles,
-                    GlobalFlipped, Profiler.period());
+    recordDecisions(Inputs, Selections, Promotions, GlobalFlipped,
+                    SamplePeriod);
 
   uint64_t SampledCritical = 0;
   uint64_t EstimatedCritical = 0;
-  Classes.reserve(Objects.size());
-  for (size_t I = 0; I < Objects.size(); ++I) {
+  Classes.reserve(Inputs.size());
+  for (size_t I = 0; I < Inputs.size(); ++I) {
     if (obs::enabled()) {
-      publishObjectMetrics(Objects[I]->name(), Selections[I], Promotions[I]);
+      publishObjectMetrics(Inputs[I].Name, Selections[I], Promotions[I]);
       SampledCritical += Selections[I].CriticalCount;
       EstimatedCritical += Promotions[I].PromotedCount;
     }
     ObjectClassification Class;
-    Class.Object = Objects[I]->id();
-    Class.ChunkBytes = Objects[I]->chunkBytes();
-    Class.MappedBytes = Objects[I]->mappedBytes();
+    Class.Object = Inputs[I].Object;
+    Class.ChunkBytes = Inputs[I].ChunkBytes;
+    Class.MappedBytes = Inputs[I].MappedBytes;
     Class.Local = std::move(Selections[I]);
     Class.Promotion = std::move(Promotions[I]);
     Classes.push_back(std::move(Class));
@@ -229,7 +262,7 @@ Analyzer::classify(mem::DataObjectRegistry &Registry,
     Runs.add(1);
     Sampled.add(SampledCritical);
     Estimated.add(EstimatedCritical);
-    ClassifySpan.arg("objects", static_cast<double>(Objects.size()))
+    ClassifySpan.arg("objects", static_cast<double>(Inputs.size()))
         .arg("chunks_sampled_critical", static_cast<double>(SampledCritical))
         .arg("chunks_estimated_critical",
              static_cast<double>(EstimatedCritical));

@@ -1,0 +1,201 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ATMem reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The learned placement ranker: a dependency-free linear learning-to-rank
+/// policy that sits behind the same contract as the Eq. 1-5 heuristics. The
+/// analyzer always runs the heuristic pipeline (local selection, global
+/// ranking, tree promotion) first; when a ranker model is configured, every
+/// chunk is then re-scored with a linear model over the "atmem-ranker-v1"
+/// feature vector — which includes the heuristic's own verdicts and
+/// sub-terms, so a model carrying the mimic weights reproduces Eq. 1-5
+/// plans exactly — and the selection flags are overridden by the model's
+/// decisions. With no model configured the apply step is never entered and
+/// the heuristic path stays bit-identical.
+///
+/// Models are trained offline by tools/atmem_train from atdl decision logs
+/// (the flight recorder captures every feature and outcome this policy
+/// needs) and serialized as a small JSON file loaded through
+/// AnalyzerConfig::RankerModelPath. Malformed or truncated model files
+/// never crash: loading fails with a diagnostic, bumps the
+/// "ranker.model_load_failed" counter, and the analyzer falls back to the
+/// heuristic. Scoring is guarded by the "ranker.score" fault site with the
+/// same whole-epoch graceful degradation (an injected fault leaves every
+/// heuristic verdict untouched).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ATMEM_ANALYZER_RANKERPOLICY_H
+#define ATMEM_ANALYZER_RANKERPOLICY_H
+
+#include "analyzer/GlobalPromoter.h"
+#include "analyzer/LocalSelector.h"
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace atmem {
+namespace analyzer {
+
+/// Feature indices of the atmem-ranker-v1 vector, in serialized order.
+/// The same extraction runs at analysis time (from live classifications)
+/// and at training/replay time (from decision-log records); chunks the
+/// flight recorder would omit as cold produce all-zero chunk-level
+/// features in both, so the two sources agree exactly.
+enum RankerFeature : size_t {
+  RankerBias = 0,          ///< Constant 1 (the intercept).
+  RankerLogMisses,         ///< log1p(estimated misses of the chunk).
+  RankerLogSamples,        ///< log1p(raw sample hits of the chunk).
+  RankerPrOverTheta,       ///< Eq. 1 PR / Eq. 2 theta, capped at 8.
+  RankerSampleShare,       ///< Chunk samples / object samples.
+  RankerWeightRank,        ///< Eq. 4 global rank, best = 1, unranked = 0.
+  RankerLogWeight,         ///< log1p(Eq. 4 W scaled to per-chunk misses).
+  RankerSampledCritical,   ///< Eq. 3 CAT after global ranking (0/1).
+  RankerPromoted,          ///< Tree-walk estimated critical (0/1).
+  RankerNodeTreeRatio,     ///< Deepest examined m-ary node's tree ratio.
+  NumRankerFeatures,
+};
+
+/// Serialized name of feature \p Index ("bias", "log_misses", ...).
+const char *rankerFeatureName(size_t Index);
+
+/// Object-level inputs of the feature extraction: one per (epoch, object),
+/// matching the decision log's ObjectEpoch record.
+struct RankerObjectContext {
+  uint64_t ChunkBytes = 0;
+  double Theta = 0.0;        ///< Eq. 2 threshold the object used.
+  double Weight = 0.0;       ///< Eq. 4 W.
+  uint32_t WeightRank = 0;   ///< 1-based global rank; 0 = unranked.
+  uint32_t RankedObjects = 0;
+  uint64_t TotalSamples = 0; ///< Sum of the object's raw chunk samples.
+};
+
+/// Chunk-level inputs, matching the decision log's ChunkDecision record.
+struct RankerChunkContext {
+  uint64_t Samples = 0;
+  double EstimatedMisses = 0.0;
+  double Priority = 0.0;      ///< Eq. 1 PR.
+  bool Critical = false;      ///< Sampled critical (incl. global-ranked).
+  bool Promoted = false;      ///< Tree-walk estimated critical.
+  double NodeTreeRatio = 0.0; ///< 0 when the walk never examined it.
+};
+
+/// Fills \p Out with the atmem-ranker-v1 features of one chunk. Chunks the
+/// flight recorder would omit (no samples, not critical, not promoted)
+/// yield zero for every chunk-level feature, keeping live and log-derived
+/// vectors identical.
+void rankerFeatures(const RankerObjectContext &Obj,
+                    const RankerChunkContext &Chunk,
+                    double Out[NumRankerFeatures]);
+
+/// A linear scoring model over the feature vector. A chunk is selected for
+/// fast-tier placement when dot(Weights, features) > Threshold.
+struct RankerModel {
+  static constexpr const char *Format = "atmem-ranker-v1";
+  std::array<double, NumRankerFeatures> Weights{};
+  double Threshold = 0.0;
+
+  double score(const double Features[NumRankerFeatures]) const {
+    double S = 0.0;
+    for (size_t I = 0; I < NumRankerFeatures; ++I)
+      S += Weights[I] * Features[I];
+    return S;
+  }
+  bool selects(const double Features[NumRankerFeatures]) const {
+    return score(Features) > Threshold;
+  }
+
+  /// Serializes the model as a pretty-printed JSON document (the format
+  /// parseRankerModel accepts, with feature names inlined for humans).
+  std::string toJson() const;
+};
+
+/// The regression-guard model: weights that reproduce the Eq. 1-5 verdict
+/// exactly (score = critical + promoted - 0.5, so score > 0 if and only
+/// if the heuristic selected the chunk).
+RankerModel heuristicMimicModel();
+
+/// Parses an atmem-ranker-v1 JSON document. Strict: the format string,
+/// a "weights" array of exactly NumRankerFeatures finite numbers, and —
+/// when present — a "features" array naming them in serialized order are
+/// all required to match. False (with \p Error) otherwise; \p Out is
+/// untouched on failure.
+bool parseRankerModel(std::string_view Text, RankerModel &Out,
+                      std::string *Error = nullptr);
+
+/// Loads a model file through parseRankerModel. Guarded by the
+/// "ranker.model_load" fault site; any failure (I/O, injected, parse)
+/// bumps the "ranker.model_load_failed" counter and returns false, and
+/// callers keep the heuristic policy.
+bool loadRankerModel(const std::string &Path, RankerModel &Out,
+                     std::string *Error = nullptr);
+
+/// Outcome of one RankerPolicy::apply call.
+enum class RankerStatus : uint8_t {
+  Applied = 0,  ///< Model scores overrode the selection flags.
+  ScoreFaulted, ///< "ranker.score" fired: every verdict left untouched.
+};
+
+const char *rankerStatusName(RankerStatus Status);
+
+/// Result of re-scoring one epoch's classifications.
+struct RankerApplyResult {
+  RankerStatus Status = RankerStatus::Applied;
+  /// Chunks whose selection verdict the model changed (0 on fault).
+  uint64_t FlippedChunks = 0;
+};
+
+/// Applies a linear model on top of one epoch's heuristic classifications.
+class RankerPolicy {
+public:
+  explicit RankerPolicy(const RankerModel &Model) : Model(Model) {}
+
+  /// Re-scores every chunk of every object and overrides the selection
+  /// flags in place: a chunk the model selects but the heuristic did not
+  /// becomes estimated critical (Promoted); a chunk the model rejects is
+  /// cleared from both Critical and Promoted (and from \p GlobalFlipped,
+  /// so decision-log flag attribution stays consistent). Counts in
+  /// LocalSelection / PromotionResult are updated to match. All scores
+  /// are computed against a snapshot of the heuristic verdicts before any
+  /// flag is mutated, and nothing is committed when the "ranker.score"
+  /// fault site fires — graceful degradation back to the heuristic plan.
+  ///
+  /// \p Samples and \p EstimatedMisses carry the profiler's per-object
+  /// raw chunk samples and unbiased miss estimates (ObjectProfile fields;
+  /// the same values the flight recorder logs, so training-time and
+  /// analysis-time features are bit-identical); \p GlobalFlipped may be
+  /// empty (treated as all-zero) and is only scrubbed, never grown.
+  RankerApplyResult
+  apply(std::vector<LocalSelection> &Selections,
+        std::vector<PromotionResult> &Promotions,
+        const std::vector<std::vector<uint64_t>> &Samples,
+        const std::vector<std::vector<double>> &EstimatedMisses,
+        const std::vector<uint64_t> &ChunkBytes,
+        std::vector<std::vector<uint8_t>> *GlobalFlipped) const;
+
+  const RankerModel &model() const { return Model; }
+
+private:
+  RankerModel Model;
+};
+
+/// Computes the decision-log style global weight ranks for one epoch's
+/// promotions: 1-based descending-weight rank among objects with W > 0
+/// (ties rank by object order), 0 for unranked objects. \p RankedObjects
+/// receives the number of ranked objects. Shared by the ranker feature
+/// extraction and the flight recorder so both attribute identically.
+std::vector<uint32_t>
+rankerWeightRanks(const std::vector<PromotionResult> &Promotions,
+                  uint32_t *RankedObjects = nullptr);
+
+} // namespace analyzer
+} // namespace atmem
+
+#endif // ATMEM_ANALYZER_RANKERPOLICY_H

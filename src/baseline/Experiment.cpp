@@ -48,6 +48,7 @@ static core::RuntimeConfig makeRuntimeConfig(const RunConfig &Config) {
   core::RuntimeConfig RtConfig;
   RtConfig.Machine = Config.Machine;
   RtConfig.Analyzer.SelectivityBias = Config.EpsilonOffset;
+  RtConfig.Analyzer.RankerModelPath = Config.RankerModelPath;
   RtConfig.SimThreads = Config.SimThreads;
   RtConfig.Telemetry = Config.Telemetry;
   switch (Config.PolicyKind) {

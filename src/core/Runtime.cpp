@@ -227,6 +227,20 @@ Runtime::Runtime(RuntimeConfig ConfigIn)
                                   Options, &Error))
       logError("decision ring: %s", Error.c_str());
   }
+  if (!Config.Analyzer.RankerModelPath.empty() && !Config.Analyzer.Ranker) {
+    // Learned ranker: load once here so every optimize() epoch scores
+    // with the same weights. Any failure (missing file, malformed JSON,
+    // injected fault) is non-fatal — the Eq. 1-5 heuristic stays active
+    // and loadRankerModel has already bumped ranker.model_load_failed.
+    analyzer::RankerModel Model;
+    std::string Error;
+    if (analyzer::loadRankerModel(Config.Analyzer.RankerModelPath, Model,
+                                  &Error))
+      Config.Analyzer.Ranker =
+          std::make_shared<analyzer::RankerModel>(Model);
+    else
+      logError("ranker model: %s", Error.c_str());
+  }
   if (!Config.Telemetry.TimeSeriesPath.empty() ||
       !Config.Telemetry.OpenMetricsPath.empty() ||
       !Config.Telemetry.StatsSocketPath.empty())

@@ -113,6 +113,10 @@ int main(int Argc, const char **Argv) {
                  "re-profile and re-optimize around every measured "
                  "iteration (one decision-log epoch per iteration) instead "
                  "of the single second-iteration optimize");
+  Parser.addString("ranker-model", "",
+                   "re-score every placement verdict with this "
+                   "atmem-ranker-v1 JSON model (train with atmem_train); "
+                   "load failures fall back to the Eq. 1-5 heuristic");
   Parser.addString("fault-spec", "", fault::faultSpecHelp());
   if (!Parser.parse(Argc, Argv))
     return 1;
@@ -210,6 +214,7 @@ int main(int Argc, const char **Argv) {
         std::max<uint64_t>(Parser.getUnsigned("sim-threads"), 1));
     Config.OptimizeEachIteration = Parser.getFlag("reoptimize");
     Config.Telemetry = Telemetry;
+    Config.RankerModelPath = Parser.getString("ranker-model");
     return baseline::runExperiment(Config);
   };
 
