@@ -16,7 +16,7 @@ fault::Site SpawnFault("threadpool.spawn");
 
 } // namespace
 
-ThreadPool::ThreadPool(uint32_t Threads) {
+ThreadPool::ThreadPool(uint32_t Threads, WorkerInit Init) {
   uint32_t Count = std::max<uint32_t>(Threads, 1);
   Workers.reserve(Count);
   for (uint32_t I = 0; I < Count; ++I) {
@@ -26,7 +26,13 @@ ThreadPool::ThreadPool(uint32_t Threads) {
     if (SpawnFault.shouldFail())
       continue;
     try {
-      Workers.emplace_back([this] { workerLoop(); });
+      // The init hook runs on the worker itself (affinity is per-thread)
+      // before the worker becomes eligible for tasks.
+      Workers.emplace_back([this, I, Init] {
+        if (Init)
+          Init(I);
+        workerLoop();
+      });
     } catch (const std::system_error &) {
       break;
     }

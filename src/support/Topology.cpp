@@ -1,0 +1,229 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ATMem reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Topology.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <thread>
+
+#if defined(__linux__)
+#include <dirent.h>
+#include <sched.h>
+#endif
+
+namespace atmem {
+namespace support {
+
+namespace {
+
+uint32_t probeHardwareThreads() {
+  unsigned N = std::thread::hardware_concurrency();
+  return N == 0 ? 1u : static_cast<uint32_t>(N);
+}
+
+#if defined(__linux__)
+/// Reads one small sysfs file into \p Out (first line, trailing
+/// whitespace stripped). sysfs attribute files fit a fixed buffer.
+bool readSysfsLine(const std::string &Path, std::string &Out) {
+  FILE *F = std::fopen(Path.c_str(), "r");
+  if (!F)
+    return false;
+  char Buf[4096];
+  size_t N = std::fread(Buf, 1, sizeof(Buf) - 1, F);
+  std::fclose(F);
+  Buf[N] = '\0';
+  Out.assign(Buf);
+  while (!Out.empty() && (Out.back() == '\n' || Out.back() == '\r' ||
+                          Out.back() == ' ' || Out.back() == '\t'))
+    Out.pop_back();
+  return true;
+}
+#endif
+
+} // namespace
+
+bool Topology::parseCpuList(std::string_view Text, std::vector<int> &Out) {
+  Out.clear();
+  // An offline node legitimately has an empty cpulist.
+  if (Text.empty())
+    return true;
+  size_t Pos = 0;
+  auto parseInt = [&](long &Value) {
+    if (Pos >= Text.size() || Text[Pos] < '0' || Text[Pos] > '9')
+      return false;
+    long V = 0;
+    while (Pos < Text.size() && Text[Pos] >= '0' && Text[Pos] <= '9') {
+      V = V * 10 + (Text[Pos] - '0');
+      if (V > 1 << 20) // implausible cpu id; reject rather than overflow
+        return false;
+      ++Pos;
+    }
+    Value = V;
+    return true;
+  };
+  while (true) {
+    long Lo = 0;
+    if (!parseInt(Lo))
+      return false;
+    long Hi = Lo;
+    if (Pos < Text.size() && Text[Pos] == '-') {
+      ++Pos;
+      if (!parseInt(Hi) || Hi < Lo)
+        return false;
+    }
+    for (long C = Lo; C <= Hi; ++C)
+      Out.push_back(static_cast<int>(C));
+    if (Pos == Text.size())
+      break;
+    if (Text[Pos] != ',')
+      return false;
+    ++Pos;
+  }
+  std::sort(Out.begin(), Out.end());
+  Out.erase(std::unique(Out.begin(), Out.end()), Out.end());
+  return true;
+}
+
+Topology Topology::singleNode(uint32_t HardwareThreads) {
+  Topology T;
+  T.HostThreads = HardwareThreads ? HardwareThreads : probeHardwareThreads();
+  T.Nodes.clear();
+  T.Nodes.emplace_back();
+  T.Nodes[0].reserve(T.HostThreads);
+  for (uint32_t C = 0; C < T.HostThreads; ++C)
+    T.Nodes[0].push_back(static_cast<int>(C));
+  T.CpuNode.assign(T.HostThreads, 0);
+  return T;
+}
+
+Topology Topology::fromNodeCpus(std::vector<std::vector<int>> NodeCpus) {
+  // Drop nodes with no cpus (sysfs lists memory-only nodes; no drain
+  // worker can run there, so they get no shards either).
+  NodeCpus.erase(std::remove_if(NodeCpus.begin(), NodeCpus.end(),
+                                [](const std::vector<int> &C) {
+                                  return C.empty();
+                                }),
+                 NodeCpus.end());
+  if (NodeCpus.empty())
+    return singleNode();
+  Topology T;
+  T.HostThreads = probeHardwareThreads();
+  T.Nodes = std::move(NodeCpus);
+  int MaxCpu = -1;
+  for (const auto &Cpus : T.Nodes)
+    for (int C : Cpus)
+      MaxCpu = std::max(MaxCpu, C);
+  T.CpuNode.assign(static_cast<size_t>(MaxCpu) + 1, 0);
+  for (uint32_t N = 0; N < T.Nodes.size(); ++N)
+    for (int C : T.Nodes[N])
+      if (C >= 0)
+        T.CpuNode[static_cast<size_t>(C)] = N;
+  return T;
+}
+
+Topology Topology::detect(bool *ProbeOk) {
+  if (ProbeOk)
+    *ProbeOk = true;
+#if defined(__linux__)
+  DIR *Dir = opendir("/sys/devices/system/node");
+  if (!Dir) {
+    // Kernels without CONFIG_NUMA expose no node directory at all; that
+    // is an honest single-node host, not a probe failure.
+    return singleNode();
+  }
+  // Collect node ids first so the layout is independent of readdir order.
+  std::vector<unsigned> NodeIds;
+  bool Ok = true;
+  while (struct dirent *Ent = readdir(Dir)) {
+    unsigned Id = 0;
+    int Consumed = 0;
+    if (std::sscanf(Ent->d_name, "node%u%n", &Id, &Consumed) == 1 &&
+        Ent->d_name[Consumed] == '\0')
+      NodeIds.push_back(Id);
+  }
+  closedir(Dir);
+  std::sort(NodeIds.begin(), NodeIds.end());
+  std::vector<std::vector<int>> NodeCpus;
+  for (unsigned Id : NodeIds) {
+    std::string Line;
+    std::vector<int> Cpus;
+    if (!readSysfsLine("/sys/devices/system/node/node" + std::to_string(Id) +
+                           "/cpulist",
+                       Line) ||
+        !parseCpuList(Line, Cpus)) {
+      Ok = false;
+      break;
+    }
+    NodeCpus.push_back(std::move(Cpus));
+  }
+  // A node directory that exists but yields no readable nodes is a
+  // broken probe, not a single-node host.
+  if (!Ok || NodeIds.empty()) {
+    if (ProbeOk)
+      *ProbeOk = false;
+    return singleNode();
+  }
+  return fromNodeCpus(std::move(NodeCpus));
+#else
+  return singleNode();
+#endif
+}
+
+const std::vector<int> &Topology::nodeCpus(uint32_t Node) const {
+  static const std::vector<int> Empty;
+  return Node < Nodes.size() ? Nodes[Node] : Empty;
+}
+
+uint32_t Topology::nodeOfCpu(int Cpu) const {
+  if (Cpu < 0 || static_cast<size_t>(Cpu) >= CpuNode.size())
+    return 0;
+  return CpuNode[static_cast<size_t>(Cpu)];
+}
+
+uint32_t Topology::nodeOfShard(uint32_t Shard, uint32_t TotalShards) const {
+  if (TotalShards == 0 || Nodes.size() <= 1)
+    return 0;
+  if (Shard >= TotalShards)
+    Shard = TotalShards - 1;
+  // Block distribution; the multiply stays in 64 bits for any sane count.
+  return static_cast<uint32_t>(static_cast<uint64_t>(Shard) * Nodes.size() /
+                               TotalShards);
+}
+
+bool pinThreadToCpus(const std::vector<int> &Cpus) {
+#if defined(__linux__)
+  if (Cpus.empty())
+    return false;
+  cpu_set_t Set;
+  CPU_ZERO(&Set);
+  bool Any = false;
+  for (int C : Cpus)
+    if (C >= 0 && C < CPU_SETSIZE) {
+      CPU_SET(C, &Set);
+      Any = true;
+    }
+  if (!Any)
+    return false;
+  return sched_setaffinity(0, sizeof(Set), &Set) == 0;
+#else
+  (void)Cpus;
+  return false;
+#endif
+}
+
+int currentCpu() {
+#if defined(__linux__)
+  return sched_getcpu();
+#else
+  return -1;
+#endif
+}
+
+} // namespace support
+} // namespace atmem

@@ -1,0 +1,110 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ATMem reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Host memory-topology detection for the NUMA-sharded drain pipeline.
+/// One probe of /sys/devices/system/node at Runtime construction yields
+/// the NUMA node list and the cpu→node map; the runtime uses it to give
+/// every SimContext shard a home node, pin the shard's kernel-pool worker
+/// to that node's cpus (so the shard's miss buffer, recycle pool, and
+/// attribution-index replica are first-touch allocated node-locally), and
+/// account cross-socket drain traffic (`numa.remote_drain_bytes`).
+///
+/// Topology is a perf hint, never a correctness input: every consumer
+/// must produce bit-identical results under any Topology value, and any
+/// probe failure (missing sysfs, parse error, injected
+/// `drain.topology_probe` fault) degrades to the single-node layout —
+/// exactly the layout every pre-topology build used.
+///
+/// The class itself has no sysfs, fault, or obs dependency on its hot
+/// paths: detection runs once, parsing is pure string work (exposed for
+/// tests), and mocks are first-class (`fromNodeCpus`) so multi-node
+/// behaviour is testable on any host.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ATMEM_SUPPORT_TOPOLOGY_H
+#define ATMEM_SUPPORT_TOPOLOGY_H
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace atmem {
+namespace support {
+
+/// Immutable snapshot of the host's NUMA layout plus the cached hardware
+/// thread count (std::thread::hardware_concurrency probed once, not per
+/// drain). Default-constructed instances are the single-node fallback.
+class Topology {
+public:
+  /// Minimal single-node layout (node 0 owning cpu 0, one hardware
+  /// thread) with no sysfs or hardware_concurrency probe; singleNode()
+  /// builds on top of this, so it must not delegate back to it.
+  Topology() : Nodes(1, std::vector<int>(1, 0)), CpuNode(1, 0) {}
+
+  /// Probes sysfs (/sys/devices/system/node/node*/cpulist). On any
+  /// failure — no sysfs, no nodes, malformed cpulist — returns
+  /// singleNode() and sets \p ProbeOk (when non-null) to false.
+  static Topology detect(bool *ProbeOk = nullptr);
+
+  /// The degraded / uniform layout: one node owning cpus
+  /// [0, HardwareThreads).
+  static Topology singleNode(uint32_t HardwareThreads = 0);
+
+  /// Mocked topology from explicit per-node cpu lists (tests). Empty
+  /// input degrades to singleNode().
+  static Topology fromNodeCpus(std::vector<std::vector<int>> NodeCpus);
+
+  uint32_t numNodes() const { return static_cast<uint32_t>(Nodes.size()); }
+  bool multiNode() const { return Nodes.size() > 1; }
+
+  /// Cached std::thread::hardware_concurrency (at least 1).
+  uint32_t hardwareThreads() const { return HostThreads; }
+
+  /// Cpus of \p Node (empty for out-of-range nodes).
+  const std::vector<int> &nodeCpus(uint32_t Node) const;
+
+  /// Node owning \p Cpu; 0 for cpus outside every node's list (hotplug
+  /// holes, mocked layouts narrower than the host).
+  uint32_t nodeOfCpu(int Cpu) const;
+
+  /// Home node of shard \p Shard out of \p TotalShards: shards are
+  /// block-distributed (shards 0..k-1 on node 0, the next k on node 1,
+  /// ...) so neighbouring shards — which the kernel pool fills together —
+  /// share a socket.
+  uint32_t nodeOfShard(uint32_t Shard, uint32_t TotalShards) const;
+
+  /// Parses a sysfs cpulist ("0-3,8,10-11") into sorted cpu ids. Returns
+  /// false (leaving \p Out unspecified) on malformed input. Exposed for
+  /// tests; detect() builds nodes from exactly this.
+  static bool parseCpuList(std::string_view Text, std::vector<int> &Out);
+
+private:
+  /// Cpus per node, node ids dense in [0, numNodes()).
+  std::vector<std::vector<int>> Nodes;
+  /// Cpu id -> node id (index = cpu; sized to the max listed cpu).
+  std::vector<uint32_t> CpuNode;
+  uint32_t HostThreads = 1;
+};
+
+/// Best-effort affinity pin of the calling thread to \p Cpus (Linux
+/// sched_setaffinity). Returns false — without side effects — when the
+/// set is empty, the platform has no affinity API, or the kernel rejects
+/// the mask (mocked topologies name cpus the host lacks); callers treat
+/// pinning as a locality hint, never a requirement.
+bool pinThreadToCpus(const std::vector<int> &Cpus);
+
+/// The cpu the calling thread is currently running on (Linux
+/// sched_getcpu), or -1 where unavailable. Paired with
+/// Topology::nodeOfCpu for drain-locality accounting; -1 maps to node 0.
+int currentCpu();
+
+} // namespace support
+} // namespace atmem
+
+#endif // ATMEM_SUPPORT_TOPOLOGY_H
