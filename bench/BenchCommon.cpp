@@ -4,6 +4,7 @@
 #include "fault/FaultInjection.h"
 #include "obs/DecisionLog.h"
 #include "obs/Export.h"
+#include "obs/TimeSeries.h"
 #include "support/BuildInfo.h"
 #include "support/Statistics.h"
 #include "support/StringUtils.h"
@@ -44,6 +45,17 @@ void bench::addCommonOptions(OptionParser &Parser) {
   Parser.addString("decision-log", "",
                    "record every placement decision across the batch to this "
                    "binary flight-recorder file; inspect with atmem_explain");
+  Parser.addString("timeseries-out", "",
+                   "write per-epoch gauge snapshots of the whole batch as "
+                   "atmem-timeseries-v1 JSONL (each job's epochs restart "
+                   "at 1; validate with atmem_obs_check --timeseries)");
+  Parser.addString("health-log", "",
+                   "arm the online health monitor in every job and append "
+                   "events as atmem-health-v1 JSONL to this path (triage "
+                   "with atmem_doctor)");
+  Parser.addString("health-knobs", "",
+                   "detector tuning overrides for --health-log, "
+                   "comma-separated knob=value");
   Parser.addString("fault-spec", "", fault::faultSpecHelp());
 }
 
@@ -60,6 +72,17 @@ bool bench::readCommonOptions(const OptionParser &Parser, BenchOptions &Out) {
   Out.Telemetry.MetricsPath = Parser.getString("metrics-out");
   Out.Telemetry.TracePath = Parser.getString("trace-out");
   Out.Telemetry.DecisionLogPath = Parser.getString("decision-log");
+  Out.Telemetry.TimeSeriesPath = Parser.getString("timeseries-out");
+  Out.Telemetry.HealthLogPath = Parser.getString("health-log");
+  if (std::string Knobs = Parser.getString("health-knobs");
+      !Knobs.empty()) {
+    std::string KnobError;
+    if (!obs::parseHealthKnobs(Knobs, Out.Telemetry.Health, &KnobError)) {
+      std::fprintf(stderr, "error: bad --health-knobs: %s\n",
+                   KnobError.c_str());
+      return false;
+    }
+  }
   Out.Telemetry.Enabled = Out.Telemetry.anyOutput();
   if (Out.Telemetry.Enabled)
     obs::setEnabled(true);
@@ -73,6 +96,19 @@ bool bench::readCommonOptions(const OptionParser &Parser, BenchOptions &Out) {
       std::fprintf(stderr, "error: decision log: %s\n", LogError.c_str());
       return false;
     }
+  }
+  // Same pattern for the per-epoch series and the health layer: arm the
+  // process-wide stores here so every job's runtime records into them.
+  if (!Out.Telemetry.TimeSeriesPath.empty())
+    obs::TimeSeries::instance().setEnabled(true);
+  if (!Out.Telemetry.HealthLogPath.empty()) {
+    std::string LogError;
+    if (!obs::HealthLog::instance().open(Out.Telemetry.HealthLogPath,
+                                         &LogError)) {
+      std::fprintf(stderr, "error: health log: %s\n", LogError.c_str());
+      return false;
+    }
+    obs::setHealthDefaultEnabled(true, Out.Telemetry.Health);
   }
 
   if (std::string SpecError; !fault::armFromEnvironment(&SpecError)) {

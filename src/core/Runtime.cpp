@@ -15,7 +15,9 @@
 #include <cassert>
 #include <chrono>
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
+#include <mutex>
 #include <thread>
 
 using namespace atmem;
@@ -307,6 +309,22 @@ Runtime::Runtime(RuntimeConfig ConfigIn)
       !Config.Telemetry.OpenMetricsPath.empty() ||
       !Config.Telemetry.StatsSocketPath.empty())
     obs::TimeSeries::instance().setEnabled(true);
+  if (!Config.Telemetry.HealthLogPath.empty()) {
+    // Same first-opener-wins process-wide stream as the decision log.
+    std::string Error;
+    if (!obs::HealthLog::instance().open(Config.Telemetry.HealthLogPath,
+                                         &Error))
+      logError("health log: %s", Error.c_str());
+  }
+  if (Config.Telemetry.HealthEnabled ||
+      !Config.Telemetry.HealthLogPath.empty()) {
+    HealthMon = std::make_unique<obs::HealthMonitor>(Config.Telemetry.Health);
+  } else if (obs::healthDefaultEnabled()) {
+    // Bench jobs construct runtimes without the batch TelemetryConfig;
+    // the batch driver arms a process-wide default instead.
+    HealthMon =
+        std::make_unique<obs::HealthMonitor>(obs::healthDefaultConfig());
+  }
   if (!Config.Telemetry.StatsSocketPath.empty()) {
     updatePlacementJson();
     StatsServer = std::make_unique<obs::StatsServer>();
@@ -373,13 +391,20 @@ mem::MigrationResult Runtime::optimize() {
 
   // Epoch bookkeeping for the time-series sample built at the bottom.
   // Wall-clock is only read when somebody consumes it, so a runtime with
-  // no time-series/socket output takes exactly the old path.
+  // no time-series/socket/health output takes exactly the old path.
   const bool TsEnabled = obs::TimeSeries::instance().enabled();
+  const bool NeedWall = TsEnabled || HealthMon != nullptr;
   const uint64_t RollbacksBefore = EpochRollbacks;
   EpochRetries = 0;
   std::chrono::steady_clock::time_point WallStart;
-  if (TsEnabled)
+  double IterWallUs = 0.0;
+  if (NeedWall) {
     WallStart = std::chrono::steady_clock::now();
+    if (HaveLastEpochWall)
+      IterWallUs = std::chrono::duration<double, std::micro>(
+                       WallStart - LastEpochWallEnd)
+                       .count();
+  }
 
   obs::SpanScope OptimizeSpan("runtime.optimize", "runtime");
 
@@ -539,21 +564,25 @@ mem::MigrationResult Runtime::optimize() {
   OptimizeSpan.arg("bytes_moved", static_cast<double>(Result.BytesMoved))
       .arg("ranges", static_cast<double>(Result.Ranges))
       .arg("sim_sec", Result.SimSeconds);
-  if (TsEnabled || StatsServer) {
+  if (TsEnabled || StatsServer || HealthMon) {
     double WallUs = 0.0;
-    if (TsEnabled)
-      WallUs = std::chrono::duration<double, std::micro>(
-                   std::chrono::steady_clock::now() - WallStart)
+    if (NeedWall) {
+      LastEpochWallEnd = std::chrono::steady_clock::now();
+      HaveLastEpochWall = true;
+      WallUs = std::chrono::duration<double, std::micro>(LastEpochWallEnd -
+                                                         WallStart)
                    .count();
-    captureEpochSample(Result, RollbacksBefore, WallUs);
+    }
+    captureEpochSample(Result, RollbacksBefore, WallUs, IterWallUs);
   }
   return Result;
 }
 
 void Runtime::captureEpochSample(const mem::MigrationResult &Result,
-                                 uint64_t RollbacksBefore, double WallUs) {
+                                 uint64_t RollbacksBefore, double WallUs,
+                                 double IterWallUs) {
   ++OptimizeEpochs;
-  if (obs::TimeSeries::instance().enabled()) {
+  if (obs::TimeSeries::instance().enabled() || HealthMon) {
     obs::EpochSample S;
     S.Epoch = OptimizeEpochs;
     S.Accesses = Stats.Accesses;
@@ -582,10 +611,63 @@ void Runtime::captureEpochSample(const mem::MigrationResult &Result,
     TsPrevOverlap = LkStats.OverlappedSimSec;
     S.FastDataRatio = fastDataRatio();
     S.OptimizeWallUs = WallUs;
-    obs::TimeSeries::instance().record(S);
+    S.IterationWallUs = IterWallUs;
+    if (obs::TimeSeries::instance().enabled())
+      obs::TimeSeries::instance().record(S);
+    if (HealthMon) {
+      std::vector<obs::HealthEvent> Events = HealthMon->observeEpoch(S);
+      obs::HealthLog &Log = obs::HealthLog::instance();
+      for (const obs::HealthEvent &E : Events) {
+        if (Log.isOpen())
+          Log.append(E);
+        if (obs::enabled()) {
+          // Registered lazily inside the health-gated path, so runs with
+          // health disabled export byte-identical metrics JSON.
+          static obs::Counter Info("health.events_info");
+          static obs::Counter Warn("health.events_warn");
+          static obs::Counter Critical("health.events_critical");
+          switch (E.Severity) {
+          case obs::HealthSeverity::Info:
+            Info.add(1);
+            break;
+          case obs::HealthSeverity::Warn:
+            Warn.add(1);
+            break;
+          case obs::HealthSeverity::Critical:
+            Critical.add(1);
+            break;
+          }
+        }
+      }
+      if (obs::enabled()) {
+        // Per-run SLO verdicts: the worst status each detector ever
+        // reached (0 green / 1 yellow / 2 red), monotone via gaugeMax.
+        obs::HealthMonitor::Snapshot Snap = HealthMon->snapshot();
+        for (uint32_t D = 0; D < obs::NumHealthDetectors; ++D) {
+          static std::once_flag NamesOnce;
+          static std::vector<obs::Gauge> *SloGauges;
+          std::call_once(NamesOnce, [] {
+            SloGauges = new std::vector<obs::Gauge>();
+            for (uint32_t I = 0; I < obs::NumHealthDetectors; ++I)
+              SloGauges->emplace_back(
+                  std::string("health.slo.") +
+                  obs::healthDetectorName(
+                      static_cast<obs::HealthDetector>(I)));
+          });
+          (*SloGauges)[D].max(
+              static_cast<double>(Snap.Detectors[D].Worst));
+        }
+      }
+    }
   }
   if (StatsServer)
     updatePlacementJson();
+}
+
+void Runtime::noteHealthMigration(uint64_t Object, uint32_t FirstChunk,
+                                  uint32_t NumChunks, bool ToFast) {
+  if (HealthMon)
+    HealthMon->noteMigration(Object, FirstChunk, NumChunks, ToFast);
 }
 
 void Runtime::updatePlacementJson() {
@@ -660,6 +742,43 @@ std::string Runtime::statsSnapshotJson() {
                   S.OptimizeWallUs);
     Out += Buf;
   }
+  if (HealthMon) {
+    // Live detector panel. The section is present only when the monitor
+    // is armed, so the served schema is unchanged for existing clients.
+    obs::HealthMonitor::Snapshot Snap = HealthMon->snapshot();
+    std::snprintf(Buf, sizeof(Buf),
+                  "  \"health\": {\"overall\": \"%s\", \"worst\": \"%s\", "
+                  "\"events\": {\"info\": %" PRIu64 ", \"warn\": %" PRIu64
+                  ", \"critical\": %" PRIu64 "}, \"detectors\": [",
+                  obs::sloStatusName(Snap.Overall),
+                  obs::sloStatusName(Snap.WorstOverall), Snap.EventsInfo,
+                  Snap.EventsWarn, Snap.EventsCritical);
+    Out += Buf;
+    for (uint32_t D = 0; D < obs::NumHealthDetectors; ++D) {
+      const auto &Det = Snap.Detectors[D];
+      std::string Detail;
+      for (char C : Det.Detail) {
+        if (C == '"' || C == '\\')
+          Detail += '\\';
+        if (static_cast<unsigned char>(C) >= 0x20)
+          Detail += C;
+      }
+      std::snprintf(
+          Buf, sizeof(Buf),
+          "%s{\"name\": \"%s\", \"status\": \"%s\", \"worst\": \"%s\", "
+          "\"events\": %" PRIu64 ", \"last_epoch\": %" PRIu64
+          ", \"value\": %.6f, \"detail\": \"",
+          D == 0 ? "" : ", ",
+          obs::healthDetectorName(static_cast<obs::HealthDetector>(D)),
+          obs::sloStatusName(Det.Status), obs::sloStatusName(Det.Worst),
+          Det.Events, Det.LastEventEpoch,
+          std::isfinite(Det.Value) ? Det.Value : 0.0);
+      Out += Buf;
+      Out += Detail;
+      Out += "\"}";
+    }
+    Out += "]},\n";
+  }
   Out += "  \"metrics\":\n";
   Out += obs::metricsJson(obs::Registry::instance().snapshot(), "  ");
   Out += ",\n  \"placement\": ";
@@ -701,6 +820,12 @@ void Runtime::demoteUnselected(mem::Migrator &Mig,
     std::vector<mem::ChunkRange> Pending = std::move(Demotions);
     recordDecisionEvents(*Obj, Pending, sim::TierId::Slow,
                          obs::DecisionPhase::Planned, nullptr);
+    // The ping-pong detector needs what actually moved, recomputed from
+    // chunk tiers after the retry loop settles (all of Orig started on
+    // the fast tier, so whatever now sits on slow was demoted here).
+    std::vector<mem::ChunkRange> HealthOrig;
+    if (HealthMon)
+      HealthOrig = Pending;
     uint32_t Retries = 0;
     for (;;) {
       mem::MigrationStatus Status =
@@ -730,6 +855,11 @@ void Runtime::demoteUnselected(mem::Migrator &Mig,
                Obj->name().c_str());
       break;
     }
+    if (HealthMon)
+      for (const mem::ChunkRange &Moved :
+           remainingOnSource(*Obj, HealthOrig, sim::TierId::Slow))
+        noteHealthMigration(Obj->id(), Moved.FirstChunk, Moved.NumChunks,
+                            /*ToFast=*/false);
   }
 }
 
@@ -741,6 +871,20 @@ void Runtime::promoteWithRecovery(mem::Migrator &Mig, mem::DataObject &Obj,
   bool Shrunk = false;
   recordDecisionEvents(Obj, Pending, sim::TierId::Fast,
                        obs::DecisionPhase::Planned, Priorities);
+  // What the ping-pong detector sees is the promotion that actually
+  // landed: recomputed from chunk tiers at every exit (all of Orig
+  // started on the slow tier, so whatever now sits on fast moved here).
+  std::vector<mem::ChunkRange> HealthOrig;
+  if (HealthMon)
+    HealthOrig = Pending;
+  auto NoteMoved = [&] {
+    if (!HealthMon)
+      return;
+    for (const mem::ChunkRange &Moved :
+         remainingOnSource(Obj, HealthOrig, sim::TierId::Fast))
+      noteHealthMigration(Obj.id(), Moved.FirstChunk, Moved.NumChunks,
+                          /*ToFast=*/true);
+  };
   // Ranges dropped by a capacity shrink, reported together with whatever
   // the final attempt leaves behind.
   std::vector<mem::ChunkRange> Abandoned;
@@ -750,6 +894,7 @@ void Runtime::promoteWithRecovery(mem::Migrator &Mig, mem::DataObject &Obj,
     if (Status == mem::MigrationStatus::Retryable)
       ++EpochRollbacks; // A Retryable status means a range rolled back.
     if (Status == mem::MigrationStatus::Success) {
+      NoteMoved();
       if (Abandoned.empty())
         return;
       recordSkipped(Obj, Abandoned, sim::TierId::Fast, Priorities);
@@ -798,6 +943,7 @@ void Runtime::promoteWithRecovery(mem::Migrator &Mig, mem::DataObject &Obj,
     else
       logError("migration of object '%s' hit fast-tier capacity",
                Obj.name().c_str());
+    NoteMoved();
     return;
   }
 }
@@ -1286,6 +1432,8 @@ void Runtime::resolveStagedAhead(mem::MigrationResult &Result) {
     if (Status == mem::MigrationStatus::Success) {
       ++LkStats.CommittedRanges;
       LkStats.OverlappedSimSec += Staged.OverlappedSimSec;
+      noteHealthMigration(Staged.Object, Staged.Range.FirstChunk,
+                          Staged.Range.NumChunks, /*ToFast=*/true);
     } else {
       // The failed commit already cancelled itself (staging released,
       // placement untouched); the chunks stay eligible for the demand

@@ -35,6 +35,7 @@
 #include "sim/TranslationCache.h"
 #include "support/Topology.h"
 
+#include <chrono>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -544,12 +545,27 @@ private:
   /// structures concurrently with a migration.
   std::mutex StatsMutex;
   std::string PlacementJson;
+  /// Online health monitor (null unless --health / --health-log or the
+  /// process-wide default armed it). Every epoch-cadence call site pays
+  /// one pointer null check when disabled; the access hot path pays
+  /// nothing.
+  std::unique_ptr<obs::HealthMonitor> HealthMon;
+  /// Wall clock of the previous epoch boundary, for the IterationWallUs
+  /// budget denominator (valid once HaveLastEpochWall).
+  std::chrono::steady_clock::time_point LastEpochWallEnd;
+  bool HaveLastEpochWall = false;
   /// @}
 
-  /// Captures this epoch's time-series sample and refreshes the stats
-  /// snapshot (no-ops when neither sink is configured).
+  /// Captures this epoch's time-series sample, feeds the health monitor,
+  /// and refreshes the stats snapshot (no-ops when no sink is configured).
   void captureEpochSample(const mem::MigrationResult &Result,
-                          uint64_t RollbacksBefore, double WallUs);
+                          uint64_t RollbacksBefore, double WallUs,
+                          double IterWallUs);
+  /// Reports the chunks \p Moved actually placed on \p ToFast's tier to
+  /// the health monitor's ping-pong tracker (no-op when HealthMon is
+  /// null).
+  void noteHealthMigration(uint64_t Object, uint32_t FirstChunk,
+                           uint32_t NumChunks, bool ToFast);
   /// Rebuilds PlacementJson from the live registry (epoch boundary only).
   void updatePlacementJson();
   /// Renders the document served to each stats-socket connection.

@@ -1,6 +1,7 @@
 #include "obs/Export.h"
 
 #include "obs/DecisionLog.h"
+#include "obs/Health.h"
 #include "obs/TimeSeries.h"
 #include "obs/Trace.h"
 
@@ -241,5 +242,9 @@ bool obs::exportIfConfigured(const TelemetryConfig &Config) {
     Ok = writeTimeSeriesJsonl(Config.TimeSeriesPath) && Ok;
   if (!Config.OpenMetricsPath.empty())
     Ok = writeTimeSeriesOpenMetrics(Config.OpenMetricsPath) && Ok;
+  // The health log streams during the run like the decision log; export
+  // is finalization. A no-op when no log was ever opened.
+  if (!Config.HealthLogPath.empty())
+    Ok = HealthLog::instance().close() && Ok;
   return Ok;
 }

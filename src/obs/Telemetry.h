@@ -25,6 +25,8 @@
 #ifndef ATMEM_OBS_TELEMETRY_H
 #define ATMEM_OBS_TELEMETRY_H
 
+#include "obs/Health.h"
+
 #include <atomic>
 #include <cstdint>
 #include <string>
@@ -225,13 +227,22 @@ struct TelemetryConfig {
   std::string OpenMetricsPath;
   /// UNIX-domain stats socket path ("" = no live endpoint).
   std::string StatsSocketPath;
+  /// Health event JSONL path ("" = no file). Opening it (first-opener-wins
+  /// process-wide, like the decision log) also arms the live monitor;
+  /// exportIfConfigured() closes the log.
+  std::string HealthLogPath;
+  /// Arms the live health monitor without an event log (detector states
+  /// still reach the metrics export and the stats-socket health panel).
+  bool HealthEnabled = false;
+  /// Detector tuning knobs for the monitor above.
+  HealthConfig Health;
 
   /// Enabled if any output is requested.
   bool anyOutput() const {
     return !MetricsPath.empty() || !TracePath.empty() ||
            !DecisionLogPath.empty() || !DecisionLogRingPath.empty() ||
            !TimeSeriesPath.empty() || !OpenMetricsPath.empty() ||
-           !StatsSocketPath.empty();
+           !StatsSocketPath.empty() || !HealthLogPath.empty();
   }
 };
 

@@ -12,8 +12,11 @@
 
 #include "obs/TimeSeries.h"
 
+#include "obs/Json.h"
+
 #include <atomic>
 #include <cinttypes>
+#include <cmath>
 #include <cstdarg>
 #include <cstdio>
 #include <mutex>
@@ -74,7 +77,13 @@ void appendf(std::string &Out, const char *Fmt, ...) {
 }
 
 /// %.17g round-trips doubles exactly; integers print without exponent.
+/// Non-finite values serialize as 0 — a ratio field poisoned by an inf/nan
+/// intermediate must not produce invalid JSON or OpenMetrics text.
 void appendDouble(std::string &Out, double Value) {
+  if (!std::isfinite(Value)) {
+    Out += '0';
+    return;
+  }
   appendf(Out, "%.17g", Value);
 }
 
@@ -125,7 +134,91 @@ std::string timeSeriesJsonl(const std::vector<EpochSample> &Samples) {
     appendDouble(Out, S.FastDataRatio);
     Out += ",\"optimize_wall_us\":";
     appendDouble(Out, S.OptimizeWallUs);
+    Out += ",\"iteration_wall_us\":";
+    appendDouble(Out, S.IterationWallUs);
     Out += "}\n";
+  }
+  return Out;
+}
+
+bool parseTimeSeriesJsonl(const std::string &Text,
+                          std::vector<EpochSample> &Out, std::string *Error) {
+  auto Fail = [&](const std::string &Message) {
+    if (Error)
+      *Error = Message;
+    return false;
+  };
+  size_t Pos = 0;
+  size_t LineNo = 0;
+  bool SawHeader = false;
+  while (Pos < Text.size()) {
+    size_t End = Text.find('\n', Pos);
+    if (End == std::string::npos)
+      End = Text.size();
+    std::string Line = Text.substr(Pos, End - Pos);
+    Pos = End + 1;
+    ++LineNo;
+    if (Line.empty())
+      continue;
+    JsonValue Doc;
+    std::string ParseError;
+    if (!parseJson(Line, Doc, &ParseError))
+      return Fail("line " + std::to_string(LineNo) + ": " + ParseError);
+    if (!SawHeader) {
+      const JsonValue *Schema = Doc.findString("schema");
+      if (!Schema || Schema->StringVal != "atmem-timeseries-v1")
+        return Fail("line 1 is not an atmem-timeseries-v1 schema header");
+      SawHeader = true;
+      continue;
+    }
+    auto Num = [&](const char *Key) {
+      const JsonValue *V = Doc.findNumber(Key);
+      return V ? V->NumberVal : 0.0;
+    };
+    auto U64 = [&](const char *Key) {
+      return static_cast<uint64_t>(Num(Key));
+    };
+    if (!Doc.findNumber("epoch"))
+      return Fail("line " + std::to_string(LineNo) + " lacks \"epoch\"");
+    EpochSample S;
+    S.Epoch = U64("epoch");
+    S.Accesses = U64("accesses");
+    S.MissesFast = U64("misses_fast");
+    S.MissesSlow = U64("misses_slow");
+    S.SlowMissFraction = Num("slow_miss_fraction");
+    S.DrainMissesPerSec = Num("drain_misses_per_sec");
+    S.MigrationBytes = U64("migration_bytes");
+    S.MigrationRanges = U64("migration_ranges");
+    S.Retries = U64("retries");
+    S.Rollbacks = U64("rollbacks");
+    S.MigrateSimSec = Num("migrate_sim_sec");
+    S.LookaheadStaged = U64("lookahead_staged");
+    S.LookaheadCancelled = U64("lookahead_cancelled");
+    S.LookaheadOverlapSec = Num("lookahead_overlap_sec");
+    S.FastDataRatio = Num("fast_data_ratio");
+    S.OptimizeWallUs = Num("optimize_wall_us");
+    S.IterationWallUs = Num("iteration_wall_us");
+    Out.push_back(S);
+  }
+  if (!SawHeader)
+    return Fail("empty document (no schema header)");
+  return true;
+}
+
+std::string openMetricsEscapeLabel(const std::string &Value) {
+  // The exposition format's label escapes: backslash, double quote, and
+  // line feed; everything else passes through byte-for-byte.
+  std::string Out;
+  Out.reserve(Value.size());
+  for (char C : Value) {
+    if (C == '\\')
+      Out += "\\\\";
+    else if (C == '"')
+      Out += "\\\"";
+    else if (C == '\n')
+      Out += "\\n";
+    else
+      Out += C;
   }
   return Out;
 }
@@ -133,13 +226,19 @@ std::string timeSeriesJsonl(const std::vector<EpochSample> &Samples) {
 namespace {
 
 /// One OpenMetrics gauge family: a TYPE line, then one labelled sample
-/// per epoch produced by \p Value.
+/// per epoch produced by \p Value. \p RunLabel is pre-escaped ("" = no
+/// run label).
 template <typename Fn>
 void emitFamily(std::string &Out, const char *Name,
-                const std::vector<EpochSample> &Samples, Fn Value) {
+                const std::vector<EpochSample> &Samples,
+                const std::string &RunLabel, Fn Value) {
   appendf(Out, "# TYPE %s gauge\n", Name);
   for (const EpochSample &S : Samples) {
-    appendf(Out, "%s{epoch=\"%" PRIu64 "\"} ", Name, S.Epoch);
+    if (RunLabel.empty())
+      appendf(Out, "%s{epoch=\"%" PRIu64 "\"} ", Name, S.Epoch);
+    else
+      appendf(Out, "%s{run=\"%s\",epoch=\"%" PRIu64 "\"} ", Name,
+              RunLabel.c_str(), S.Epoch);
     appendDouble(Out, Value(S));
     Out += "\n";
   }
@@ -147,39 +246,43 @@ void emitFamily(std::string &Out, const char *Name,
 
 } // namespace
 
-std::string timeSeriesOpenMetrics(const std::vector<EpochSample> &Samples) {
+std::string timeSeriesOpenMetrics(const std::vector<EpochSample> &Samples,
+                                  const std::string &RunLabel) {
   std::string Out;
+  std::string Run = openMetricsEscapeLabel(RunLabel);
   auto U = [](uint64_t V) { return static_cast<double>(V); };
-  emitFamily(Out, "atmem_epoch_accesses", Samples,
+  emitFamily(Out, "atmem_epoch_accesses", Samples, Run,
              [&](const EpochSample &S) { return U(S.Accesses); });
-  emitFamily(Out, "atmem_epoch_misses_fast", Samples,
+  emitFamily(Out, "atmem_epoch_misses_fast", Samples, Run,
              [&](const EpochSample &S) { return U(S.MissesFast); });
-  emitFamily(Out, "atmem_epoch_misses_slow", Samples,
+  emitFamily(Out, "atmem_epoch_misses_slow", Samples, Run,
              [&](const EpochSample &S) { return U(S.MissesSlow); });
-  emitFamily(Out, "atmem_epoch_slow_miss_fraction", Samples,
+  emitFamily(Out, "atmem_epoch_slow_miss_fraction", Samples, Run,
              [](const EpochSample &S) { return S.SlowMissFraction; });
-  emitFamily(Out, "atmem_epoch_drain_misses_per_sec", Samples,
+  emitFamily(Out, "atmem_epoch_drain_misses_per_sec", Samples, Run,
              [](const EpochSample &S) { return S.DrainMissesPerSec; });
-  emitFamily(Out, "atmem_epoch_migration_bytes", Samples,
+  emitFamily(Out, "atmem_epoch_migration_bytes", Samples, Run,
              [&](const EpochSample &S) { return U(S.MigrationBytes); });
-  emitFamily(Out, "atmem_epoch_migration_ranges", Samples,
+  emitFamily(Out, "atmem_epoch_migration_ranges", Samples, Run,
              [&](const EpochSample &S) { return U(S.MigrationRanges); });
-  emitFamily(Out, "atmem_epoch_migration_retries", Samples,
+  emitFamily(Out, "atmem_epoch_migration_retries", Samples, Run,
              [&](const EpochSample &S) { return U(S.Retries); });
-  emitFamily(Out, "atmem_epoch_migration_rollbacks", Samples,
+  emitFamily(Out, "atmem_epoch_migration_rollbacks", Samples, Run,
              [&](const EpochSample &S) { return U(S.Rollbacks); });
-  emitFamily(Out, "atmem_epoch_migrate_sim_sec", Samples,
+  emitFamily(Out, "atmem_epoch_migrate_sim_sec", Samples, Run,
              [](const EpochSample &S) { return S.MigrateSimSec; });
-  emitFamily(Out, "atmem_epoch_lookahead_staged", Samples,
+  emitFamily(Out, "atmem_epoch_lookahead_staged", Samples, Run,
              [&](const EpochSample &S) { return U(S.LookaheadStaged); });
-  emitFamily(Out, "atmem_epoch_lookahead_cancelled", Samples,
+  emitFamily(Out, "atmem_epoch_lookahead_cancelled", Samples, Run,
              [&](const EpochSample &S) { return U(S.LookaheadCancelled); });
-  emitFamily(Out, "atmem_epoch_lookahead_overlap_sec", Samples,
+  emitFamily(Out, "atmem_epoch_lookahead_overlap_sec", Samples, Run,
              [](const EpochSample &S) { return S.LookaheadOverlapSec; });
-  emitFamily(Out, "atmem_epoch_fast_data_ratio", Samples,
+  emitFamily(Out, "atmem_epoch_fast_data_ratio", Samples, Run,
              [](const EpochSample &S) { return S.FastDataRatio; });
-  emitFamily(Out, "atmem_epoch_optimize_wall_us", Samples,
+  emitFamily(Out, "atmem_epoch_optimize_wall_us", Samples, Run,
              [](const EpochSample &S) { return S.OptimizeWallUs; });
+  emitFamily(Out, "atmem_epoch_iteration_wall_us", Samples, Run,
+             [](const EpochSample &S) { return S.IterationWallUs; });
   Out += "# EOF\n";
   return Out;
 }

@@ -70,6 +70,10 @@ struct EpochSample {
   /// Wall-clock microseconds optimize() itself spent — the observability
   /// and decision overhead this subsystem is meant to keep honest.
   double OptimizeWallUs = 0.0;
+  /// Wall-clock microseconds between the previous epoch boundary and this
+  /// optimize() call — the application compute the overhead above is
+  /// budgeted against. 0 for the first epoch (no previous boundary).
+  double IterationWallUs = 0.0;
 };
 
 /// Process-wide sample store, shared by every Runtime like the metric
@@ -95,13 +99,29 @@ private:
 };
 
 /// Serializes \p Samples as JSONL: one "atmem-timeseries-v1" header line,
-/// then one compact JSON object per epoch in capture order.
+/// then one compact JSON object per epoch in capture order. Non-finite
+/// ratio fields serialize as 0 so the output is always valid JSON.
 std::string timeSeriesJsonl(const std::vector<EpochSample> &Samples);
 
 /// Serializes \p Samples as OpenMetrics text (gauge families named
 /// atmem_epoch_*, one sample per epoch labelled {epoch="N"}, terminated
-/// by "# EOF").
-std::string timeSeriesOpenMetrics(const std::vector<EpochSample> &Samples);
+/// by "# EOF"). A non-empty \p RunLabel adds a run="..." label to every
+/// sample (escaped per the OpenMetrics exposition rules).
+std::string timeSeriesOpenMetrics(const std::vector<EpochSample> &Samples,
+                                  const std::string &RunLabel = "");
+
+/// Escapes \p Value for use inside an OpenMetrics label string
+/// (backslash, double quote, and newline get backslash escapes).
+std::string openMetricsEscapeLabel(const std::string &Value);
+
+/// Parses an "atmem-timeseries-v1" JSONL document back into samples
+/// (tools/atmem_doctor and atmem_obs_check --timeseries). Fields absent
+/// from a line default to 0, so logs from before a field was added still
+/// load. False (with \p Error) on a malformed header or line; \p Out then
+/// holds the samples parsed before the failure.
+bool parseTimeSeriesJsonl(const std::string &Text,
+                          std::vector<EpochSample> &Out,
+                          std::string *Error = nullptr);
 
 /// \name File writers (false on I/O failure)
 /// @{

@@ -16,6 +16,7 @@
 #include <gtest/gtest.h>
 
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -178,6 +179,111 @@ TEST_F(TimeSeriesTest, OpenMetricsLabelsEveryEpochAndTerminates) {
   // The OpenMetrics spec requires the EOF marker as the last line.
   ASSERT_GE(Text.size(), 6u);
   EXPECT_EQ(Text.substr(Text.size() - 6), "# EOF\n");
+}
+
+//===----------------------------------------------------------------------===//
+// Serializer edge cases
+//===----------------------------------------------------------------------===//
+
+TEST_F(TimeSeriesTest, EmptySeriesSerializesAndParses) {
+  std::string Jsonl = timeSeriesJsonl({});
+  std::vector<std::string> Lines = splitLines(Jsonl);
+  ASSERT_EQ(Lines.size(), 1u); // Header only.
+  EXPECT_NE(Lines[0].find("\"epochs\":0"), std::string::npos);
+
+  std::vector<EpochSample> Parsed;
+  std::string Error;
+  ASSERT_TRUE(parseTimeSeriesJsonl(Jsonl, Parsed, &Error)) << Error;
+  EXPECT_TRUE(Parsed.empty());
+
+  // Every family still emits its TYPE line, and the terminator stands.
+  std::string Om = timeSeriesOpenMetrics({});
+  EXPECT_NE(Om.find("# TYPE atmem_epoch_accesses gauge\n"),
+            std::string::npos);
+  EXPECT_EQ(Om.substr(Om.size() - 6), "# EOF\n");
+}
+
+TEST_F(TimeSeriesTest, SingleEpochRoundTrips) {
+  std::vector<EpochSample> Parsed;
+  std::string Error;
+  ASSERT_TRUE(
+      parseTimeSeriesJsonl(timeSeriesJsonl({sampleOne()}), Parsed, &Error))
+      << Error;
+  ASSERT_EQ(Parsed.size(), 1u);
+  EXPECT_EQ(Parsed[0].Epoch, 1u);
+  EXPECT_EQ(Parsed[0].Accesses, 1000u);
+  EXPECT_DOUBLE_EQ(Parsed[0].SlowMissFraction, 0.75);
+  EXPECT_DOUBLE_EQ(Parsed[0].OptimizeWallUs, 842.0);
+}
+
+TEST_F(TimeSeriesTest, NonFiniteRatioFieldsSerializeAsZero) {
+  EpochSample S = sampleOne();
+  S.SlowMissFraction = std::numeric_limits<double>::quiet_NaN();
+  S.DrainMissesPerSec = std::numeric_limits<double>::infinity();
+  S.FastDataRatio = -std::numeric_limits<double>::infinity();
+
+  std::vector<std::string> Lines = splitLines(timeSeriesJsonl({S}));
+  ASSERT_EQ(Lines.size(), 2u);
+  JsonValue Doc;
+  std::string Error;
+  ASSERT_TRUE(parseJson(Lines[1], Doc, &Error)) << Error;
+  EXPECT_DOUBLE_EQ(number(Doc, "slow_miss_fraction"), 0.0);
+  EXPECT_DOUBLE_EQ(number(Doc, "drain_misses_per_sec"), 0.0);
+  EXPECT_DOUBLE_EQ(number(Doc, "fast_data_ratio"), 0.0);
+
+  // The OpenMetrics exposition must stay numeric too — no "nan"/"inf".
+  std::string Om = timeSeriesOpenMetrics({S});
+  EXPECT_EQ(Om.find("nan"), std::string::npos);
+  EXPECT_EQ(Om.find("inf"), std::string::npos);
+  EXPECT_NE(Om.find("atmem_epoch_slow_miss_fraction{epoch=\"1\"} 0\n"),
+            std::string::npos);
+}
+
+TEST_F(TimeSeriesTest, IterationWallUsSerializesAndDefaultsWhenAbsent) {
+  EpochSample S = sampleOne();
+  S.IterationWallUs = 1234.5;
+  std::vector<EpochSample> Parsed;
+  std::string Error;
+  ASSERT_TRUE(parseTimeSeriesJsonl(timeSeriesJsonl({S}), Parsed, &Error))
+      << Error;
+  ASSERT_EQ(Parsed.size(), 1u);
+  EXPECT_DOUBLE_EQ(Parsed[0].IterationWallUs, 1234.5);
+
+  // Logs written before the field existed still load, defaulting to 0.
+  std::string Old = "{\"schema\":\"atmem-timeseries-v1\",\"epochs\":1}\n"
+                    "{\"epoch\":1,\"accesses\":10}\n";
+  Parsed.clear();
+  ASSERT_TRUE(parseTimeSeriesJsonl(Old, Parsed, &Error)) << Error;
+  ASSERT_EQ(Parsed.size(), 1u);
+  EXPECT_DOUBLE_EQ(Parsed[0].IterationWallUs, 0.0);
+  EXPECT_EQ(Parsed[0].Accesses, 10u);
+}
+
+TEST_F(TimeSeriesTest, ParseRejectsMissingHeaderAndBadLines) {
+  std::vector<EpochSample> Parsed;
+  std::string Error;
+  EXPECT_FALSE(parseTimeSeriesJsonl("", Parsed, &Error));
+  EXPECT_FALSE(
+      parseTimeSeriesJsonl("{\"epoch\":1}\n", Parsed, &Error));
+  EXPECT_FALSE(parseTimeSeriesJsonl(
+      "{\"schema\":\"atmem-timeseries-v1\",\"epochs\":1}\nnot json\n",
+      Parsed, &Error));
+  EXPECT_FALSE(parseTimeSeriesJsonl(
+      "{\"schema\":\"atmem-timeseries-v1\",\"epochs\":1}\n"
+      "{\"accesses\":5}\n",
+      Parsed, &Error)); // An epoch line without "epoch".
+}
+
+TEST_F(TimeSeriesTest, OpenMetricsLabelEscaping) {
+  EXPECT_EQ(openMetricsEscapeLabel("plain"), "plain");
+  EXPECT_EQ(openMetricsEscapeLabel("a\\b"), "a\\\\b");
+  EXPECT_EQ(openMetricsEscapeLabel("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(openMetricsEscapeLabel("two\nlines"), "two\\nlines");
+
+  std::string Om = timeSeriesOpenMetrics({sampleOne()}, "run \"a\"\n1");
+  EXPECT_NE(Om.find("atmem_epoch_accesses{run=\"run \\\"a\\\"\\n1\","
+                    "epoch=\"1\"} 1000\n"),
+            std::string::npos);
 }
 
 //===----------------------------------------------------------------------===//

@@ -109,6 +109,15 @@ int main(int Argc, const char **Argv) {
   Parser.addString("stats-socket", "",
                    "serve live metrics/placement/ring-head JSON snapshots "
                    "on this UNIX socket path (inspect with atmem_top)");
+  Parser.addFlag("health",
+                 "arm the online placement-health monitor (detector states "
+                 "reach the metrics export and the stats-socket panel)");
+  Parser.addString("health-log", "",
+                   "append health events as atmem-health-v1 JSONL to this "
+                   "path (implies --health; triage with atmem_doctor)");
+  Parser.addString("health-knobs", "",
+                   "detector tuning overrides, comma-separated knob=value "
+                   "(see docs/observability.md)");
   Parser.addFlag("reoptimize",
                  "re-profile and re-optimize around every measured "
                  "iteration (one decision-log epoch per iteration) instead "
@@ -165,7 +174,17 @@ int main(int Argc, const char **Argv) {
   Telemetry.TimeSeriesPath = Parser.getString("timeseries-out");
   Telemetry.OpenMetricsPath = Parser.getString("openmetrics-out");
   Telemetry.StatsSocketPath = Parser.getString("stats-socket");
-  Telemetry.Enabled = Telemetry.anyOutput();
+  Telemetry.HealthLogPath = Parser.getString("health-log");
+  Telemetry.HealthEnabled = Parser.getFlag("health");
+  if (std::string Knobs = Parser.getString("health-knobs"); !Knobs.empty()) {
+    std::string KnobError;
+    if (!obs::parseHealthKnobs(Knobs, Telemetry.Health, &KnobError)) {
+      std::fprintf(stderr, "error: bad --health-knobs: %s\n",
+                   KnobError.c_str());
+      return 1;
+    }
+  }
+  Telemetry.Enabled = Telemetry.anyOutput() || Telemetry.HealthEnabled;
 
   // Load or generate the graph.
   graph::CsrGraph Graph;
@@ -277,5 +296,8 @@ int main(int Argc, const char **Argv) {
   if (!Telemetry.OpenMetricsPath.empty())
     std::printf("openmetrics written to %s\n",
                 Telemetry.OpenMetricsPath.c_str());
+  if (!Telemetry.HealthLogPath.empty())
+    std::printf("health log written to %s\n",
+                Telemetry.HealthLogPath.c_str());
   return 0;
 }

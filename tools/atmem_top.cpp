@@ -13,8 +13,10 @@
 ///
 /// Rendered view: per-object tier residency bars, the last epoch's
 /// counters (slow-miss fraction, migration bytes/ranges/retries/
-/// rollbacks), cumulative migration totals from the metric registry, and
-/// the decision ring's head position when a ring is enabled.
+/// rollbacks), cumulative migration totals from the metric registry, the
+/// decision ring's head position when a ring is enabled, and — when the
+/// target runs with --health — a health panel listing every detector
+/// that is (or ever was) off green.
 ///
 /// Examples:
 ///   atmem_top --socket /tmp/atmem.sock
@@ -93,6 +95,42 @@ bool render(const std::string &Body) {
                     numberOr(Last, "rollbacks", 0)),
                 numberOr(Last, "fast_data_ratio", 0) * 100.0,
                 numberOr(Last, "optimize_wall_us", 0));
+  }
+
+  if (const obs::JsonValue *Health = Doc.find("health")) {
+    const obs::JsonValue *Overall = Health->findString("overall");
+    const obs::JsonValue *Events = Health->find("events");
+    std::printf("health: %s  (info %llu  warn %llu  critical %llu)\n",
+                Overall ? Overall->StringVal.c_str() : "?",
+                static_cast<unsigned long long>(numberOr(Events, "info", 0)),
+                static_cast<unsigned long long>(numberOr(Events, "warn", 0)),
+                static_cast<unsigned long long>(
+                    numberOr(Events, "critical", 0)));
+    const obs::JsonValue *Detectors = Health->find("detectors");
+    if (Detectors && Detectors->isArray())
+      for (const obs::JsonValue &Det : Detectors->Array) {
+        const obs::JsonValue *Name = Det.findString("name");
+        const obs::JsonValue *Status = Det.findString("status");
+        const obs::JsonValue *Detail = Det.findString("detail");
+        // Quiet detectors stay off the panel; only active or previously
+        // tripped ones earn a line.
+        const obs::JsonValue *Worst = Det.findString("worst");
+        bool Interesting =
+            (Status && Status->StringVal != "green") ||
+            (Worst && Worst->StringVal != "green");
+        if (!Interesting)
+          continue;
+        std::printf("  %-22s %-6s (worst %-6s ev %llu @epoch %llu)%s%s\n",
+                    Name ? Name->StringVal.c_str() : "?",
+                    Status ? Status->StringVal.c_str() : "?",
+                    Worst ? Worst->StringVal.c_str() : "?",
+                    static_cast<unsigned long long>(
+                        numberOr(&Det, "events", 0)),
+                    static_cast<unsigned long long>(
+                        numberOr(&Det, "last_epoch", 0)),
+                    Detail && !Detail->StringVal.empty() ? "  " : "",
+                    Detail ? Detail->StringVal.c_str() : "");
+      }
   }
 
   if (const obs::JsonValue *Metrics = Doc.find("metrics"))
